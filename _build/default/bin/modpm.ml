@@ -1,0 +1,163 @@
+(* modpm: command-line driver for the MOD reproduction.
+
+   Subcommands:
+     run         -- run a Table 2 workload on a backend, print measurements
+     crash-test  -- randomized crash/recover rounds on a MOD map
+     check       -- run a workload under tracing and apply the Section 5.4
+                    consistency checker
+     fig4        -- the flush-concurrency microbenchmark
+     machine     -- print the simulated machine configuration *)
+
+open Cmdliner
+
+let backend_conv =
+  let parse = function
+    | "mod" -> Ok Workloads.Backend.Mod
+    | "pmdk14" | "pmdk-1.4" -> Ok Workloads.Backend.Pmdk14
+    | "pmdk15" | "pmdk-1.5" -> Ok Workloads.Backend.Pmdk15
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (mod|pmdk14|pmdk15)" s))
+  in
+  let print ppf b = Format.pp_print_string ppf (Workloads.Backend.kind_name b) in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  let doc =
+    Printf.sprintf "Workload to run: %s." (String.concat ", " Workloads.Runner.names)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let backend_arg =
+  let doc = "Backend: mod, pmdk14 or pmdk15." in
+  Arg.(value & opt backend_conv Workloads.Backend.Mod & info [ "backend"; "b" ] ~doc)
+
+let scale_arg =
+  let doc = "Number of operations (the paper runs 1,000,000)." in
+  Arg.(value & opt int 10_000 & info [ "ops"; "n" ] ~doc)
+
+let check_workload name =
+  if not (List.mem name Workloads.Runner.names) then begin
+    Printf.eprintf "unknown workload %S; expected one of: %s\n" name
+      (String.concat ", " Workloads.Runner.names);
+    exit 2
+  end
+
+(* -- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let run name backend scale =
+    check_workload name;
+    let r = Workloads.Runner.run_one name backend ~scale in
+    Printf.printf "workload    %s\n" r.Workloads.Runner.workload;
+    Printf.printf "backend     %s\n" (Workloads.Backend.kind_name r.backend);
+    Printf.printf "operations  %d\n" r.ops;
+    Printf.printf "sim time    %.3f ms\n" (r.ns_total /. 1e6);
+    Printf.printf "  flushing  %.3f ms (%.1f%%)\n" (r.ns_flush /. 1e6)
+      (100.0 *. Workloads.Runner.flush_fraction r);
+    Printf.printf "  logging   %.3f ms (%.1f%%)\n" (r.ns_log /. 1e6)
+      (100.0 *. Workloads.Runner.log_fraction r);
+    Printf.printf "  other     %.3f ms\n" (r.ns_other /. 1e6);
+    Printf.printf "fences      %d (%.2f/op)\n" r.fences
+      (Workloads.Runner.fences_per_op r);
+    Printf.printf "flushes     %d (%.2f/op)\n" r.flushes
+      (Workloads.Runner.flushes_per_op r);
+    Printf.printf "L1D misses  %.2f%%\n" (100.0 *. r.miss_ratio);
+    Printf.printf "live words  %d (high water %d)\n" r.live_words
+      r.high_water_words
+  in
+  let doc = "Run one Table 2 workload on one backend." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ workload_arg $ backend_arg $ scale_arg)
+
+(* -- crash-test -------------------------------------------------------- *)
+
+let crash_cmd =
+  let module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int) in
+  let run rounds seed =
+    let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 20) () in
+    let rng = Random.State.make [| seed |] in
+    let survived = ref 0 in
+    for round = 1 to rounds do
+      let m = Imap.open_or_create heap ~slot:0 in
+      let before = Imap.cardinal m in
+      let batch = 1 + Random.State.int rng 20 in
+      for _ = 1 to batch do
+        let k = Random.State.int rng 1000 in
+        if Random.State.bool rng then Imap.insert m k k
+        else ignore (Imap.remove m k : bool)
+      done;
+      let report = Mod_core.Recovery.crash_and_recover heap in
+      let m' = Imap.open_or_create heap ~slot:0 in
+      let after = Imap.cardinal m' in
+      incr survived;
+      Printf.printf "round %3d: %2d ops, crash, recovered %d->%d entries; %s\n"
+        round batch before after
+        (Format.asprintf "%a" Mod_core.Recovery.pp_report report)
+    done;
+    Printf.printf "\n%d/%d rounds recovered to a consistent state.\n" !survived
+      rounds
+  in
+  let rounds =
+    Arg.(value & opt int 10 & info [ "rounds" ] ~doc:"Crash/recover rounds.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let doc = "Randomized crash/recovery demonstration on a MOD map." in
+  Cmd.v (Cmd.info "crash-test" ~doc) Term.(const run $ rounds $ seed)
+
+(* -- check ------------------------------------------------------------- *)
+
+let check_cmd =
+  let run name backend scale =
+    check_workload name;
+    let trace = Workloads.Runner.run_traced name backend ~scale in
+    let report = Mod_core.Consistency.check trace in
+    Format.printf "%a@." Mod_core.Consistency.pp_report report;
+    if not (Mod_core.Consistency.ok report) then exit 1
+  in
+  let doc =
+    "Trace a workload and verify the Section 5.4 invariants (MOD passes; \
+     PMDK backends fail invariant 1 by design)."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ workload_arg $ backend_arg $ scale_arg)
+
+(* -- fig4 / machine ------------------------------------------------------ *)
+
+let fig4_cmd =
+  let run () =
+    (* measure through the simulated hardware, like bench/main.exe fig4 *)
+    Printf.printf "flushes/fence  measured (ns)  amdahl (ns)\n";
+    List.iter
+      (fun n ->
+        let region = Pmem.Region.create ~capacity_words:(1 lsl 16) () in
+        let lines = 320 in
+        let offs =
+          Array.init lines (fun i -> i * Pmem.Config.words_per_line)
+        in
+        Array.iter
+          (fun off -> Pmem.Region.store region off (Pmem.Word.of_int 1))
+          offs;
+        let stats = Pmem.Region.stats region in
+        let t0 = stats.Pmem.Stats.now_ns in
+        Array.iteri
+          (fun i off ->
+            Pmem.Region.clwb region off;
+            if (i + 1) mod n = 0 then Pmem.Region.sfence region)
+          offs;
+        if lines mod n <> 0 then Pmem.Region.sfence region;
+        Printf.printf "%13d  %13.1f  %11.1f\n" n
+          ((stats.Pmem.Stats.now_ns -. t0) /. float_of_int lines)
+          (Pmem.Latency.amdahl_avg_ns n))
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  let doc = "Run the flush-concurrency microbenchmark (Figure 4)." in
+  Cmd.v (Cmd.info "fig4" ~doc) Term.(const run $ const ())
+
+let machine_cmd =
+  let run () = print_endline (Pmem.Config.describe ()) in
+  let doc = "Print the simulated machine configuration (Table 1)." in
+  Cmd.v (Cmd.info "machine" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "MOD: minimally ordered durable datastructures (reproduction)" in
+  let info = Cmd.info "modpm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; crash_cmd; check_cmd; fig4_cmd; machine_cmd ]))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Format Mod_core Option Pfds Pmalloc Pmem Pmstm Printf

@@ -1,0 +1,1 @@
+examples/graph_search.ml: Array Bytes Mod_core Pmalloc Pmem Printf Workloads

@@ -1,0 +1,1 @@
+examples/graph_search.mli:

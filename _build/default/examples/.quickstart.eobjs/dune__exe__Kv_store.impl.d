@@ -1,0 +1,1 @@
+examples/kv_store.ml: Format Mod_core Option Pfds Pmalloc Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mod_core Pfds Pmalloc Pmem Printf

@@ -1,0 +1,1 @@
+examples/task_scheduler.ml: Format Mod_core Option Pmalloc Printf Random

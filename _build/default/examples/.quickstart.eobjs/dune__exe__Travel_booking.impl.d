@@ -1,0 +1,1 @@
+examples/travel_booking.ml: Mod_core Option Pfds Pmalloc Pmem Printf Random

@@ -1,0 +1,1 @@
+examples/travel_booking.mli:

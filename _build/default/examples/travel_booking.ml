@@ -1,0 +1,97 @@
+(* A travel-reservation service, in the style of the paper's vacation port
+   (Section 6.2): four recoverable maps owned by one manager object, with
+   multi-map failure-atomic sections through the Composition interface and
+   CommitSiblings.
+
+   A reservation must debit an item table AND credit the customer table
+   atomically -- exactly the case Figure 8c is for.
+
+   Run with: dune exec examples/travel_booking.exe *)
+
+module Table = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int)
+
+let manager_slot = 0
+let cars = 0
+let flights = 1
+let rooms = 2
+let customers = 3
+
+(* manager object: a 4-field parent block *)
+let create_manager heap =
+  let parent = Pfds.Node.alloc heap ~words:4 in
+  for f = 0 to 3 do
+    Pfds.Node.set heap parent f (Table.empty_version heap)
+  done;
+  Pfds.Node.finish heap parent;
+  Mod_core.Commit.single heap ~slot:manager_slot (Pmem.Word.of_ptr parent)
+
+let field heap f =
+  let p = Pmem.Word.to_ptr (Pmalloc.Heap.root_get heap manager_slot) in
+  Pfds.Node.get heap p f
+
+(* one FASE: add stock to an item table *)
+let restock heap table item qty =
+  let stock =
+    Option.value ~default:0 (Table.find_in heap (field heap table) item)
+  in
+  let tbl' = Table.insert_pure heap (field heap table) item (stock + qty) in
+  Mod_core.Commit.siblings heap ~slot:manager_slot [ (table, tbl') ]
+
+(* one FASE: move a unit from an item table to a customer's itinerary *)
+let reserve heap ~table ~item ~customer =
+  match Table.find_in heap (field heap table) item with
+  | Some stock when stock > 0 ->
+      let tbl' = Table.insert_pure heap (field heap table) item (stock - 1) in
+      let trips =
+        Option.value ~default:0 (Table.find_in heap (field heap customers) customer)
+      in
+      let cust' =
+        Table.insert_pure heap (field heap customers) customer (trips + 1)
+      in
+      Mod_core.Commit.siblings heap ~slot:manager_slot
+        [ (table, tbl'); (customers, cust') ];
+      true
+  | Some _ | None -> false
+
+let () =
+  let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 21) () in
+  create_manager heap;
+
+  for item = 0 to 49 do
+    restock heap cars item 5;
+    restock heap flights item 8;
+    restock heap rooms item 3
+  done;
+
+  let rng = Random.State.make [| 2026 |] in
+  let booked = ref 0 and refused = ref 0 in
+  for _ = 1 to 400 do
+    let table = Random.State.int rng 3 in
+    let item = Random.State.int rng 50 in
+    let customer = Random.State.int rng 40 in
+    if reserve heap ~table ~item ~customer then incr booked else incr refused
+  done;
+  Printf.printf "booked %d reservations (%d refused: sold out)\n" !booked
+    !refused;
+
+  (* crash in the middle of the day; the books still balance *)
+  let _ = Mod_core.Recovery.crash_and_recover heap in
+  let stock_sum f =
+    let v = field heap f in
+    let total = ref 0 in
+    for item = 0 to 49 do
+      total := !total + Option.value ~default:0 (Table.find_in heap v item)
+    done;
+    !total
+  in
+  let trips =
+    let v = field heap customers in
+    let total = ref 0 in
+    for c = 0 to 39 do
+      total := !total + Option.value ~default:0 (Table.find_in heap v c)
+    done;
+    !total
+  in
+  let stock = stock_sum cars + stock_sum flights + stock_sum rooms in
+  Printf.printf "after crash: stock %d + trips %d = %d (expected 800)\n" stock
+    trips (stock + trips)

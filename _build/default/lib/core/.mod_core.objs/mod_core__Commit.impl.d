@@ -1,0 +1,1 @@
+lib/core/commit.ml: List Pfds Pmalloc Pmem Pmstm

@@ -1,0 +1,1 @@
+lib/core/commit.mli: Pmalloc Pmem Pmstm

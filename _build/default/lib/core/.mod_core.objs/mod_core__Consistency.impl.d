@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Format Hashtbl List Pmalloc Pmem

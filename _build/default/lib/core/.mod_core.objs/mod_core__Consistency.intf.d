@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Format Pmem

@@ -1,0 +1,1 @@
+lib/core/dmap.ml: Handle Pfds

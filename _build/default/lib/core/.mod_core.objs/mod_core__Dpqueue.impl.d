@@ -1,0 +1,1 @@
+lib/core/dpqueue.ml: Handle Pfds

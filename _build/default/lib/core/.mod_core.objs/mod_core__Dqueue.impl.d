@@ -1,0 +1,1 @@
+lib/core/dqueue.ml: Handle Pfds

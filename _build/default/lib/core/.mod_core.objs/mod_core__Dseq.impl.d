@@ -1,0 +1,1 @@
+lib/core/dseq.ml: Handle Pfds

@@ -1,0 +1,1 @@
+lib/core/dset.ml: Dmap Pfds

@@ -1,0 +1,1 @@
+lib/core/dstack.ml: Handle Pfds

@@ -1,0 +1,1 @@
+lib/core/dvec.ml: Handle Pfds

@@ -1,0 +1,1 @@
+lib/core/fase.ml: Format Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/core/fase.mli: Format Pmalloc

@@ -1,0 +1,1 @@
+lib/core/handle.ml: Commit Pmalloc Pmem

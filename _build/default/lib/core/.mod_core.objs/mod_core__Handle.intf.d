@@ -1,0 +1,1 @@
+lib/core/handle.mli: Pmalloc Pmem

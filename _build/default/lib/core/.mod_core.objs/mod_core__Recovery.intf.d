@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Format Pmalloc Pmem Pmstm

@@ -1,0 +1,84 @@
+(** Commit: the single ordering point of every MOD failure-atomic section.
+
+    A FASE built from MOD datastructures has two parts (Section 4.3.2):
+    Update -- pure, out-of-place operations that flush their writes with
+    unordered clwbs -- and Commit, which (1) fences once so every shadow is
+    durable and (2) atomically swings the persistent pointer(s) from the
+    old version(s) to the new.  Three implementations cover the paper's
+    cases (Figure 8):
+
+    - {!single}: one datastructure, one or more updates.  One fence, one
+      8-byte atomic root write.
+    - {!siblings}: several datastructures hanging off one parent object.
+      A fresh parent is built pointing at all the shadows, flushed, then
+      installed with one fence and one atomic write.
+    - {!unrelated}: datastructures with no common parent.  The shadows are
+      fenced once, then a short PM-STM transaction updates the root
+      pointers -- the only case that needs more ordering points.
+
+    Reclamation (Section 5.3): after the root moves, the superseded
+    version and any intermediate shadows are released; reference counts
+    make sure structurally shared nodes survive. *)
+
+let release_version heap w =
+  if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then
+    Pmalloc.Heap.release heap (Pmem.Word.to_ptr w)
+
+let mark_commit heap fn =
+  let trace = Pmalloc.Heap.trace heap in
+  Pmem.Trace.emit trace Pmem.Trace.Commit_begin;
+  let result = fn () in
+  Pmem.Trace.emit trace Pmem.Trace.Commit_end;
+  result
+
+(* CommitSingle (Figure 8b).  [intermediates] are the superseded shadows
+   of a multi-update FASE, oldest first; [latest] is the version to
+   install (ownership transfers to the root slot).  [reclaim:false] is an
+   ablation knob: skip reference-count reclamation and leave superseded
+   versions to recovery-time GC. *)
+let single ?(intermediates = []) ?(reclaim = true) heap ~slot latest =
+  Pmalloc.Heap.sfence heap;
+  (* the one ordering point *)
+  let old = Pmalloc.Heap.root_get heap slot in
+  mark_commit heap (fun () -> Pmalloc.Heap.root_set heap slot latest);
+  if reclaim then begin
+    release_version heap old;
+    List.iter (release_version heap) intermediates
+  end
+
+(* CommitSiblings (Figure 8c).  The root slot holds a parent object whose
+   fields point at MOD datastructures; [fields] gives (field index, owned
+   shadow) replacements.  The fresh parent is itself a shadow: built,
+   flushed, then installed after the single fence. *)
+let siblings heap ~slot fields =
+  let old_parent_w = Pmalloc.Heap.root_get heap slot in
+  let old_parent = Pmem.Word.to_ptr old_parent_w in
+  let used = Pmalloc.Allocator.used_of (Pmalloc.Heap.allocator heap) old_parent in
+  let fresh = Pfds.Node.alloc heap ~words:used in
+  for i = 0 to used - 1 do
+    match List.assoc_opt i fields with
+    | Some shadow -> Pfds.Node.set heap fresh i shadow
+    | None -> Pfds.Node.set_shared heap fresh i (Pfds.Node.get heap old_parent i)
+  done;
+  Pfds.Node.finish heap fresh;
+  Pmalloc.Heap.sfence heap;
+  (* the one ordering point *)
+  mark_commit heap (fun () ->
+      Pmalloc.Heap.root_set heap slot (Pmem.Word.of_ptr fresh));
+  release_version heap old_parent_w
+
+(* CommitUnrelated (Figure 8d).  [updates] pairs each root slot with its
+   owned shadow.  One fence makes the shadows durable; a short PM-STM
+   transaction then updates the persistent pointers atomically, at the
+   cost of the transaction's own ordering points. *)
+let unrelated heap tx updates =
+  Pmalloc.Heap.sfence heap;
+  let olds = List.map (fun (slot, _) -> Pmalloc.Heap.root_get heap slot) updates in
+  mark_commit heap (fun () ->
+      Pmstm.Tx.run tx (fun () ->
+          List.iter
+            (fun (slot, shadow) ->
+              Pmstm.Tx.add tx ~off:slot ~words:1;
+              Pmstm.Tx.store tx slot shadow)
+            updates));
+  List.iter (release_version heap) olds

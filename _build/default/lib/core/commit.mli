@@ -1,0 +1,34 @@
+(** Commit: the single ordering point of every MOD failure-atomic section
+    (paper Section 5.1, Figure 8).
+
+    A FASE has two parts: Update -- pure, out-of-place operations that
+    flush their writes with unordered clwbs -- and Commit, which fences
+    once so every shadow is durable, then atomically swings the persistent
+    pointer(s), then reclaims superseded versions by reference count. *)
+
+val single :
+  ?intermediates:Pmem.Word.t list ->
+  ?reclaim:bool ->
+  Pmalloc.Heap.t ->
+  slot:int ->
+  Pmem.Word.t ->
+  unit
+(** CommitSingle (Figure 8b): one datastructure, one or more updates.
+    One fence, one 8-byte atomic root write.  [intermediates] are the
+    superseded shadows of a multi-update FASE; [reclaim:false] is an
+    ablation knob that leaves old versions to recovery GC. *)
+
+val siblings : Pmalloc.Heap.t -> slot:int -> (int * Pmem.Word.t) list -> unit
+(** CommitSiblings (Figure 8c): several datastructures under one parent
+    object held in [slot].  [(field, shadow)] pairs replace parent fields;
+    unlisted fields are shared.  A fresh parent is built and flushed, then
+    installed after the single fence with one atomic write. *)
+
+val unrelated :
+  Pmalloc.Heap.t -> Pmstm.Tx.t -> (int * Pmem.Word.t) list -> unit
+(** CommitUnrelated (Figure 8d): datastructures with no common parent.
+    One fence persists all shadows, then a short PM-STM transaction
+    updates the root slots -- the only case with extra ordering points. *)
+
+val release_version : Pmalloc.Heap.t -> Pmem.Word.t -> unit
+(** Drop one reference to a version (no-op on null/scalar words). *)

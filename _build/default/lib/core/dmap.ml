@@ -1,0 +1,58 @@
+(** MOD durable map (Section 4: CHAMP trie + Functional Shadowing).
+
+    The installed version is the CHAMP root itself (null = empty map), so
+    each update flushes exactly the copied tree path and nothing else.
+
+    Basic interface: [insert], [remove] are self-contained FASEs with one
+    ordering point.  Composition interface: [insert_pure] / [remove_pure]
+    return shadow versions for multi-update FASEs, installed with
+    [Handle.commit] or {!Commit.siblings} / {!Commit.unrelated}. *)
+
+module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
+  module T = Pfds.Champ.Make (K) (V)
+
+  type t = Handle.t
+
+  (* A null version is a valid (empty) map, so opening just binds the
+     slot; the first insert installs the first node. *)
+  let open_or_create heap ~slot =
+    ignore heap;
+    Handle.make heap ~slot
+
+  let empty_version _heap = T.empty
+
+  (* -- Composition interface: pure updates on versions ------------------ *)
+
+  let insert_pure heap version key value =
+    let tree', _grew = T.insert heap version key value in
+    tree'
+
+  (* Returns the unchanged version itself (un-owned) when the key was
+     absent; callers skip the commit in that case. *)
+  let remove_pure heap version key = T.remove heap version key
+
+  let find_in heap version key = T.find heap version key
+  let mem_in heap version key = T.mem heap version key
+  let card_of heap version = T.cardinal heap version
+
+  (* -- Basic interface: each operation is a one-fence FASE -------------- *)
+
+  let insert t key value =
+    let heap = Handle.heap t in
+    Handle.commit t (insert_pure heap (Handle.current t) key value)
+
+  let remove t key =
+    let heap = Handle.heap t in
+    let shadow, removed = remove_pure heap (Handle.current t) key in
+    if removed then Handle.commit t shadow;
+    removed
+
+  let find t key = find_in (Handle.heap t) (Handle.current t) key
+  let mem t key = mem_in (Handle.heap t) (Handle.current t) key
+
+  (* O(n): cardinality is not materialized in the versioned state. *)
+  let cardinal t = card_of (Handle.heap t) (Handle.current t)
+
+  let iter t fn = T.iter (Handle.heap t) (Handle.current t) fn
+  let fold t fn acc = T.fold (Handle.heap t) (Handle.current t) fn acc
+end

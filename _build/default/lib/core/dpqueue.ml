@@ -1,0 +1,32 @@
+(** MOD durable priority queue — a sixth datastructure produced by the
+    paper's recipe (Section 4.2) from a purely functional leftist heap
+    ({!Pfds.Pheap}).  Included to demonstrate that new MOD datastructures
+    really are a recipe application: the whole module is a thin
+    pure-update + CommitSingle wrapper, identical in shape to the five
+    the paper ships. *)
+
+type t = Handle.t
+
+(* A null version is a valid (empty) heap. *)
+let open_or_create heap ~slot = Handle.make heap ~slot
+
+let empty_version = Pfds.Pheap.empty
+let insert_pure = Pfds.Pheap.insert
+let delete_min_pure = Pfds.Pheap.delete_min
+
+let insert t p =
+  let heap = Handle.heap t in
+  Handle.commit t (Pfds.Pheap.insert heap (Handle.current t) p)
+
+let find_min t = Pfds.Pheap.find_min (Handle.heap t) (Handle.current t)
+
+let delete_min t =
+  let heap = Handle.heap t in
+  match Pfds.Pheap.delete_min heap (Handle.current t) with
+  | None -> None
+  | Some (p, shadow) ->
+      Handle.commit t shadow;
+      Some p
+
+let is_empty t = Pfds.Pheap.is_empty (Handle.current t)
+let cardinal t = Pfds.Pheap.cardinal (Handle.heap t) (Handle.current t)

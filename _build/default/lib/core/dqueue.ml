@@ -1,0 +1,31 @@
+(** MOD durable queue: {!Pfds.Pqueue} (Okasaki batched queue) under
+    Functional Shadowing. *)
+
+type t = Handle.t
+
+let open_or_create heap ~slot =
+  let h = Handle.make heap ~slot in
+  if not (Handle.is_initialized h) then
+    Handle.initialize h (Pfds.Pqueue.create heap);
+  h
+
+let empty_version heap = Pfds.Pqueue.create heap
+let enqueue_pure = Pfds.Pqueue.enqueue
+let dequeue_pure = Pfds.Pqueue.dequeue
+
+let enqueue t w =
+  let heap = Handle.heap t in
+  Handle.commit t (Pfds.Pqueue.enqueue heap (Handle.current t) w)
+
+let dequeue t =
+  let heap = Handle.heap t in
+  match Pfds.Pqueue.dequeue heap (Handle.current t) with
+  | None -> None
+  | Some (v, shadow) ->
+      Handle.commit t shadow;
+      Some v
+
+let is_empty t = Pfds.Pqueue.is_empty (Handle.heap t) (Handle.current t)
+let length t = Pfds.Pqueue.length (Handle.heap t) (Handle.current t)
+let iter t fn = Pfds.Pqueue.iter (Handle.heap t) (Handle.current t) fn
+let to_list t = Pfds.Pqueue.to_list (Handle.heap t) (Handle.current t)

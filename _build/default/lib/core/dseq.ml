@@ -1,0 +1,49 @@
+(** MOD durable sequence: the RRB tree ({!Pfds.Rrb}) under Functional
+    Shadowing — the paper's vector structure with its full interface
+    (reference [44]), including failure-atomic O(log n) concatenation and
+    slicing.  Append-heavy workloads should prefer {!Dvec}, whose tail
+    buffer makes push_back cheaper; [Dseq] is the general sequence. *)
+
+type t = Handle.t
+
+let open_or_create heap ~slot =
+  let h = Handle.make heap ~slot in
+  if not (Handle.is_initialized h) then Handle.initialize h (Pfds.Rrb.create heap);
+  h
+
+(* -- Composition interface ------------------------------------------------ *)
+
+let empty_version heap = Pfds.Rrb.create heap
+let of_words_pure = Pfds.Rrb.of_words
+let set_pure = Pfds.Rrb.set
+let concat_pure = Pfds.Rrb.concat
+let slice_pure = Pfds.Rrb.slice
+let get_in = Pfds.Rrb.get
+let size_in = Pfds.Rrb.size
+
+(* -- Basic interface ------------------------------------------------------ *)
+
+let push_back t w =
+  let heap = Handle.heap t in
+  Handle.commit t (Pfds.Rrb.push_back heap (Handle.current t) w)
+
+let set t i w =
+  let heap = Handle.heap t in
+  Handle.commit t (Pfds.Rrb.set heap (Handle.current t) i w)
+
+(* Append another durable sequence's current contents, failure-atomically. *)
+let append t other =
+  let heap = Handle.heap t in
+  Handle.commit t
+    (Pfds.Rrb.concat heap (Handle.current t) (Handle.current other))
+
+(* Keep only [pos, pos+len), failure-atomically. *)
+let restrict t ~pos ~len =
+  let heap = Handle.heap t in
+  Handle.commit t (Pfds.Rrb.slice heap (Handle.current t) ~pos ~len)
+
+let get t i = Pfds.Rrb.get (Handle.heap t) (Handle.current t) i
+let size t = Pfds.Rrb.size (Handle.heap t) (Handle.current t)
+let is_empty t = size t = 0
+let iter t fn = Pfds.Rrb.iter (Handle.heap t) (Handle.current t) fn
+let to_list t = Pfds.Rrb.to_list (Handle.heap t) (Handle.current t)

@@ -1,0 +1,20 @@
+(** MOD durable set: a {!Dmap} with unit values (the paper's set shares
+    the map's CHAMP implementation the same way). *)
+
+module Make (K : Pfds.Kv.CODEC) = struct
+  module M = Dmap.Make (K) (Pfds.Kv.Unit)
+
+  type t = M.t
+
+  let open_or_create = M.open_or_create
+  let empty_version = M.empty_version
+  let add_pure heap version key = M.insert_pure heap version key ()
+  let remove_pure = M.remove_pure
+  let mem_in = M.mem_in
+  let add t key = M.insert t key ()
+  let remove = M.remove
+  let mem = M.mem
+  let cardinal = M.cardinal
+  let iter t fn = M.iter t (fun k () -> fn k)
+  let fold t fn acc = M.fold t (fun k () acc -> fn k acc) acc
+end

@@ -1,0 +1,37 @@
+(** MOD durable stack: {!Pfds.Pstack} under Functional Shadowing.
+
+    The version word is the list head (null = empty): push allocates one
+    node, pop shares the tail, each Basic-interface operation is a
+    one-fence FASE. *)
+
+type t = Handle.t
+
+(* A null version is a valid (empty) stack, so opening just binds the
+   slot; the first push installs the first node. *)
+let open_or_create heap ~slot = Handle.make heap ~slot
+
+let empty_version = Pfds.Pstack.empty
+let push_pure = Pfds.Pstack.push
+let pop_pure = Pfds.Pstack.pop
+
+let push t w =
+  let heap = Handle.heap t in
+  Handle.commit t (Pfds.Pstack.push heap (Handle.current t) w)
+
+(* Pop returns the value word of the popped element; for inline scalars
+   this is the value itself.  For blob-valued stacks, read the payload via
+   [peek] before popping: the commit inside [pop] releases the old version
+   and with it the last reference to the popped blob. *)
+let pop t =
+  let heap = Handle.heap t in
+  match Pfds.Pstack.pop heap (Handle.current t) with
+  | None -> None
+  | Some (v, shadow) ->
+      Handle.commit t shadow;
+      Some v
+
+let peek t = Pfds.Pstack.peek (Handle.heap t) (Handle.current t)
+let is_empty t = Pfds.Pstack.is_empty (Handle.current t)
+let length t = Pfds.Pstack.length (Handle.heap t) (Handle.current t)
+let iter t fn = Pfds.Pstack.iter (Handle.heap t) (Handle.current t) fn
+let to_list t = Pfds.Pstack.to_list (Handle.heap t) (Handle.current t)

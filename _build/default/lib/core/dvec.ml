@@ -1,0 +1,56 @@
+(** MOD durable vector: {!Pfds.Pvec} under Functional Shadowing.
+
+    The version word is the vector descriptor.  [swap] is the paper's
+    Figure 7b multi-update FASE: two pure updates chained through an
+    intermediate shadow, one CommitSingle. *)
+
+type t = Handle.t
+
+let open_or_create heap ~slot =
+  let h = Handle.make heap ~slot in
+  if not (Handle.is_initialized h) then
+    Handle.initialize h (Pfds.Pvec.create heap);
+  h
+
+(* -- Composition interface ------------------------------------------------ *)
+
+let empty_version heap = Pfds.Pvec.create heap
+let push_back_pure = Pfds.Pvec.push_back
+let set_pure = Pfds.Pvec.set
+let pop_back_pure = Pfds.Pvec.pop_back
+let get_in = Pfds.Pvec.get
+let size_in = Pfds.Pvec.size
+
+(* -- Basic interface ------------------------------------------------------ *)
+
+let push_back t w =
+  let heap = Handle.heap t in
+  Handle.commit t (Pfds.Pvec.push_back heap (Handle.current t) w)
+
+let set t i w =
+  let heap = Handle.heap t in
+  Handle.commit t (Pfds.Pvec.set heap (Handle.current t) i w)
+
+let pop_back t =
+  let heap = Handle.heap t in
+  let v, shadow = Pfds.Pvec.pop_back heap (Handle.current t) in
+  Handle.commit t shadow;
+  v
+
+(* Swap two elements failure-atomically: Figure 7b.  The first update
+   produces VectorPtrShadow, the second VectorPtrShadowShadow; Commit
+   installs the latter and reclaims the intermediate. *)
+let swap t i j =
+  let heap = Handle.heap t in
+  let v = Handle.current t in
+  let vi = Pfds.Pvec.get heap v i in
+  let vj = Pfds.Pvec.get heap v j in
+  let shadow = Pfds.Pvec.set heap v i vj in
+  let shadow_shadow = Pfds.Pvec.set heap shadow j vi in
+  Handle.commit ~intermediates:[ shadow ] t shadow_shadow
+
+let get t i = Pfds.Pvec.get (Handle.heap t) (Handle.current t) i
+let size t = Pfds.Pvec.size (Handle.heap t) (Handle.current t)
+let is_empty t = size t = 0
+let iter t fn = Pfds.Pvec.iter (Handle.heap t) (Handle.current t) fn
+let to_list t = Pfds.Pvec.to_list (Handle.heap t) (Handle.current t)

@@ -1,0 +1,33 @@
+(** Failure-atomic section instrumentation.
+
+    MOD's headline property is "one ordering point per FASE in the common
+    case" (Section 4).  [run] executes a section and reports how many
+    fences and flushes it actually issued, so tests and Figure 10 can
+    assert and plot the claim rather than assume it. *)
+
+type profile = {
+  fences : int;
+  flushes : int;
+  ns : float;
+  ns_flush : float;
+  ns_log : float;
+}
+
+let run heap fn =
+  let stats = Pmalloc.Heap.stats heap in
+  let before = Pmem.Stats.snapshot stats in
+  let result = fn () in
+  let after = Pmem.Stats.snapshot stats in
+  let d = Pmem.Stats.diff ~before ~after in
+  ( result,
+    {
+      fences = d.Pmem.Stats.s_fences;
+      flushes = d.Pmem.Stats.s_clwbs;
+      ns = d.Pmem.Stats.s_now_ns;
+      ns_flush = d.Pmem.Stats.s_ns_flush;
+      ns_log = d.Pmem.Stats.s_ns_log;
+    } )
+
+let pp_profile ppf p =
+  Format.fprintf ppf "%d fences, %d flushes, %.0f ns (flush %.0f, log %.0f)"
+    p.fences p.flushes p.ns p.ns_flush p.ns_log

@@ -1,0 +1,17 @@
+(** Failure-atomic section instrumentation.
+
+    MOD's headline property is "one ordering point per FASE in the common
+    case" (Section 4).  [run] executes a section and reports the fences,
+    flushes and phase-attributed simulated time it actually spent, so
+    tests and Figure 10 can assert the claim rather than assume it. *)
+
+type profile = {
+  fences : int;
+  flushes : int;
+  ns : float;
+  ns_flush : float;
+  ns_log : float;
+}
+
+val run : Pmalloc.Heap.t -> (unit -> 'a) -> 'a * profile
+val pp_profile : Format.formatter -> profile -> unit

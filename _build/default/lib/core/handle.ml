@@ -1,0 +1,24 @@
+(** A handle binds a MOD datastructure to a persistent root slot.
+
+    Through the Basic interface a handle behaves like a mutable
+    datastructure with logically in-place, failure-atomic updates
+    (Section 4.3.1); underneath, each operation is
+    pure-update-then-CommitSingle.  The Composition interface exposes the
+    versions (Section 4.3.2): [current] reads the installed version,
+    pure updates return shadows, and {!Commit} installs them. *)
+
+type t = { heap : Pmalloc.Heap.t; slot : int }
+
+let make heap ~slot = { heap; slot }
+let heap t = t.heap
+let slot t = t.slot
+let current t = Pmalloc.Heap.root_get t.heap t.slot
+let is_initialized t = not (Pmem.Word.is_null (current t))
+
+(* Install an initial version into an empty slot, failure-atomically. *)
+let initialize t version =
+  if is_initialized t then invalid_arg "Handle.initialize: slot already bound";
+  Commit.single t.heap ~slot:t.slot version
+
+let commit ?intermediates t version =
+  Commit.single ?intermediates t.heap ~slot:t.slot version

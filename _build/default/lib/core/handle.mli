@@ -1,0 +1,25 @@
+(** A handle binds a MOD datastructure to a persistent root slot.
+
+    Through the Basic interface (Section 4.3.1) a handle behaves like a
+    mutable datastructure with logically in-place failure-atomic updates;
+    underneath, each operation is pure-update-then-CommitSingle.  The
+    Composition interface (Section 4.3.2) works on the versions directly:
+    [current] reads the installed version, pure updates return shadows,
+    and [commit] installs them. *)
+
+type t
+
+val make : Pmalloc.Heap.t -> slot:int -> t
+val heap : t -> Pmalloc.Heap.t
+val slot : t -> int
+
+val current : t -> Pmem.Word.t
+(** The installed durable version (null if none). *)
+
+val is_initialized : t -> bool
+
+val initialize : t -> Pmem.Word.t -> unit
+(** Install an initial version into an empty slot, failure-atomically. *)
+
+val commit : ?intermediates:Pmem.Word.t list -> t -> Pmem.Word.t -> unit
+(** CommitSingle against this handle's slot. *)

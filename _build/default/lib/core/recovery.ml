@@ -1,0 +1,32 @@
+(** Crash recovery for MOD heaps (Sections 5.2-5.3).
+
+    After a power failure the durable image may contain, per root slot,
+    either the pre-FASE or the post-FASE version -- never a torn one --
+    plus leaked shadow allocations from any interrupted FASE.  Recovery:
+
+    1. rolls back an interrupted PM-STM transaction, if the heap hosts
+       one (CommitUnrelated and the PMDK baseline use the undo log);
+    2. runs the reachability analysis from the root directory, recomputing
+       reference counts and reclaiming every leaked block
+       ({!Pmalloc.Recovery_gc}).
+
+    [crash_and_recover] drives the whole cycle against the simulated
+    hardware and is what the crash-injection tests exercise. *)
+
+type report = { stm_rolled_back : bool; gc : Pmalloc.Recovery_gc.report }
+
+let recover ?stm heap =
+  let stm_rolled_back =
+    match stm with Some tx -> Pmstm.Tx.recover tx | None -> false
+  in
+  let gc = Pmalloc.Recovery_gc.recover heap in
+  { stm_rolled_back; gc }
+
+let crash_and_recover ?mode ?stm heap =
+  Pmalloc.Heap.crash ?mode heap;
+  recover ?stm heap
+
+let pp_report ppf r =
+  Format.fprintf ppf "%a%s" Pmalloc.Recovery_gc.pp_report r.gc
+    (if r.stm_rolled_back then " (rolled back an interrupted transaction)"
+     else "")

@@ -1,0 +1,19 @@
+(** Crash recovery for MOD heaps (paper Sections 5.2-5.3).
+
+    After a power failure the durable image holds, per root slot, either
+    the pre-FASE or the post-FASE version -- never a torn one -- plus
+    leaked shadow allocations from any interrupted FASE.  Recovery rolls
+    back an interrupted PM-STM transaction if the heap hosts one
+    (CommitUnrelated / the PMDK baseline), then runs the reachability
+    analysis that recomputes reference counts and reclaims every leak. *)
+
+type report = { stm_rolled_back : bool; gc : Pmalloc.Recovery_gc.report }
+
+val recover : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
+(** Recovery against the current durable image (call after a crash). *)
+
+val crash_and_recover :
+  ?mode:Pmem.Region.crash_mode -> ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
+(** Inject a power failure, then recover. *)
+
+val pp_report : Format.formatter -> report -> unit

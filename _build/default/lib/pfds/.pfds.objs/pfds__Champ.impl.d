@@ -1,0 +1,1 @@
+lib/pfds/champ.ml: Kv Node Option Pmem

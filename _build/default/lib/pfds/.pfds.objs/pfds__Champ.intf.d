@@ -1,0 +1,1 @@
+lib/pfds/champ.mli: Kv Pmalloc Pmem

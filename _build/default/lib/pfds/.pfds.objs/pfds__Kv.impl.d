@@ -1,0 +1,1 @@
+lib/pfds/kv.ml: Bytes Char Int Pmalloc Pmem String

@@ -1,0 +1,1 @@
+lib/pfds/kv.mli: Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/pfds/node.ml: Pmalloc Pmem

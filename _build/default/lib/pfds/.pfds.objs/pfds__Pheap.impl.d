@@ -1,0 +1,1 @@
+lib/pfds/pheap.ml: List Node Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/pfds/pheap.mli: Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/pfds/pqueue.ml: List Node Pmem Pstack

@@ -1,0 +1,1 @@
+lib/pfds/pqueue.mli: Pmalloc Pmem

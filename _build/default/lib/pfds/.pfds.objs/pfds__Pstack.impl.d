@@ -1,0 +1,1 @@
+lib/pfds/pstack.ml: List Node Pmem

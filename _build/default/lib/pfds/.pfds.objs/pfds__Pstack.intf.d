@@ -1,0 +1,1 @@
+lib/pfds/pstack.mli: Pmalloc Pmem

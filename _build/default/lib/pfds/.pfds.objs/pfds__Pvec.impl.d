@@ -1,0 +1,1 @@
+lib/pfds/pvec.ml: List Node Pmalloc Pmem Printf

@@ -1,0 +1,1 @@
+lib/pfds/pvec.mli: Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/pfds/rrb.ml: List Node Pmalloc Pmem Printf

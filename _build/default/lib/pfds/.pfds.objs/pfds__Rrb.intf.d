@@ -1,0 +1,1 @@
+lib/pfds/rrb.mli: Pmalloc Pmem

@@ -1,0 +1,42 @@
+(** Key/value codecs: how application values map onto tagged PM words.
+
+    Small scalars (the 8-byte keys/elements of the microbenchmarks) are
+    stored inline; variable-length payloads (memcached's 16 B keys and
+    512 B values) are stored as [Raw] heap blobs referenced by pointer
+    words.  A codec's [write] returns an {e owned} word: if it allocated a
+    blob, ownership passes to whoever stores the word into a node. *)
+
+module type CODEC = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val hash : t -> int
+  (** Must fit a tagged scalar word: 61 bits, non-negative. *)
+
+  val write : Pmalloc.Heap.t -> t -> Pmem.Word.t
+  val read : Pmalloc.Heap.t -> Pmem.Word.t -> t
+end
+
+val hash_mask : int
+
+val mix_int : int -> int
+(** splitmix-style finalizer: decorrelates adjacent integer keys so CHAMP
+    tries stay balanced even on sequential inserts. *)
+
+val hash_string : string -> int
+(** FNV-1a, masked to fit a tagged scalar. *)
+
+val bytes_per_word : int
+val words_for_bytes : int -> int
+
+module Int : CODEC with type t = int
+(** Inline 8-byte scalars. *)
+
+module Unit : CODEC with type t = unit
+(** Unit values (sets are maps to unit). *)
+
+module String_blob : CODEC with type t = string
+(** Arbitrary byte strings as [Raw] blobs: word 0 holds the byte length,
+    then 7 bytes per word (so payload words stay within OCaml's native
+    int).  [write] flushes the blob with unordered clwbs. *)

@@ -1,0 +1,39 @@
+(** Helpers for building immutable tree nodes in persistent memory.
+
+    All MOD updates are out-of-place: a node is allocated, its fields are
+    stored (writes to newly allocated PM only), and [finish] launches
+    weakly-ordered clwb writebacks for its cachelines.  No fences here --
+    the single ordering point lives in Commit.
+
+    Reference-count discipline: a freshly allocated block carries one
+    owned reference that the builder hands to whoever stores the pointer.
+    Copying an {e existing} pointer word into a new node must [set_shared]
+    it so the count reflects the extra parent. *)
+
+let alloc heap ~words = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words
+let get heap node i = Pmalloc.Heap.load heap (node + i)
+
+(* Store an owned word (fresh allocation or scalar): no count change. *)
+let set heap node i w = Pmalloc.Heap.store heap (node + i) w
+
+(* Store a shared word: if it points to a live block, that block gains a
+   parent. *)
+let set_shared heap node i w =
+  if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then
+    Pmalloc.Heap.retain heap (Pmem.Word.to_ptr w);
+  Pmalloc.Heap.store heap (node + i) w
+
+(* Copy [len] words from an existing node into a new one, retaining every
+   pointer copied. *)
+let blit_shared heap ~src ~soff ~dst ~doff ~len =
+  for i = 0 to len - 1 do
+    set_shared heap dst (doff + i) (get heap src (soff + i))
+  done
+
+let finish heap node = Pmalloc.Heap.flush_block heap node
+
+(* Retain a word that is about to outlive the node it was read from. *)
+let share heap w =
+  if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then
+    Pmalloc.Heap.retain heap (Pmem.Word.to_ptr w);
+  w

@@ -1,0 +1,94 @@
+(** Purely functional min-heap (leftist heap) in persistent memory.
+
+    The paper ships five datastructures and a {e recipe} for making more
+    from existing functional datastructures (Section 4.2): allocate the
+    node state in PM, keep every update a pure function, flush all new
+    nodes with unordered clwbs, and let Commit provide the single fence.
+    This module follows the recipe for Okasaki's leftist heap, yielding a
+    durable priority queue ([Mod_core.Dpqueue]) the paper does not have --
+    a demonstration that the recipe generalizes.
+
+    Node layout (Scanned, 4 words): [rank; priority; left; right].
+    Merge copies only the right spine (O(log n) nodes); the rest of both
+    heaps is shared. *)
+
+type root = Pmem.Word.t
+
+let empty = Pmem.Word.null
+let is_empty root = Pmem.Word.is_null root
+
+let f_rank = 0
+let f_prio = 1
+let f_left = 2
+let f_right = 3
+
+let rank heap root =
+  if is_empty root then 0
+  else Pmem.Word.to_int (Node.get heap (Pmem.Word.to_ptr root) f_rank)
+
+let prio heap root = Pmem.Word.to_int (Node.get heap (Pmem.Word.to_ptr root) f_prio)
+
+(* Build a node from a priority and two owned subtree words, restoring the
+   leftist invariant (rank of left >= rank of right). *)
+let make_node heap p a b =
+  let ra = rank heap a and rb = rank heap b in
+  let left, right, r = if ra >= rb then (a, b, rb + 1) else (b, a, ra + 1) in
+  let n = Node.alloc heap ~words:4 in
+  Node.set heap n f_rank (Pmem.Word.of_int r);
+  Node.set heap n f_prio (Pmem.Word.of_int p);
+  Node.set heap n f_left left;
+  Node.set heap n f_right right;
+  Node.finish heap n;
+  Pmem.Word.of_ptr n
+
+(* Merge two heaps; the arguments are borrowed (they stay part of the old
+   versions), the result is owned.  Only right-spine nodes are fresh. *)
+let rec merge heap h1 h2 =
+  if is_empty h1 then Node.share heap h2
+  else if is_empty h2 then Node.share heap h1
+  else begin
+    let n1 = Pmem.Word.to_ptr h1 and n2 = Pmem.Word.to_ptr h2 in
+    if prio heap h1 <= prio heap h2 then begin
+      let left = Node.share heap (Node.get heap n1 f_left) in
+      let right = merge heap (Node.get heap n1 f_right) h2 in
+      make_node heap (prio heap h1) left right
+    end
+    else begin
+      let left = Node.share heap (Node.get heap n2 f_left) in
+      let right = merge heap h1 (Node.get heap n2 f_right) in
+      make_node heap (prio heap h2) left right
+    end
+  end
+
+(* Pure update operations: owned results, originals untouched. *)
+
+let insert heap root p =
+  let single = make_node heap p Pmem.Word.null Pmem.Word.null in
+  let merged = merge heap root single in
+  (* [merge] shares its borrowed arguments, so it retained [single]; drop
+     the constructor's ownership. *)
+  Pmalloc.Heap.release heap (Pmem.Word.to_ptr single);
+  merged
+
+let find_min heap root = if is_empty root then None else Some (prio heap root)
+
+(* Returns the minimum and an owned heap without it. *)
+let delete_min heap root =
+  if is_empty root then None
+  else begin
+    let n = Pmem.Word.to_ptr root in
+    let rest = merge heap (Node.get heap n f_left) (Node.get heap n f_right) in
+    Some (prio heap root, rest)
+  end
+
+let rec fold heap root fn acc =
+  if is_empty root then acc
+  else begin
+    let n = Pmem.Word.to_ptr root in
+    let acc = fn (prio heap root) acc in
+    let acc = fold heap (Node.get heap n f_left) fn acc in
+    fold heap (Node.get heap n f_right) fn acc
+  end
+
+let cardinal heap root = fold heap root (fun _ acc -> acc + 1) 0
+let to_sorted_list_model heap root = List.sort compare (fold heap root (fun p acc -> p :: acc) [])

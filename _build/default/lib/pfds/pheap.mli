@@ -1,0 +1,27 @@
+(** Purely functional min-heap (leftist heap) in persistent memory -- the
+    demonstration that the paper's recipe (Section 4.2) yields new MOD
+    datastructures beyond the five it ships.  See {!Mod_core.Dpqueue} for
+    the durable wrapper. *)
+
+type root = Pmem.Word.t
+(** A heap version: pointer to the root node, or null for empty. *)
+
+val empty : root
+val is_empty : root -> bool
+
+val insert : Pmalloc.Heap.t -> root -> int -> root
+(** [insert heap h p] adds priority [p]; copies only the merge spine
+    (O(log n) nodes), shares the rest.  Owned result. *)
+
+val merge : Pmalloc.Heap.t -> root -> root -> root
+(** Merge two (borrowed) versions into an owned one. *)
+
+val find_min : Pmalloc.Heap.t -> root -> int option
+
+val delete_min : Pmalloc.Heap.t -> root -> (int * root) option
+(** Returns the minimum and an owned version without it. *)
+
+val fold : Pmalloc.Heap.t -> root -> (int -> 'a -> 'a) -> 'a -> 'a
+val cardinal : Pmalloc.Heap.t -> root -> int
+val to_sorted_list_model : Pmalloc.Heap.t -> root -> int list
+(** Drain-free sorted view (for tests). *)

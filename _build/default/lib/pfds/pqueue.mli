@@ -1,0 +1,27 @@
+(** Purely functional FIFO queue in persistent memory: Okasaki's batched
+    queue (front list + rear list, with occasional reversal -- the source
+    of the MOD queue's extra flushes on pops, paper Section 6.4).
+
+    Invariant: a null front means the queue is empty. *)
+
+type root = Pmem.Word.t
+(** A queue version: pointer to a two-word [front; rear] descriptor. *)
+
+val create : Pmalloc.Heap.t -> root
+(** An owned empty-queue version. *)
+
+val is_empty : Pmalloc.Heap.t -> root -> bool
+
+val enqueue : Pmalloc.Heap.t -> root -> Pmem.Word.t -> root
+(** [enqueue heap q w] appends the owned value word [w]; returns an owned
+    new version sharing almost all of [q]. *)
+
+val dequeue : Pmalloc.Heap.t -> root -> (Pmem.Word.t * root) option
+(** Returns the borrowed head value and an owned new version.  When the
+    front list empties, the rear list is reversed out-of-place. *)
+
+val length : Pmalloc.Heap.t -> root -> int
+val iter : Pmalloc.Heap.t -> root -> (Pmem.Word.t -> unit) -> unit
+(** FIFO-order iteration. *)
+
+val to_list : Pmalloc.Heap.t -> root -> Pmem.Word.t list

@@ -1,0 +1,54 @@
+(** Purely functional stack in persistent memory: a cons list of two-word
+    nodes [value; next].  Push creates one node; pop shares the tail.  Both
+    are pure: the original version is never modified (Figure 1 of the
+    paper is exactly this structure). *)
+
+type root = Pmem.Word.t
+
+let empty = Pmem.Word.null
+let is_empty root = Pmem.Word.is_null root
+
+(* [v] is an owned value word; the result is an owned new head. *)
+let push heap root v =
+  let node = Node.alloc heap ~words:2 in
+  Node.set heap node 0 v;
+  Node.set_shared heap node 1 root;
+  Node.finish heap node;
+  Pmem.Word.of_ptr node
+
+(* Returns the borrowed value word of the top element and an owned new
+   head.  The value word stays alive until the pre-pop version is
+   released, i.e. until after Commit; callers must read or re-own it
+   before then. *)
+let pop heap root =
+  if is_empty root then None
+  else begin
+    let node = Pmem.Word.to_ptr root in
+    let v = Node.get heap node 0 in
+    let next = Node.get heap node 1 in
+    Some (v, Node.share heap next)
+  end
+
+let peek heap root =
+  if is_empty root then None
+  else Some (Node.get heap (Pmem.Word.to_ptr root) 0)
+
+let iter heap root fn =
+  let rec go w =
+    if not (Pmem.Word.is_null w) then begin
+      let node = Pmem.Word.to_ptr w in
+      fn (Node.get heap node 0);
+      go (Node.get heap node 1)
+    end
+  in
+  go root
+
+let length heap root =
+  let n = ref 0 in
+  iter heap root (fun _ -> incr n);
+  !n
+
+let to_list heap root =
+  let acc = ref [] in
+  iter heap root (fun w -> acc := w :: !acc);
+  List.rev !acc

@@ -1,0 +1,26 @@
+(** Purely functional stack in persistent memory: a cons list of two-word
+    nodes [value; next] (Figure 1 of the paper is exactly this structure).
+
+    All update operations are pure: they return an {e owned} new version
+    and never modify the original.  New nodes are flushed with unordered
+    clwbs; the single ordering point belongs to Commit. *)
+
+type root = Pmem.Word.t
+(** A stack version: pointer to the head node, or null for empty. *)
+
+val empty : root
+val is_empty : root -> bool
+
+val push : Pmalloc.Heap.t -> root -> Pmem.Word.t -> root
+(** [push heap v w] conses the owned value word [w]; allocates exactly one
+    node, sharing the whole previous stack. *)
+
+val pop : Pmalloc.Heap.t -> root -> (Pmem.Word.t * root) option
+(** Returns the borrowed value word of the top element and an owned new
+    head.  The value word stays valid until the pre-pop version is
+    released (i.e. until after Commit). *)
+
+val peek : Pmalloc.Heap.t -> root -> Pmem.Word.t option
+val iter : Pmalloc.Heap.t -> root -> (Pmem.Word.t -> unit) -> unit
+val length : Pmalloc.Heap.t -> root -> int
+val to_list : Pmalloc.Heap.t -> root -> Pmem.Word.t list

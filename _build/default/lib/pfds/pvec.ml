@@ -1,0 +1,286 @@
+(** Persistent bit-partitioned vector in persistent memory.
+
+    The paper's MOD vector uses a Relaxed Radix Balanced tree (Stucki et
+    al., ICFP'15; reference [44]); for the operations the evaluation
+    exercises (push_back, update, read, pop_back) the RRB tree degenerates
+    to the classic 32-way radix trie with a tail buffer, which is what we
+    implement here ([Rrb] adds the relaxed concatenation/slicing layer on
+    top).  Every update copies the O(log32 n) nodes on the path to the
+    affected leaf -- this is the "dense array becomes a tree" effect that
+    makes the paper's vector workloads slower and more flush-heavy than
+    PMDK's flat array (Sections 6.3-6.5).
+
+    Layout:
+    - descriptor (4 words): [size; shift; root; tail]
+    - interior node: 32 child words (null-padded)
+    - leaf node / tail: up to 32 value words
+
+    All updates are pure and return an owned descriptor pointer. *)
+
+let bits = 5
+let branch = 1 lsl bits
+let mask = branch - 1
+
+type root = Pmem.Word.t
+
+let desc_words = 4
+
+let make_desc heap ~size ~shift ~root ~tail =
+  let d = Node.alloc heap ~words:desc_words in
+  Node.set heap d 0 (Pmem.Word.of_int size);
+  Node.set heap d 1 (Pmem.Word.of_int shift);
+  Node.set heap d 2 root;
+  Node.set heap d 3 tail;
+  Node.finish heap d;
+  Pmem.Word.of_ptr d
+
+(* An owned empty-vector descriptor. *)
+let create heap =
+  make_desc heap ~size:0 ~shift:bits ~root:Pmem.Word.null ~tail:Pmem.Word.null
+
+let size heap v = Pmem.Word.to_int (Node.get heap (Pmem.Word.to_ptr v) 0)
+let shift_of heap v = Pmem.Word.to_int (Node.get heap (Pmem.Word.to_ptr v) 1)
+let root_of heap v = Node.get heap (Pmem.Word.to_ptr v) 2
+let tail_of heap v = Node.get heap (Pmem.Word.to_ptr v) 3
+let is_empty heap v = size heap v = 0
+
+let tail_off size = if size < branch then 0 else ((size - 1) lsr bits) lsl bits
+
+let check_bounds heap v i fn =
+  let n = size heap v in
+  if i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Pvec.%s: index %d out of bounds (size %d)" fn i n)
+
+(* Leaf that holds elements [i - (i land mask) .. ] of the tree part. *)
+let rec leaf_for heap shift node i =
+  if shift = 0 then node
+  else
+    leaf_for heap (shift - bits)
+      (Pmem.Word.to_ptr (Node.get heap node ((i lsr shift) land mask)))
+      i
+
+let get heap v i =
+  check_bounds heap v i "get";
+  let n = size heap v in
+  if i >= tail_off n then
+    Node.get heap (Pmem.Word.to_ptr (tail_of heap v)) (i land mask)
+  else begin
+    let leaf =
+      leaf_for heap (shift_of heap v)
+        (Pmem.Word.to_ptr (root_of heap v))
+        i
+    in
+    Node.get heap leaf (i land mask)
+  end
+
+(* Fresh single-branch path of interior nodes of height [level] ending at
+   [node] (an owned leaf). *)
+let rec new_path heap level node =
+  if level = 0 then node
+  else begin
+    let n = Node.alloc heap ~words:branch in
+    Node.set heap n 0 (new_path heap (level - bits) node);
+    for i = 1 to branch - 1 do
+      Node.set heap n i Pmem.Word.null
+    done;
+    Node.finish heap n;
+    Pmem.Word.of_ptr n
+  end
+
+(* Clone an interior node, sharing all slots except [slot], which receives
+   the owned word [w]. *)
+let clone_with heap node slot w =
+  let fresh = Node.alloc heap ~words:branch in
+  for i = 0 to branch - 1 do
+    if i = slot then Node.set heap fresh i w
+    else Node.set_shared heap fresh i (Node.get heap node i)
+  done;
+  Node.finish heap fresh;
+  Pmem.Word.of_ptr fresh
+
+(* Push a full tail leaf into the tree.  [size] is the pre-push element
+   count of the tree+tail. *)
+let rec push_tail heap size level parent tail_word =
+  let subidx = ((size - 1) lsr level) land mask in
+  let child =
+    if level = bits then tail_word
+    else begin
+      let existing = Node.get heap parent subidx in
+      if Pmem.Word.is_null existing then new_path heap (level - bits) tail_word
+      else
+        push_tail heap size (level - bits)
+          (Pmem.Word.to_ptr existing)
+          tail_word
+    end
+  in
+  clone_with heap parent subidx child
+
+let push_back heap v w =
+  let n = size heap v in
+  let shift = shift_of heap v in
+  let root = root_of heap v in
+  let tail = tail_of heap v in
+  let tail_len = n - tail_off n in
+  if tail_len > 0 && tail_len < branch then begin
+    (* room in the tail: copy it one element bigger *)
+    let src = Pmem.Word.to_ptr tail in
+    let fresh = Node.alloc heap ~words:(tail_len + 1) in
+    Node.blit_shared heap ~src ~soff:0 ~dst:fresh ~doff:0 ~len:tail_len;
+    Node.set heap fresh tail_len w;
+    Node.finish heap fresh;
+    make_desc heap ~size:(n + 1) ~shift
+      ~root:(Node.share heap root)
+      ~tail:(Pmem.Word.of_ptr fresh)
+  end
+  else if n = 0 then begin
+    let fresh = Node.alloc heap ~words:1 in
+    Node.set heap fresh 0 w;
+    Node.finish heap fresh;
+    make_desc heap ~size:1 ~shift ~root:Pmem.Word.null
+      ~tail:(Pmem.Word.of_ptr fresh)
+  end
+  else begin
+    (* tail is full: push it into the tree, start a new tail *)
+    let tail_shared = Node.share heap tail in
+    let root', shift' =
+      if Pmem.Word.is_null root then
+        (* first spill: an interior root whose slot 0 leads to the leaf *)
+        (new_path heap shift tail_shared, shift)
+      else if n lsr bits > 1 lsl shift then begin
+        (* root overflow: add a level *)
+        let fresh = Node.alloc heap ~words:branch in
+        Node.set_shared heap fresh 0 root;
+        Node.set heap fresh 1 (new_path heap shift tail_shared);
+        for i = 2 to branch - 1 do
+          Node.set heap fresh i Pmem.Word.null
+        done;
+        Node.finish heap fresh;
+        (Pmem.Word.of_ptr fresh, shift + bits)
+      end
+      else (push_tail heap n shift (Pmem.Word.to_ptr root) tail_shared, shift)
+    in
+    let fresh_tail = Node.alloc heap ~words:1 in
+    Node.set heap fresh_tail 0 w;
+    Node.finish heap fresh_tail;
+    make_desc heap ~size:(n + 1) ~shift:shift' ~root:root'
+      ~tail:(Pmem.Word.of_ptr fresh_tail)
+  end
+
+(* Path-copying point update inside the tree. *)
+let rec do_assoc heap level node i w =
+  if level = 0 then begin
+    let fresh = Node.alloc heap ~words:branch in
+    for s = 0 to branch - 1 do
+      if s = (i land mask) then Node.set heap fresh s w
+      else Node.set_shared heap fresh s (Node.get heap node s)
+    done;
+    Node.finish heap fresh;
+    Pmem.Word.of_ptr fresh
+  end
+  else begin
+    let subidx = (i lsr level) land mask in
+    let child =
+      do_assoc heap (level - bits)
+        (Pmem.Word.to_ptr (Node.get heap node subidx))
+        i w
+    in
+    clone_with heap node subidx child
+  end
+
+let set heap v i w =
+  check_bounds heap v i "set";
+  let n = size heap v in
+  let shift = shift_of heap v in
+  if i >= tail_off n then begin
+    let tail = Pmem.Word.to_ptr (tail_of heap v) in
+    let tail_len = n - tail_off n in
+    let fresh = Node.alloc heap ~words:tail_len in
+    for s = 0 to tail_len - 1 do
+      if s = (i land mask) then Node.set heap fresh s w
+      else Node.set_shared heap fresh s (Node.get heap tail s)
+    done;
+    Node.finish heap fresh;
+    make_desc heap ~size:n ~shift
+      ~root:(Node.share heap (root_of heap v))
+      ~tail:(Pmem.Word.of_ptr fresh)
+  end
+  else begin
+    let root' =
+      do_assoc heap shift (Pmem.Word.to_ptr (root_of heap v)) i w
+    in
+    make_desc heap ~size:n ~shift ~root:root'
+      ~tail:(Node.share heap (tail_of heap v))
+  end
+
+(* Remove the last leaf from the tree; returns the owned new subtree word
+   (null when the subtree empties).  [size] is the pre-pop element count. *)
+let rec pop_tail heap size level node =
+  let subidx = ((size - 2) lsr level) land mask in
+  if level > bits then begin
+    let child =
+      pop_tail heap size (level - bits)
+        (Pmem.Word.to_ptr (Node.get heap node subidx))
+    in
+    if Pmem.Word.is_null child && subidx = 0 then Pmem.Word.null
+    else clone_with heap node subidx child
+  end
+  else if subidx = 0 then Pmem.Word.null
+  else clone_with heap node subidx Pmem.Word.null
+
+let pop_back heap v =
+  let n = size heap v in
+  if n = 0 then invalid_arg "Pvec.pop_back: empty vector";
+  let shift = shift_of heap v in
+  let last = get heap v (n - 1) in
+  if n = 1 then (last, create heap)
+  else begin
+    let tail_len = n - tail_off n in
+    let desc =
+      if tail_len > 1 then begin
+        (* shrink the tail *)
+        let tail = Pmem.Word.to_ptr (tail_of heap v) in
+        let fresh = Node.alloc heap ~words:(tail_len - 1) in
+        Node.blit_shared heap ~src:tail ~soff:0 ~dst:fresh ~doff:0
+          ~len:(tail_len - 1);
+        Node.finish heap fresh;
+        make_desc heap ~size:(n - 1) ~shift
+          ~root:(Node.share heap (root_of heap v))
+          ~tail:(Pmem.Word.of_ptr fresh)
+      end
+      else begin
+        (* tail empties: the tree's last leaf becomes the new tail *)
+        let root = Pmem.Word.to_ptr (root_of heap v) in
+        let new_tail = leaf_for heap shift root (n - 2) in
+        Pmalloc.Heap.retain heap new_tail;
+        let root' = pop_tail heap n shift root in
+        let root', shift' =
+          if
+            shift > bits
+            && (not (Pmem.Word.is_null root'))
+            && Pmem.Word.is_null (Node.get heap (Pmem.Word.to_ptr root') 1)
+          then begin
+            (* collapse a one-child root level *)
+            let inner = Node.get heap (Pmem.Word.to_ptr root') 0 in
+            let inner = Node.share heap inner in
+            Pmalloc.Heap.release heap (Pmem.Word.to_ptr root');
+            (inner, shift - bits)
+          end
+          else (root', shift)
+        in
+        make_desc heap ~size:(n - 1) ~shift:shift' ~root:root'
+          ~tail:(Pmem.Word.of_ptr new_tail)
+      end
+    in
+    (last, desc)
+  end
+
+let iter heap v fn =
+  let n = size heap v in
+  for i = 0 to n - 1 do
+    fn (get heap v i)
+  done
+
+let to_list heap v =
+  let acc = ref [] in
+  iter heap v (fun w -> acc := w :: !acc);
+  List.rev !acc

@@ -1,0 +1,35 @@
+(** Persistent bit-partitioned vector in persistent memory (the radix core
+    of the RRB vector the paper's MOD vector uses; for the operations the
+    evaluation exercises -- push_back, update, read, pop_back -- the RRB
+    tree degenerates to this 32-way trie with a tail buffer).
+
+    Every update is pure: it path-copies O(log32 n) nodes, shares the
+    rest, flushes the fresh nodes with unordered clwbs, and returns an
+    owned new descriptor.  This tree-vs-flat-array trade is exactly why
+    the paper's vector workloads favour PMDK (Sections 6.3-6.5). *)
+
+type root = Pmem.Word.t
+(** A vector version: pointer to a [size; shift; root; tail] descriptor. *)
+
+val create : Pmalloc.Heap.t -> root
+(** An owned empty-vector version. *)
+
+val size : Pmalloc.Heap.t -> root -> int
+val is_empty : Pmalloc.Heap.t -> root -> bool
+
+val get : Pmalloc.Heap.t -> root -> int -> Pmem.Word.t
+(** O(log32 n); raises [Invalid_argument] out of bounds. *)
+
+val push_back : Pmalloc.Heap.t -> root -> Pmem.Word.t -> root
+(** Append an owned value word; amortized O(1) fresh nodes thanks to the
+    tail buffer. *)
+
+val set : Pmalloc.Heap.t -> root -> int -> Pmem.Word.t -> root
+(** Point update by path copying. *)
+
+val pop_back : Pmalloc.Heap.t -> root -> Pmem.Word.t * root
+(** Remove the last element; returns it (borrowed) and an owned new
+    version.  Raises [Invalid_argument] on an empty vector. *)
+
+val iter : Pmalloc.Heap.t -> root -> (Pmem.Word.t -> unit) -> unit
+val to_list : Pmalloc.Heap.t -> root -> Pmem.Word.t list

@@ -1,0 +1,37 @@
+(** Relaxed Radix Balanced (RRB) sequence in persistent memory.
+
+    The relaxed layer of the paper's vector (Stucki et al., ICFP'15 --
+    reference [44]): interior nodes carry size tables, enabling O(log n)
+    concatenation and slicing with structural sharing.  {!Pvec} remains
+    the operation set the paper's evaluation measures; this module covers
+    the rest of the RRB interface.  All operations are pure: owned
+    results, borrowed arguments, unordered clwbs, no fences. *)
+
+type root = Pmem.Word.t
+(** A sequence version: pointer to a [size; height; root] descriptor. *)
+
+val create : Pmalloc.Heap.t -> root
+(** An owned empty sequence. *)
+
+val of_words : Pmalloc.Heap.t -> Pmem.Word.t list -> root
+(** Build a sequence from owned value words (bulk load). *)
+
+val size : Pmalloc.Heap.t -> root -> int
+val is_empty : Pmalloc.Heap.t -> root -> bool
+
+val get : Pmalloc.Heap.t -> root -> int -> Pmem.Word.t
+(** Size-table descent; raises [Invalid_argument] out of bounds. *)
+
+val set : Pmalloc.Heap.t -> root -> int -> Pmem.Word.t -> root
+(** Point update by path copying. *)
+
+val push_back : Pmalloc.Heap.t -> root -> Pmem.Word.t -> root
+
+val concat : Pmalloc.Heap.t -> root -> root -> root
+(** [concat heap a b] is [a @ b]; both arguments are fully shared. *)
+
+val slice : Pmalloc.Heap.t -> root -> pos:int -> len:int -> root
+(** The subsequence [pos, pos+len); the original is untouched. *)
+
+val iter : Pmalloc.Heap.t -> root -> (Pmem.Word.t -> unit) -> unit
+val to_list : Pmalloc.Heap.t -> root -> Pmem.Word.t list

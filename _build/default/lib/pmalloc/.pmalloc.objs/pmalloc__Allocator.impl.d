@@ -1,0 +1,1 @@
+lib/pmalloc/allocator.ml: Block Freelist Hashtbl Pmem Printf

@@ -1,0 +1,1 @@
+lib/pmalloc/allocator.mli: Block Pmem

@@ -1,0 +1,1 @@
+lib/pmalloc/block.ml: Pmem

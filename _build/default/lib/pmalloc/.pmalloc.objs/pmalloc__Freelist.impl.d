@@ -1,0 +1,1 @@
+lib/pmalloc/freelist.ml: Array Block List

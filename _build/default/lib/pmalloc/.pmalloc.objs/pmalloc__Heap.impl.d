@@ -1,0 +1,1 @@
+lib/pmalloc/heap.ml: Allocator Pmem Printf

@@ -1,0 +1,1 @@
+lib/pmalloc/heap.mli: Allocator Block Pmem

@@ -1,0 +1,1 @@
+lib/pmalloc/recovery_gc.ml: Allocator Block Format Hashtbl Heap List Pmem

@@ -1,0 +1,188 @@
+(** Persistent-memory allocator (the paper uses nvm_malloc in the same
+    role: recipe step 1, Section 4.2).
+
+    Allocation serves from segregated free lists, splitting large blocks,
+    and otherwise bumps a frontier, growing the simulated region on demand.
+    Headers are written through the normal store path so they become
+    durable together with the rest of the block when the owning
+    failure-atomic section flushes and fences.
+
+    Reference counts are deliberately volatile (paper Section 5.3: they
+    never need to be durable because recovery recomputes them), kept in an
+    OCaml-side table rather than in simulated PM so that the Section 5.4
+    trace checker sees no in-place PM writes from refcount maintenance. *)
+
+type t = {
+  region : Pmem.Region.t;
+  heap_start : int;
+  mutable frontier : int;
+  freelist : Freelist.t;
+  rc : (int, int) Hashtbl.t; (* body offset -> reference count *)
+  mutable live_words : int;
+  mutable high_water_words : int;
+  mutable allocations : int;
+  mutable frees : int;
+}
+
+let create region ~heap_start =
+  {
+    region;
+    heap_start;
+    frontier = heap_start;
+    freelist = Freelist.create ();
+    rc = Hashtbl.create 4096;
+    live_words = 0;
+    high_water_words = 0;
+    allocations = 0;
+    frees = 0;
+  }
+
+let region t = t.region
+let heap_start t = t.heap_start
+let frontier t = t.frontier
+let live_words t = t.live_words
+let high_water_words t = t.high_water_words
+let allocations t = t.allocations
+let frees t = t.frees
+let free_words t = Freelist.free_words t.freelist
+
+let account_alloc t capacity =
+  t.live_words <- t.live_words + capacity;
+  if t.live_words > t.high_water_words then t.high_water_words <- t.live_words;
+  t.allocations <- t.allocations + 1
+
+(* Write the header of a fresh block.  Plain stores: the block's lines get
+   durable when the owning FASE flushes them and fences. *)
+let write_header t ~body ~capacity ~kind ~used =
+  let header = Block.header_of_body body in
+  Pmem.Region.store t.region header
+    (Block.encode_info ~capacity ~kind ~allocated:true);
+  Pmem.Region.store t.region (header + 1) (Block.encode_used used)
+
+let alloc t ~kind ~words =
+  if words <= 0 then invalid_arg "Allocator.alloc: empty block";
+  let capacity = max Block.min_capacity (words + Block.header_words) in
+  let body, capacity =
+    match Freelist.take_exact t.freelist capacity with
+    | Some e -> (e.Freelist.body, e.Freelist.capacity)
+    | None -> (
+        match Freelist.take_at_least t.freelist capacity with
+        | Some e ->
+            let spare = e.Freelist.capacity - capacity in
+            if spare >= Block.min_capacity then begin
+              (* split: give back the tail of the block *)
+              let tail_header = Block.header_of_body e.Freelist.body + capacity in
+              Freelist.insert t.freelist
+                ~body:(Block.body_of_header tail_header)
+                ~capacity:spare;
+              (e.Freelist.body, capacity)
+            end
+            else (e.Freelist.body, e.Freelist.capacity)
+        | None ->
+            let header = t.frontier in
+            t.frontier <- t.frontier + capacity;
+            Pmem.Region.ensure_capacity t.region t.frontier;
+            (Block.body_of_header header, capacity))
+  in
+  (* Declare the allocation before the header stores so the trace shows
+     every write landing in already-allocated-fresh memory. *)
+  Pmem.Trace.emit
+    (Pmem.Region.trace t.region)
+    (Pmem.Trace.Alloc { off = Block.header_of_body body; words = capacity });
+  write_header t ~body ~capacity ~kind ~used:words;
+  account_alloc t capacity;
+  Hashtbl.replace t.rc body 1;
+  body
+
+let block_info t body =
+  let header = Block.header_of_body body in
+  Block.decode_info (Pmem.Region.peek_current t.region header)
+
+let capacity_of t body =
+  let capacity, _, _ = block_info t body in
+  capacity
+
+let kind_of t body =
+  let _, kind, _ = block_info t body in
+  kind
+
+let used_of t body =
+  Block.decode_used
+    (Pmem.Region.peek_current t.region (Block.header_of_body body + 1))
+
+(* Liveness is tracked in the volatile rc table (every live block has an
+   entry, even refcount-free STM blocks): freeing must not write PM, or
+   reclamation after a commit would look like an in-place write to the
+   Section 5.4 checker.  Recovery never reads a free bit either --
+   reachability decides. *)
+let is_allocated t body = Hashtbl.mem t.rc body
+
+let free t body =
+  let header = Block.header_of_body body in
+  let capacity, _kind, _ =
+    Block.decode_info (Pmem.Region.peek_current t.region header)
+  in
+  if not (Hashtbl.mem t.rc body) then
+    invalid_arg (Printf.sprintf "Allocator.free: double free at %d" body);
+  Hashtbl.remove t.rc body;
+  Freelist.insert t.freelist ~body ~capacity;
+  t.live_words <- t.live_words - capacity;
+  t.frees <- t.frees + 1;
+  Pmem.Trace.emit
+    (Pmem.Region.trace t.region)
+    (Pmem.Trace.Free { off = header; words = capacity })
+
+(* Flush every cacheline of a block (header + initialized body) with
+   weakly-ordered clwb instructions; no fence (recipe step 3). *)
+let flush_block t body =
+  let header = Block.header_of_body body in
+  let used = used_of t body in
+  Pmem.Region.clwb_range t.region header (Block.header_words + used)
+
+let rc_get t body = try Hashtbl.find t.rc body with Not_found -> 0
+
+let rc_incr t body =
+  Hashtbl.replace t.rc body (rc_get t body + 1)
+
+let rc_decr t body =
+  let n = rc_get t body - 1 in
+  if n < 0 then invalid_arg "Allocator.rc_decr: count underflow";
+  Hashtbl.replace t.rc body n;
+  n
+
+let rc_set t body n = Hashtbl.replace t.rc body n
+
+(* Drop a reference to [body]; when the count reaches zero, release the
+   block's children (for Scanned blocks) and free it.  This is the
+   reclamation step of CommitSingle and friends (Section 5.3). *)
+let rec release t body =
+  if rc_decr t body = 0 then begin
+    (match kind_of t body with
+    | Block.Scanned ->
+        let used = used_of t body in
+        for i = 0 to used - 1 do
+          let w = Pmem.Region.load t.region (body + i) in
+          if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then
+            release t (Pmem.Word.to_ptr w)
+        done
+    | Block.Raw -> ());
+    free t body
+  end
+
+let retain t body = rc_incr t body
+
+(* Recovery support: wipe all volatile allocator state and reinstall it
+   from the reachability analysis. *)
+let recovery_reset t ~frontier =
+  Freelist.clear t.freelist;
+  Hashtbl.reset t.rc;
+  t.live_words <- 0;
+  t.frontier <- frontier
+
+let recovery_insert_free t ~body ~capacity =
+  Freelist.insert t.freelist ~body ~capacity
+
+let recovery_declare_live t ~body ~capacity ~rc =
+  Hashtbl.replace t.rc body rc;
+  t.live_words <- t.live_words + capacity;
+  if t.live_words > t.high_water_words then t.high_water_words <- t.live_words

@@ -1,0 +1,57 @@
+(** Persistent-memory allocator (the role nvm_malloc plays in the paper,
+    Section 4.2 recipe step 1).
+
+    Serves from segregated free lists with splitting, else bumps a
+    frontier, growing the simulated region on demand.  Block headers are
+    written through the normal store path and become durable with the rest
+    of the block when the owning FASE flushes and fences.
+
+    All bookkeeping that recovery can reconstruct is volatile: free lists,
+    the frontier, and the reference counts (paper Section 5.3) -- so
+    freeing and refcounting never write PM, and the Section 5.4 checker
+    sees no in-place writes from reclamation. *)
+
+type t
+
+val create : Pmem.Region.t -> heap_start:int -> t
+
+val alloc : t -> kind:Block.kind -> words:int -> int
+(** Allocate a block with [words] usable body words; returns the body
+    offset.  The fresh block has reference count 1 (the owned reference
+    handed to whoever installs the pointer). *)
+
+val free : t -> int -> unit
+(** Return a block to the free lists.  Raises on double free. *)
+
+val release : t -> int -> unit
+(** Drop a reference; at zero, recursively release pointer children (of
+    [Scanned] blocks) and free.  CommitSingle's reclamation step. *)
+
+val retain : t -> int -> unit
+val rc_get : t -> int -> int
+val rc_incr : t -> int -> unit
+val rc_decr : t -> int -> int
+val rc_set : t -> int -> int -> unit
+
+val flush_block : t -> int -> unit
+(** clwb header + initialized body; no fence (recipe step 3). *)
+
+val capacity_of : t -> int -> int
+val used_of : t -> int -> int
+val kind_of : t -> int -> Block.kind
+val is_allocated : t -> int -> bool
+
+val region : t -> Pmem.Region.t
+val heap_start : t -> int
+val frontier : t -> int
+val live_words : t -> int
+val high_water_words : t -> int
+val allocations : t -> int
+val frees : t -> int
+val free_words : t -> int
+
+(** {1 Recovery support} ({!Recovery_gc})} *)
+
+val recovery_reset : t -> frontier:int -> unit
+val recovery_insert_free : t -> body:int -> capacity:int -> unit
+val recovery_declare_live : t -> body:int -> capacity:int -> rc:int -> unit

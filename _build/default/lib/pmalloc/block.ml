@@ -1,0 +1,35 @@
+(** Persistent-heap block headers.
+
+    Every heap block carries a two-word header immediately before its body:
+    - word 0: physical capacity (in words, including the header), the block
+      kind, and an allocated bit;
+    - word 1: the number of body words the owner actually initialized (the
+      scan limit for the recovery garbage collector).
+
+    Pointers handed to clients address the {e body}; the header lives at
+    [body - header_words].  [Scanned] blocks contain only tagged words
+    ({!Pmem.Word}), so reachability can be computed generically; [Raw]
+    blocks hold opaque payload (string blobs) that must never be
+    interpreted as pointers. *)
+
+type kind = Scanned | Raw
+
+let header_words = 2
+let min_capacity = header_words + 2
+
+let kind_to_bit = function Scanned -> 0 | Raw -> 1
+let kind_of_bit = function 0 -> Scanned | _ -> Raw
+
+let encode_info ~capacity ~kind ~allocated =
+  Pmem.Word.of_int
+    ((capacity lsl 2) lor (kind_to_bit kind lsl 1) lor (if allocated then 1 else 0))
+
+let decode_info w =
+  let v = Pmem.Word.to_int w in
+  (v lsr 2, kind_of_bit ((v lsr 1) land 1), v land 1 = 1)
+
+let encode_used used = Pmem.Word.of_int used
+let decode_used w = Pmem.Word.to_int w
+
+let header_of_body body = body - header_words
+let body_of_header header = header + header_words

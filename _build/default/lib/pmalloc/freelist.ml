@@ -1,0 +1,108 @@
+(** Segregated free lists for the persistent-memory allocator.
+
+    The lists themselves are volatile (ordinary OCaml state): after a crash
+    they are reconstructed by the recovery garbage collector from the gaps
+    between reachable blocks, exactly as the paper's reclamation design
+    permits (Section 5.3: only reachability needs to be durable).
+
+    Bins hold [(body_offset, capacity)] pairs.  Capacities up to
+    [exact_max] get an exact-fit bin each; larger blocks fall into
+    power-of-two buckets that are searched first-fit and split. *)
+
+let exact_max = 64
+let buckets = 24 (* power-of-two classes above exact_max *)
+
+type entry = { body : int; capacity : int }
+
+type t = {
+  exact : entry list array; (* index = capacity, 0..exact_max *)
+  coarse : entry list array; (* index = log2 class *)
+  mutable free_words : int;
+}
+
+let create () =
+  {
+    exact = Array.make (exact_max + 1) [];
+    coarse = Array.make buckets [];
+    free_words = 0;
+  }
+
+let clear t =
+  Array.fill t.exact 0 (Array.length t.exact) [];
+  Array.fill t.coarse 0 (Array.length t.coarse) [];
+  t.free_words <- 0
+
+let bucket_of capacity =
+  let rec log2 n acc = if n <= exact_max then acc else log2 (n lsr 1) (acc + 1) in
+  min (buckets - 1) (log2 capacity 0)
+
+let insert t ~body ~capacity =
+  if capacity >= Block.min_capacity then begin
+    let e = { body; capacity } in
+    if capacity <= exact_max then t.exact.(capacity) <- e :: t.exact.(capacity)
+    else begin
+      let b = bucket_of capacity in
+      t.coarse.(b) <- e :: t.coarse.(b)
+    end;
+    t.free_words <- t.free_words + capacity
+  end
+
+let free_words t = t.free_words
+
+(* Take a block of exactly [capacity] words if one is on an exact bin. *)
+let take_exact t capacity =
+  if capacity <= exact_max then
+    match t.exact.(capacity) with
+    | e :: rest ->
+        t.exact.(capacity) <- rest;
+        t.free_words <- t.free_words - capacity;
+        Some e
+    | [] -> None
+  else None
+
+(* First-fit search of the coarse buckets for a block of at least
+   [capacity] words.  The found block is removed; the caller splits. *)
+let take_at_least t capacity =
+  let found = ref None in
+  let b = ref (bucket_of capacity) in
+  while !found = None && !b < buckets do
+    let keep = ref [] in
+    let rec scan = function
+      | [] -> ()
+      | e :: rest ->
+          if !found = None && e.capacity >= capacity then begin
+            found := Some e;
+            keep := List.rev_append !keep rest
+          end
+          else begin
+            keep := e :: !keep;
+            scan rest
+          end
+    in
+    let original = t.coarse.(!b) in
+    scan original;
+    (match !found with
+    | Some e ->
+        t.coarse.(!b) <- List.rev !keep;
+        t.free_words <- t.free_words - e.capacity
+    | None -> ());
+    incr b
+  done;
+  (* Fall back to scavenging larger exact bins. *)
+  if !found = None && capacity <= exact_max then begin
+    let c = ref capacity in
+    while !found = None && !c <= exact_max do
+      (match t.exact.(!c) with
+      | e :: rest ->
+          t.exact.(!c) <- rest;
+          t.free_words <- t.free_words - e.capacity;
+          found := Some e
+      | [] -> ());
+      incr c
+    done
+  end;
+  !found
+
+let iter t fn =
+  Array.iter (fun l -> List.iter fn l) t.exact;
+  Array.iter (fun l -> List.iter fn l) t.coarse

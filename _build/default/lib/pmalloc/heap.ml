@@ -1,0 +1,56 @@
+(** A persistent heap: a simulated PM region, an allocator, and a small
+    durable root directory through which applications locate their
+    recoverable datastructures across crashes (the paper's "root pointer,
+    one for each persistent heap", Section 5.1). *)
+
+let root_slots = 64
+
+type t = { region : Pmem.Region.t; allocator : Allocator.t }
+
+let region t = t.region
+let allocator t = t.allocator
+let stats t = Pmem.Region.stats t.region
+let trace t = Pmem.Region.trace t.region
+
+let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
+  let region = Pmem.Region.create ~capacity_words ~trace ~seed () in
+  let t = { region; allocator = Allocator.create region ~heap_start:root_slots } in
+  (* Fresh heap: all root slots start as durable null pointers. *)
+  for slot = 0 to root_slots - 1 do
+    Pmem.Region.store region slot Pmem.Word.null
+  done;
+  Pmem.Region.clwb_range region 0 root_slots;
+  Pmem.Region.sfence region;
+  Pmem.Stats.reset (Pmem.Region.stats region);
+  Pmem.Trace.clear (Pmem.Region.trace region);
+  t
+
+let check_slot slot =
+  if slot < 0 || slot >= root_slots then
+    invalid_arg (Printf.sprintf "Heap: root slot %d out of range" slot)
+
+let root_get t slot =
+  check_slot slot;
+  Pmem.Region.load t.region slot
+
+(* The 8-byte atomic root update at the heart of Commit: a single store
+   plus a weakly-ordered flush.  The flush is ordered by the *next* FASE's
+   fence (epoch persistency, Section 5.1) -- losing it in a crash merely
+   re-exposes the previous consistent version. *)
+let root_set t slot w =
+  check_slot slot;
+  Pmem.Region.store t.region slot w;
+  Pmem.Region.clwb t.region slot
+
+let alloc t ~kind ~words = Allocator.alloc t.allocator ~kind ~words
+let free t body = Allocator.free t.allocator body
+let release t body = Allocator.release t.allocator body
+let retain t body = Allocator.retain t.allocator body
+let flush_block t body = Allocator.flush_block t.allocator body
+
+let load t off = Pmem.Region.load t.region off
+let store t off w = Pmem.Region.store t.region off w
+let clwb t off = Pmem.Region.clwb t.region off
+let clwb_range t off words = Pmem.Region.clwb_range t.region off words
+let sfence t = Pmem.Region.sfence t.region
+let crash ?mode t = Pmem.Region.crash ?mode t.region

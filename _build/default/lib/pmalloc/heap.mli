@@ -1,0 +1,46 @@
+(** A persistent heap: simulated PM region + allocator + a durable root
+    directory through which applications locate their recoverable
+    datastructures across crashes (the paper's per-heap "root pointer",
+    Section 5.1). *)
+
+type t
+
+val root_slots : int
+(** Number of root-directory slots (word 0 .. root_slots-1 of the region). *)
+
+val create : ?capacity_words:int -> ?trace:bool -> ?seed:int -> unit -> t
+(** Fresh heap with all root slots durably null.  [trace] enables the
+    Section 5.4 event trace; [seed] drives crash nondeterminism. *)
+
+val region : t -> Pmem.Region.t
+val allocator : t -> Allocator.t
+val stats : t -> Pmem.Stats.t
+val trace : t -> Pmem.Trace.t
+
+val root_get : t -> int -> Pmem.Word.t
+(** Read a root slot (a persistent pointer or null). *)
+
+val root_set : t -> int -> Pmem.Word.t -> unit
+(** The 8-byte atomic root update at the heart of Commit: one store plus a
+    weakly-ordered flush; the flush is ordered by the {e next} fence
+    (epoch persistency) -- losing it in a crash merely re-exposes the
+    previous consistent version. *)
+
+val alloc : t -> kind:Block.kind -> words:int -> int
+(** Allocate a block; returns the body offset.  The fresh block carries
+    one owned reference. *)
+
+val free : t -> int -> unit
+val release : t -> int -> unit
+(** Drop a reference; at zero, recursively release children and free. *)
+
+val retain : t -> int -> unit
+val flush_block : t -> int -> unit
+(** clwb every cacheline of a block (header + initialized body); no fence. *)
+
+val load : t -> int -> Pmem.Word.t
+val store : t -> int -> Pmem.Word.t -> unit
+val clwb : t -> int -> unit
+val clwb_range : t -> int -> int -> unit
+val sfence : t -> unit
+val crash : ?mode:Pmem.Region.crash_mode -> t -> unit

@@ -1,0 +1,1 @@
+lib/pmem/cache.ml: Array Config

@@ -1,0 +1,1 @@
+lib/pmem/region.ml: Array Cache Config Latency Printf Random Stats Trace Word

@@ -1,0 +1,1 @@
+lib/pmem/region.mli: Cache Stats Trace Word

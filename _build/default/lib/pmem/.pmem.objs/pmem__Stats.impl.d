@@ -1,0 +1,1 @@
+lib/pmem/stats.ml: Format Fun Hashtbl

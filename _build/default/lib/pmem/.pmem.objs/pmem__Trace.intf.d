@@ -1,0 +1,1 @@
+lib/pmem/trace.mli: Format

@@ -1,0 +1,1 @@
+lib/pmem/word.ml: Format

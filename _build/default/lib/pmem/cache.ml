@@ -1,0 +1,102 @@
+(** Set-associative L1D cache simulator.
+
+    Used for two purposes:
+    - Figure 11: L1D miss ratios of PMDK vs MOD workloads.  The paper
+      attributes MOD's higher miss ratios on map/set/vector to pointer-based
+      tree layouts; modelling a 32KB 8-way L1D reproduces that effect.
+    - Crash realism: evicting a dirty persistent-memory line writes it back
+      to the durable image, exactly as hardware cache replacement can make
+      un-flushed data durable at arbitrary times. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  tags : int array; (* sets * ways; -1 = invalid. tag = line address *)
+  dirty : bool array;
+  last_use : int array; (* LRU timestamps *)
+  mutable tick : int;
+}
+
+let create ?(sets = Config.l1d_sets) ?(ways = Config.l1d_ways) () =
+  {
+    sets;
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    dirty = Array.make (sets * ways) false;
+    last_use = Array.make (sets * ways) 0;
+    tick = 0;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.last_use 0 (Array.length t.last_use) 0;
+  t.tick <- 0
+
+let set_of t line = line mod t.sets
+
+(* Returns [true] on hit.  On a miss the LRU way of the set is evicted; if
+   it held a dirty line, [writeback] is called with that line address before
+   the new line is installed. *)
+let access t ~writeback ~line ~write =
+  t.tick <- t.tick + 1;
+  let base = set_of t line * t.ways in
+  let hit_way = ref (-1) in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) = line then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    let i = base + !hit_way in
+    t.last_use.(i) <- t.tick;
+    if write then t.dirty.(i) <- true;
+    true
+  end
+  else begin
+    (* choose victim: first invalid way, else least-recently-used *)
+    let victim = ref 0 in
+    let found_invalid = ref false in
+    for w = 0 to t.ways - 1 do
+      if (not !found_invalid) && t.tags.(base + w) = -1 then begin
+        victim := w;
+        found_invalid := true
+      end
+    done;
+    if not !found_invalid then begin
+      let best = ref max_int in
+      for w = 0 to t.ways - 1 do
+        if t.last_use.(base + w) < !best then begin
+          best := t.last_use.(base + w);
+          victim := w
+        end
+      done
+    end;
+    let i = base + !victim in
+    if t.tags.(i) >= 0 && t.dirty.(i) then writeback t.tags.(i);
+    t.tags.(i) <- line;
+    t.dirty.(i) <- write;
+    t.last_use.(i) <- t.tick;
+    false
+  end
+
+(* Mark a line clean in the cache (its data has been written back by a
+   clwb+sfence), without evicting it: clwb writes back but need not evict. *)
+let mark_clean t ~line =
+  let base = set_of t line * t.ways in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) = line then t.dirty.(base + w) <- false
+  done
+
+let resident t ~line =
+  let base = set_of t line * t.ways in
+  let found = ref false in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) = line then found := true
+  done;
+  !found
+
+let dirty_lines t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i tag -> if tag >= 0 && t.dirty.(i) then acc := tag :: !acc)
+    t.tags;
+  !acc

@@ -1,0 +1,37 @@
+(** Analytical flush-latency model (Section 3 of the paper).
+
+    The paper measures one clwb + one sfence at 353 ns on Optane DCPMM and
+    fits the benefit of overlapping N flushes under one fence with Amdahl's
+    law via the Karp-Flatt metric: flushes act [f = 0.82] parallel and
+    [1 - f = 0.18] serial.  The average per-flush latency is then
+
+      avg(N) = T1 * ((1 - f) + f / N)
+
+    and a fence draining N in-flight lines stalls the CPU for
+
+      stall(N) = N * avg(N) = T1 * ((1 - f) * N + f).
+
+    This closed form is both the "amdahl" line of Figure 4 and the timing
+    charged by the simulated hardware, so the simulator reproduces the
+    paper's ordering-cost trade-off by construction. *)
+
+let t1 = Config.flush_fence_ns
+let f = Config.flush_parallel_fraction
+
+let amdahl_avg_ns n =
+  if n <= 0 then invalid_arg "Latency.amdahl_avg_ns";
+  t1 *. ((1.0 -. f) +. (f /. float_of_int n))
+
+let fence_stall_ns ~inflight =
+  if inflight <= 0 then Config.fence_base_ns
+  else t1 *. (((1.0 -. f) *. float_of_int inflight) +. f)
+
+type load_level = L1 | L2 | Llc | Pm
+
+let load_ns = function
+  | L1 -> Config.l1_hit_ns
+  | L2 -> Config.l2_hit_ns
+  | Llc -> Config.llc_hit_ns
+  | Pm -> Config.pm_read_ns
+
+let store_ns = Config.store_ns

@@ -1,0 +1,221 @@
+type line_state = Clean | Dirty | Flushing
+
+type crash_mode = Drop_inflight | Keep_inflight | Randomize
+
+type t = {
+  mutable current : int array; (* the CPU's coherent view *)
+  mutable durable : int array; (* what Optane DCPMM holds *)
+  mutable state : line_state array; (* per cacheline *)
+  mutable capacity : int; (* in words *)
+  cache : Cache.t; (* L1D: drives miss ratios and eviction writebacks *)
+  l2 : Cache.t; (* latency modelling only *)
+  llc : Cache.t; (* latency modelling only *)
+  stats : Stats.t;
+  trace : Trace.t;
+  rng : Random.State.t;
+  mutable inflight : int;
+  (* ablation knob: order every clwb individually, as if each flush were
+     followed by its own sfence (the paper's Section 3 worst case) *)
+  mutable fence_per_flush : bool;
+}
+
+let line_of_word off = off lsr Config.line_shift
+
+let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
+  let cap = max capacity_words Config.words_per_line in
+  let lines = (cap + Config.words_per_line - 1) / Config.words_per_line in
+  {
+    current = Array.make cap 0;
+    durable = Array.make cap 0;
+    state = Array.make lines Clean;
+    capacity = cap;
+    cache = Cache.create ();
+    l2 = Cache.create ~sets:Config.l2_sets ~ways:Config.l2_ways ();
+    llc = Cache.create ~sets:Config.llc_sets ~ways:Config.llc_ways ();
+    stats = Stats.create ();
+    trace = Trace.create ~enabled:trace;
+    rng = Random.State.make [| seed |];
+    inflight = 0;
+    fence_per_flush = false;
+  }
+
+let stats t = t.stats
+let trace t = t.trace
+let cache t = t.cache
+let capacity_words t = t.capacity
+let inflight t = t.inflight
+
+let ensure_capacity t n =
+  if n > t.capacity then begin
+    let cap = ref t.capacity in
+    while n > !cap do
+      cap := !cap * 2
+    done;
+    let cap = !cap in
+    let grow arr =
+      let bigger = Array.make cap 0 in
+      Array.blit arr 0 bigger 0 t.capacity;
+      bigger
+    in
+    t.current <- grow t.current;
+    t.durable <- grow t.durable;
+    let lines = (cap + Config.words_per_line - 1) / Config.words_per_line in
+    let st = Array.make lines Clean in
+    Array.blit t.state 0 st 0 (Array.length t.state);
+    t.state <- st;
+    t.capacity <- cap
+  end
+
+let check_off t off fn =
+  if off < 0 || off >= t.capacity then
+    invalid_arg (Printf.sprintf "Region.%s: offset %d out of bounds" fn off)
+
+(* Copy the volatile contents of [line] into the durable image. *)
+let writeback_line t line =
+  let base = line lsl Config.line_shift in
+  let len = min Config.words_per_line (t.capacity - base) in
+  Array.blit t.current base t.durable base len
+
+(* Cache-eviction callback: hardware replacement writes the victim's data
+   back to PM, incidentally making it durable. *)
+let evict_writeback t victim_line =
+  if victim_line < Array.length t.state then begin
+    writeback_line t victim_line;
+    (match t.state.(victim_line) with
+    | Flushing -> t.inflight <- t.inflight - 1
+    | Dirty | Clean -> ());
+    t.state.(victim_line) <- Clean
+  end
+
+let no_writeback _ = ()
+
+(* Walk the cache hierarchy for latency purposes.  Durability only cares
+   about L1D evictions (a dirty line leaving L1D is written back to PM,
+   conservatively); L2 and LLC model where a miss is served from. *)
+let touch_cache t off ~write =
+  let line = line_of_word off in
+  let hit = Cache.access t.cache ~writeback:(evict_writeback t) ~line ~write in
+  if hit then begin
+    t.stats.Stats.l1_hits <- t.stats.Stats.l1_hits + 1;
+    Latency.L1
+  end
+  else begin
+    t.stats.Stats.l1_misses <- t.stats.Stats.l1_misses + 1;
+    if Cache.access t.l2 ~writeback:no_writeback ~line ~write:false then
+      Latency.L2
+    else if Cache.access t.llc ~writeback:no_writeback ~line ~write:false then
+      Latency.Llc
+    else Latency.Pm
+  end
+
+let load t off =
+  check_off t off "load";
+  let level = touch_cache t off ~write:false in
+  t.stats.Stats.loads <- t.stats.Stats.loads + 1;
+  Stats.advance t.stats (Latency.load_ns level);
+  Word.raw t.current.(off)
+
+let store t off w =
+  check_off t off "store";
+  ignore (touch_cache t off ~write:true : Latency.load_level);
+  t.stats.Stats.stores <- t.stats.Stats.stores + 1;
+  Stats.advance t.stats Latency.store_ns;
+  t.current.(off) <- Word.bits w;
+  let line = line_of_word off in
+  (match t.state.(line) with
+  | Clean -> t.state.(line) <- Dirty
+  | Dirty -> ()
+  | Flushing ->
+      (* The launched writeback raced with this store; the line must be
+         flushed again before it can be considered durable. *)
+      t.inflight <- t.inflight - 1;
+      t.state.(line) <- Dirty);
+  Trace.emit t.trace (Trace.Write { off })
+
+let rec clwb t off =
+  check_off t off "clwb";
+  let line = line_of_word off in
+  t.stats.Stats.clwbs <- t.stats.Stats.clwbs + 1;
+  Trace.emit t.trace (Trace.Flush { line });
+  (match t.state.(line) with
+  | Dirty ->
+      t.state.(line) <- Flushing;
+      t.inflight <- t.inflight + 1
+  | Clean | Flushing -> ());
+  if t.fence_per_flush then sfence t
+
+and sfence t =
+  let drained = t.inflight in
+  Array.iteri
+    (fun line st ->
+      match st with
+      | Flushing ->
+          writeback_line t line;
+          t.state.(line) <- Clean;
+          Cache.mark_clean t.cache ~line
+      | Clean | Dirty -> ())
+    t.state;
+  t.inflight <- 0;
+  Stats.record_fence t.stats ~drained;
+  Stats.advance_in t.stats Stats.Flush (Latency.fence_stall_ns ~inflight:drained);
+  Trace.emit t.trace Trace.Fence
+
+let clwb_range t off words =
+  if words > 0 then begin
+    let first = line_of_word off in
+    let last = line_of_word (off + words - 1) in
+    for line = first to last do
+      clwb t (line lsl Config.line_shift)
+    done
+  end
+
+let set_fence_per_flush t enabled = t.fence_per_flush <- enabled
+
+let crash ?(mode = Randomize) t =
+  Array.iteri
+    (fun line st ->
+      let survives =
+        match (st, mode) with
+        | Clean, _ -> false (* already durable, nothing in flight *)
+        | Flushing, Keep_inflight -> true
+        | Flushing, Drop_inflight -> false
+        | Flushing, Randomize -> Random.State.bool t.rng
+        | Dirty, Keep_inflight -> false
+        | Dirty, Drop_inflight -> false
+        | Dirty, Randomize ->
+            (* a dirty, never-flushed line reaches PM only if the cache
+               happened to evict it; make that rarer than in-flight lines *)
+            Random.State.int t.rng 4 = 0
+      in
+      if survives then writeback_line t line;
+      t.state.(line) <- Clean)
+    t.state;
+  t.inflight <- 0;
+  Array.blit t.durable 0 t.current 0 t.capacity;
+  Cache.reset t.cache;
+  Cache.reset t.l2;
+  Cache.reset t.llc;
+  Trace.emit t.trace Trace.Crash
+
+let durable_load t off =
+  check_off t off "durable_load";
+  t.stats.Stats.loads <- t.stats.Stats.loads + 1;
+  Stats.advance t.stats (Latency.load_ns Latency.Pm);
+  Word.raw t.durable.(off)
+
+let peek_durable t off =
+  check_off t off "peek_durable";
+  Word.raw t.durable.(off)
+
+let peek_current t off =
+  check_off t off "peek_current";
+  Word.raw t.current.(off)
+
+let is_durable_line t line =
+  let base = line lsl Config.line_shift in
+  let len = min Config.words_per_line (t.capacity - base) in
+  let same = ref true in
+  for i = base to base + len - 1 do
+    if t.current.(i) <> t.durable.(i) then same := false
+  done;
+  !same

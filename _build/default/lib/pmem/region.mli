@@ -1,0 +1,73 @@
+(** Simulated persistent-memory region.
+
+    The region is a word-addressable array with per-cacheline durability
+    state, modelling a CPU with a write-back L1D cache in front of Optane
+    DCPMM.  Stores land in the volatile view; [clwb] launches an unordered
+    background writeback of a line; [sfence] guarantees the completion of
+    all in-flight writebacks (charging the Amdahl stall of Section 3); a
+    [crash] loses everything volatile, randomizing the fate of lines whose
+    writeback had been launched or that may have been evicted. *)
+
+type t
+
+type crash_mode =
+  | Drop_inflight  (** no launched writeback completed: worst case *)
+  | Keep_inflight  (** every launched writeback completed: best case *)
+  | Randomize      (** each in-flight / dirty line flips a coin *)
+
+val create : ?capacity_words:int -> ?trace:bool -> ?seed:int -> unit -> t
+
+val stats : t -> Stats.t
+val trace : t -> Trace.t
+val cache : t -> Cache.t
+val capacity_words : t -> int
+
+val ensure_capacity : t -> int -> unit
+(** [ensure_capacity t n] grows the region so offsets below [n] are valid. *)
+
+val load : t -> int -> Word.t
+(** Cached load of the word at the given offset; charges hit or PM-miss
+    latency and updates the cache simulator. *)
+
+val store : t -> int -> Word.t -> unit
+(** Cached store; the target line becomes dirty (volatile until flushed or
+    evicted). An 8-byte store is atomic, as on x86-64. *)
+
+val clwb : t -> int -> unit
+(** Launch a writeback of the line containing the word offset.  Commits
+    instantly; the flush proceeds unordered in the background (Figure 3). *)
+
+val clwb_range : t -> int -> int -> unit
+(** [clwb_range t off words] issues [clwb] once per distinct line touched
+    by the range. *)
+
+val sfence : t -> unit
+(** Drain all in-flight writebacks to the durable image; stall per the
+    analytical model, attributed to the Flush phase. *)
+
+val inflight : t -> int
+(** Number of lines with a launched, un-fenced writeback. *)
+
+val set_fence_per_flush : t -> bool -> unit
+(** Ablation knob: when enabled, every [clwb] is immediately followed by
+    an [sfence], serializing all flushes (the Section 3 worst case). *)
+
+val crash : ?mode:crash_mode -> t -> unit
+(** Power failure: volatile state is lost.  Lines that were flushed and
+    fenced are durable; other dirty state survives per [mode].  After the
+    call, loads observe exactly the durable image. *)
+
+val durable_load : t -> int -> Word.t
+(** Read the durable image directly (recovery-time inspection; charges PM
+    read latency but does not disturb the cache simulator). *)
+
+val peek_durable : t -> int -> Word.t
+(** Read the durable image with no side effects at all (for tests). *)
+
+val peek_current : t -> int -> Word.t
+(** Read the volatile view with no side effects at all (for tests). *)
+
+val line_of_word : int -> int
+val is_durable_line : t -> int -> bool
+(** [is_durable_line t line] is true when the volatile and durable contents
+    of [line] agree (for tests). *)

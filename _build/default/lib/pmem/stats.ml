@@ -1,0 +1,153 @@
+(** Simulated-time and event accounting.
+
+    Execution time is split into the three phases of Figures 2 and 9:
+    - [Flush]: CPU stalls at ordering points waiting for in-flight
+      cacheline writebacks (including flushes of log entries);
+    - [Log]: time spent constructing and copying write-ahead-log entries;
+    - [Other]: everything else (computation, loads, stores).
+
+    The counters also feed Figure 10 (flushes and fences per operation),
+    Figure 11 (L1D miss ratios) and the Section 3 fence analysis. *)
+
+type phase = Flush | Log | Other
+
+type t = {
+  mutable now_ns : float;
+  mutable ns_flush : float;
+  mutable ns_log : float;
+  mutable ns_other : float;
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable clwbs : int;
+  mutable fences : int;
+  mutable lines_drained : int;
+  mutable log_writes : int;
+  mutable cur_phase : phase;
+  (* histogram: number of fences that drained exactly [n] in-flight lines *)
+  drain_histogram : (int, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    now_ns = 0.0;
+    ns_flush = 0.0;
+    ns_log = 0.0;
+    ns_other = 0.0;
+    loads = 0;
+    stores = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    clwbs = 0;
+    fences = 0;
+    lines_drained = 0;
+    log_writes = 0;
+    cur_phase = Other;
+    drain_histogram = Hashtbl.create 16;
+  }
+
+let reset t =
+  t.now_ns <- 0.0;
+  t.ns_flush <- 0.0;
+  t.ns_log <- 0.0;
+  t.ns_other <- 0.0;
+  t.loads <- 0;
+  t.stores <- 0;
+  t.l1_hits <- 0;
+  t.l1_misses <- 0;
+  t.clwbs <- 0;
+  t.fences <- 0;
+  t.lines_drained <- 0;
+  t.log_writes <- 0;
+  t.cur_phase <- Other;
+  Hashtbl.reset t.drain_histogram
+
+(* Advance simulated time, attributing it to the current phase. *)
+let advance t ns =
+  t.now_ns <- t.now_ns +. ns;
+  match t.cur_phase with
+  | Flush -> t.ns_flush <- t.ns_flush +. ns
+  | Log -> t.ns_log <- t.ns_log +. ns
+  | Other -> t.ns_other <- t.ns_other +. ns
+
+(* Advance simulated time, attributing it to a specific phase regardless of
+   the current one.  Fence stalls always count as Flush time. *)
+let advance_in t phase ns =
+  t.now_ns <- t.now_ns +. ns;
+  match phase with
+  | Flush -> t.ns_flush <- t.ns_flush +. ns
+  | Log -> t.ns_log <- t.ns_log +. ns
+  | Other -> t.ns_other <- t.ns_other +. ns
+
+let in_phase t phase f =
+  let saved = t.cur_phase in
+  t.cur_phase <- phase;
+  Fun.protect ~finally:(fun () -> t.cur_phase <- saved) f
+
+let record_fence t ~drained =
+  t.fences <- t.fences + 1;
+  t.lines_drained <- t.lines_drained + drained;
+  let prev = try Hashtbl.find t.drain_histogram drained with Not_found -> 0 in
+  Hashtbl.replace t.drain_histogram drained (prev + 1)
+
+let miss_ratio t =
+  let total = t.l1_hits + t.l1_misses in
+  if total = 0 then 0.0 else float_of_int t.l1_misses /. float_of_int total
+
+(** Immutable snapshot, used to compute per-operation deltas (Figure 10). *)
+type snapshot = {
+  s_now_ns : float;
+  s_ns_flush : float;
+  s_ns_log : float;
+  s_ns_other : float;
+  s_loads : int;
+  s_stores : int;
+  s_l1_hits : int;
+  s_l1_misses : int;
+  s_clwbs : int;
+  s_fences : int;
+  s_lines_drained : int;
+}
+
+let snapshot t =
+  {
+    s_now_ns = t.now_ns;
+    s_ns_flush = t.ns_flush;
+    s_ns_log = t.ns_log;
+    s_ns_other = t.ns_other;
+    s_loads = t.loads;
+    s_stores = t.stores;
+    s_l1_hits = t.l1_hits;
+    s_l1_misses = t.l1_misses;
+    s_clwbs = t.clwbs;
+    s_fences = t.fences;
+    s_lines_drained = t.lines_drained;
+  }
+
+let diff ~before ~after =
+  {
+    s_now_ns = after.s_now_ns -. before.s_now_ns;
+    s_ns_flush = after.s_ns_flush -. before.s_ns_flush;
+    s_ns_log = after.s_ns_log -. before.s_ns_log;
+    s_ns_other = after.s_ns_other -. before.s_ns_other;
+    s_loads = after.s_loads - before.s_loads;
+    s_stores = after.s_stores - before.s_stores;
+    s_l1_hits = after.s_l1_hits - before.s_l1_hits;
+    s_l1_misses = after.s_l1_misses - before.s_l1_misses;
+    s_clwbs = after.s_clwbs - before.s_clwbs;
+    s_fences = after.s_fences - before.s_fences;
+    s_lines_drained = after.s_lines_drained - before.s_lines_drained;
+  }
+
+let snapshot_miss_ratio s =
+  let total = s.s_l1_hits + s.s_l1_misses in
+  if total = 0 then 0.0 else float_of_int s.s_l1_misses /. float_of_int total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>time %.0f ns (flush %.0f, log %.0f, other %.0f)@ loads %d stores %d@ \
+     clwb %d sfence %d drained %d@ L1D hits %d misses %d (%.2f%%)@]"
+    t.now_ns t.ns_flush t.ns_log t.ns_other t.loads t.stores t.clwbs t.fences
+    t.lines_drained t.l1_hits t.l1_misses
+    (100.0 *. miss_ratio t)

@@ -1,0 +1,37 @@
+(** Tagged 8-byte persistent-memory words.
+
+    Every word stored in the simulated PM region through the typed API is
+    either a persistent pointer (a word offset into the region) or a 62-bit
+    signed scalar.  The tag lets the recovery garbage collector and the
+    reference-count machinery identify pointers without any per-datastructure
+    layout knowledge. *)
+
+type t = private int
+
+val null : t
+(** The null persistent pointer. *)
+
+val of_ptr : int -> t
+(** [of_ptr off] encodes the word offset [off >= 0] as a pointer. *)
+
+val to_ptr : t -> int
+(** Decodes a pointer; raises [Invalid_argument] on a scalar word. *)
+
+val of_int : int -> t
+(** Encodes a signed scalar (truncated to 62 bits). *)
+
+val to_int : t -> int
+(** Decodes a scalar; raises [Invalid_argument] on a pointer word. *)
+
+val is_ptr : t -> bool
+val is_null : t -> bool
+
+val raw : int -> t
+(** [raw bits] reinterprets untyped bits (blob payload) as a word. *)
+
+val bits : t -> int
+(** Raw bit pattern, for blob payloads and debugging. *)
+
+val zero : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pmstm/pm_array.ml: Pmalloc Pmem Printf Tx

@@ -1,0 +1,1 @@
+lib/pmstm/pm_ctree.ml: Option Pmalloc Pmem Tx

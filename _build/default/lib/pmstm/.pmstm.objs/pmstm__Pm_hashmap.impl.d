@@ -1,0 +1,1 @@
+lib/pmstm/pm_hashmap.ml: Option Pfds Pmalloc Pmem Tx

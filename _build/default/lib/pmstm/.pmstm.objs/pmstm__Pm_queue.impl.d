@@ -1,0 +1,1 @@
+lib/pmstm/pm_queue.ml: List Pmalloc Pmem Tx

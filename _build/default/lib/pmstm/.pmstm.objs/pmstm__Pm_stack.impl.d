@@ -1,0 +1,1 @@
+lib/pmstm/pm_stack.ml: List Pmalloc Pmem Tx

@@ -1,0 +1,1 @@
+lib/pmstm/tx.ml: Hashtbl List Pmalloc Pmem Printf Wal

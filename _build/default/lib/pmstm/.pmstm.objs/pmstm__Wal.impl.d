@@ -1,0 +1,1 @@
+lib/pmstm/wal.ml: Array Pmalloc Pmem

@@ -1,0 +1,95 @@
+(** PMDK-style transactional vector: a dense PM array updated in place.
+
+    This is the baseline the paper's vector and vec-swap workloads use --
+    a flat, contiguous layout where an element update snapshots one word
+    and writes one word, which is why PMDK wins the vector comparison
+    (Section 6.3: MOD's tree-based vector costs, not benefits).
+
+    Elements are scalar words (the workloads use 8-byte values); the data
+    block is [Raw] so stale capacity beyond [size] can never be mistaken
+    for pointers.
+
+    Layout: descriptor [size; capacity; data_ptr]; data block of
+    [capacity] words. *)
+
+let d_size = 0
+let d_capacity = 1
+let d_data = 2
+
+let create tx ~capacity =
+  if capacity <= 0 then invalid_arg "Pm_array.create";
+  let data = Tx.alloc tx ~kind:Pmalloc.Block.Raw ~words:capacity in
+  let desc = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:3 in
+  Tx.store_fresh tx (desc + d_size) (Pmem.Word.of_int 0);
+  Tx.store_fresh tx (desc + d_capacity) (Pmem.Word.of_int capacity);
+  Tx.store_fresh tx (desc + d_data) (Pmem.Word.of_ptr data);
+  desc
+
+let size heap desc = Pmem.Word.to_int (Pmalloc.Heap.load heap (desc + d_size))
+
+let capacity heap desc =
+  Pmem.Word.to_int (Pmalloc.Heap.load heap (desc + d_capacity))
+
+let data heap desc = Pmem.Word.to_ptr (Pmalloc.Heap.load heap (desc + d_data))
+
+let check_bounds heap desc i fn =
+  let n = size heap desc in
+  if i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Pm_array.%s: index %d out of bounds (%d)" fn i n)
+
+let get heap desc i =
+  check_bounds heap desc i "get";
+  Pmalloc.Heap.load heap (data heap desc + i)
+
+(* Point update: snapshot one element word, overwrite it. *)
+let set tx desc i w =
+  let heap = Tx.heap tx in
+  check_bounds heap desc i "set";
+  let off = data heap desc + i in
+  Tx.add tx ~off ~words:1;
+  Tx.store tx off w
+
+(* Swap two elements in one transaction: two snapshots, two stores
+   (the vec-swap workload, emulating canneal's main loop). *)
+let swap tx desc i j =
+  let heap = Tx.heap tx in
+  check_bounds heap desc i "swap";
+  check_bounds heap desc j "swap";
+  let d = data heap desc in
+  let vi = Pmalloc.Heap.load heap (d + i) in
+  let vj = Pmalloc.Heap.load heap (d + j) in
+  Tx.add tx ~off:(d + i) ~words:1;
+  Tx.add tx ~off:(d + j) ~words:1;
+  Tx.store tx (d + i) vj;
+  Tx.store tx (d + j) vi
+
+let grow tx desc =
+  let heap = Tx.heap tx in
+  let cap = capacity heap desc in
+  let old = data heap desc in
+  let n = size heap desc in
+  let fresh = Tx.alloc tx ~kind:Pmalloc.Block.Raw ~words:(2 * cap) in
+  for i = 0 to n - 1 do
+    Tx.store_fresh tx (fresh + i) (Pmalloc.Heap.load heap (old + i))
+  done;
+  Tx.add tx ~off:(desc + d_capacity) ~words:2;
+  Tx.store tx (desc + d_capacity) (Pmem.Word.of_int (2 * cap));
+  Tx.store tx (desc + d_data) (Pmem.Word.of_ptr fresh);
+  Tx.free_on_commit tx old
+
+let push_back tx desc w =
+  let heap = Tx.heap tx in
+  if size heap desc = capacity heap desc then grow tx desc;
+  let n = size heap desc in
+  let off = data heap desc + n in
+  Tx.add tx ~off ~words:1;
+  Tx.store tx off w;
+  Tx.add tx ~off:(desc + d_size) ~words:1;
+  Tx.store tx (desc + d_size) (Pmem.Word.of_int (n + 1))
+
+let iter heap desc fn =
+  let n = size heap desc in
+  let d = data heap desc in
+  for i = 0 to n - 1 do
+    fn (Pmalloc.Heap.load heap (d + i))
+  done

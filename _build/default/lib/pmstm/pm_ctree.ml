@@ -1,0 +1,196 @@
+(** PMDK-style transactional crit-bit tree (the WHISPER suite's "ctree").
+
+    The paper's map microbenchmark can be backed by either of WHISPER's
+    two map implementations -- hashmap or ctree; the authors compare
+    against hashmap because it outperformed ctree on Optane (Section 6.1).
+    This is the ctree, so the repository can reproduce that baseline
+    choice too (bench `ctree` section).
+
+    A crit-bit (PATRICIA) trie over non-negative integer keys: internal
+    nodes remember the highest bit position at which their two subtrees
+    differ; leaves hold a key/value pair.  Updates are in-place inside
+    undo-logged transactions, as in the PMDK `ctree_map` example.
+
+    Layout ([Scanned] blocks, tagged words):
+    - descriptor: [count; root]
+    - internal:   [bit | 1-tagged marker; left; right]
+    - leaf:       [bit = -1 marker; key; value]
+
+    The [bit] word doubles as the node-kind discriminator: leaves store
+    -1, internal nodes the crit-bit index (0..61). *)
+
+let d_count = 0
+let d_root = 1
+
+let n_bit = 0
+let n_left = 1
+let n_right = 2
+
+let l_key = 1
+let l_value = 2
+
+let create tx =
+  let desc = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:2 in
+  Tx.store_fresh tx (desc + d_count) (Pmem.Word.of_int 0);
+  Tx.store_fresh tx (desc + d_root) Pmem.Word.null;
+  desc
+
+let count heap desc = Pmem.Word.to_int (Pmalloc.Heap.load heap (desc + d_count))
+let cardinal = count
+
+let is_leaf heap node =
+  Pmem.Word.to_int (Pmalloc.Heap.load heap (node + n_bit)) < 0
+
+let node_bit heap node = Pmem.Word.to_int (Pmalloc.Heap.load heap (node + n_bit))
+let leaf_key heap node = Pmem.Word.to_int (Pmalloc.Heap.load heap (node + l_key))
+
+let check_key k =
+  if k < 0 then invalid_arg "Pm_ctree: keys must be non-negative"
+
+(* Highest bit position where a and b differ (a <> b). *)
+let crit_bit a b =
+  let x = a lxor b in
+  let rec go bit = if x lsr bit <> 0 then bit else go (bit - 1) in
+  go 61
+
+(* Descend to the leaf the key would belong with. *)
+let rec find_leaf heap node k =
+  if is_leaf heap node then node
+  else begin
+    let bit = node_bit heap node in
+    let side = if (k lsr bit) land 1 = 0 then n_left else n_right in
+    find_leaf heap (Pmem.Word.to_ptr (Pmalloc.Heap.load heap (node + side))) k
+  end
+
+let find heap desc k =
+  check_key k;
+  let root = Pmalloc.Heap.load heap (desc + d_root) in
+  if Pmem.Word.is_null root then None
+  else begin
+    let leaf = find_leaf heap (Pmem.Word.to_ptr root) k in
+    if leaf_key heap leaf = k then
+      Some (Pmalloc.Heap.load heap (leaf + l_value))
+    else None
+  end
+
+let mem heap desc k = Option.is_some (find heap desc k)
+
+let make_leaf tx k v =
+  let leaf = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:3 in
+  Tx.store_fresh tx (leaf + n_bit) (Pmem.Word.of_int (-1));
+  Tx.store_fresh tx (leaf + l_key) (Pmem.Word.of_int k);
+  Tx.store_fresh tx (leaf + l_value) v;
+  leaf
+
+let bump_count tx desc delta =
+  let heap = Tx.heap tx in
+  Tx.add tx ~off:(desc + d_count) ~words:1;
+  Tx.store tx (desc + d_count) (Pmem.Word.of_int (count heap desc + delta))
+
+(* Insert or update; [v] is an owned value word.  Returns [true] when a
+   new key was added. *)
+let insert tx desc k v =
+  check_key k;
+  let heap = Tx.heap tx in
+  let root = Pmalloc.Heap.load heap (desc + d_root) in
+  if Pmem.Word.is_null root then begin
+    let leaf = make_leaf tx k v in
+    Tx.add tx ~off:(desc + d_root) ~words:1;
+    Tx.store tx (desc + d_root) (Pmem.Word.of_ptr leaf);
+    bump_count tx desc 1;
+    true
+  end
+  else begin
+    let nearest = find_leaf heap (Pmem.Word.to_ptr root) k in
+    let existing = leaf_key heap nearest in
+    if existing = k then begin
+      (* overwrite in place *)
+      Tx.add tx ~off:(nearest + l_value) ~words:1;
+      Tx.store tx (nearest + l_value) v;
+      false
+    end
+    else begin
+      let bit = crit_bit existing k in
+      (* walk again to the edge where the new internal node splices in:
+         the first node whose crit-bit is below [bit] *)
+      let leaf = make_leaf tx k v in
+      let rec splice parent_off =
+        let node_w = Pmalloc.Heap.load heap parent_off in
+        let node = Pmem.Word.to_ptr node_w in
+        if (not (is_leaf heap node)) && node_bit heap node > bit then begin
+          let side = if (k lsr node_bit heap node) land 1 = 0 then n_left else n_right in
+          splice (node + side)
+        end
+        else begin
+          let internal = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:3 in
+          Tx.store_fresh tx (internal + n_bit) (Pmem.Word.of_int bit);
+          let new_side, old_side =
+            if (k lsr bit) land 1 = 0 then (n_left, n_right) else (n_right, n_left)
+          in
+          Tx.store_fresh tx (internal + new_side) (Pmem.Word.of_ptr leaf);
+          Tx.store_fresh tx (internal + old_side) node_w;
+          Tx.add tx ~off:parent_off ~words:1;
+          Tx.store tx parent_off (Pmem.Word.of_ptr internal)
+        end
+      in
+      splice (desc + d_root);
+      bump_count tx desc 1;
+      true
+    end
+  end
+
+let remove tx desc k =
+  check_key k;
+  let heap = Tx.heap tx in
+  let root = Pmalloc.Heap.load heap (desc + d_root) in
+  if Pmem.Word.is_null root then false
+  else begin
+    (* walk with the grandparent edge so the sibling can replace the
+       parent internal node *)
+    let rec walk parent_off =
+      let node = Pmem.Word.to_ptr (Pmalloc.Heap.load heap parent_off) in
+      if is_leaf heap node then
+        if leaf_key heap node = k then begin
+          Tx.add tx ~off:parent_off ~words:1;
+          Tx.store tx parent_off Pmem.Word.null;
+          Tx.free_on_commit tx node;
+          true
+        end
+        else false
+      else begin
+        let bit = node_bit heap node in
+        let side = if (k lsr bit) land 1 = 0 then n_left else n_right in
+        let child = Pmem.Word.to_ptr (Pmalloc.Heap.load heap (node + side)) in
+        if is_leaf heap child then
+          if leaf_key heap child = k then begin
+            (* replace this internal node with the sibling subtree *)
+            let other = if side = n_left then n_right else n_left in
+            let sibling = Pmalloc.Heap.load heap (node + other) in
+            Tx.add tx ~off:parent_off ~words:1;
+            Tx.store tx parent_off sibling;
+            Tx.free_on_commit tx child;
+            Tx.free_on_commit tx node;
+            true
+          end
+          else false
+        else walk (node + side)
+      end
+    in
+    let removed = walk (desc + d_root) in
+    if removed then bump_count tx desc (-1);
+    removed
+  end
+
+let iter heap desc fn =
+  let rec go w =
+    if not (Pmem.Word.is_null w) then begin
+      let node = Pmem.Word.to_ptr w in
+      if is_leaf heap node then
+        fn (leaf_key heap node) (Pmalloc.Heap.load heap (node + l_value))
+      else begin
+        go (Pmalloc.Heap.load heap (node + n_left));
+        go (Pmalloc.Heap.load heap (node + n_right))
+      end
+    end
+  in
+  go (Pmalloc.Heap.load heap (desc + d_root))

@@ -1,0 +1,141 @@
+(** PMDK-style transactional hashmap (the paper's baseline map/set).
+
+    Modelled on PMDK's [hashmap_tx] example, which WHISPER's and the
+    paper's map/set microbenchmarks use: a bucket array with chained
+    entry nodes, updated in place inside undo-logged transactions.  This
+    is the contiguous, cache-friendly layout the paper credits for the
+    baseline's lower L1D miss ratios (Section 6.5).
+
+    Layout ([Scanned] blocks, tagged words):
+    - descriptor: [count; nbuckets; buckets_ptr]
+    - buckets:    [head0; head1; ...]          (chain heads, null-padded)
+    - entry:      [hash; key; value; next]     (keys/values via codecs) *)
+
+module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
+  type key = K.t
+  type value = V.t
+
+  let desc_count = 0
+  let desc_nbuckets = 1
+  let desc_buckets = 2
+
+  let e_hash = 0
+  let e_key = 1
+  let e_value = 2
+  let e_next = 3
+
+  (* Allocate an empty map inside a transaction; returns the descriptor
+     body offset. *)
+  let create tx ~nbuckets =
+    let heap = Tx.heap tx in
+    let buckets =
+      Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:nbuckets
+    in
+    for b = 0 to nbuckets - 1 do
+      Tx.store_fresh tx (buckets + b) Pmem.Word.null
+    done;
+    let desc = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:3 in
+    Tx.store_fresh tx (desc + desc_count) (Pmem.Word.of_int 0);
+    Tx.store_fresh tx (desc + desc_nbuckets) (Pmem.Word.of_int nbuckets);
+    Tx.store_fresh tx (desc + desc_buckets) (Pmem.Word.of_ptr buckets);
+    ignore heap;
+    desc
+
+  let count heap desc =
+    Pmem.Word.to_int (Pmalloc.Heap.load heap (desc + desc_count))
+
+  let nbuckets heap desc =
+    Pmem.Word.to_int (Pmalloc.Heap.load heap (desc + desc_nbuckets))
+
+  let buckets heap desc =
+    Pmem.Word.to_ptr (Pmalloc.Heap.load heap (desc + desc_buckets))
+
+  let bucket_of heap desc hash = buckets heap desc + (hash mod nbuckets heap desc)
+
+  (* Walk a chain; returns (entry, predecessor word offset). *)
+  let find_entry heap desc key hash =
+    let rec walk prev_off w =
+      if Pmem.Word.is_null w then None
+      else begin
+        let e = Pmem.Word.to_ptr w in
+        let h = Pmem.Word.to_int (Pmalloc.Heap.load heap (e + e_hash)) in
+        if h = hash && K.equal key (K.read heap (Pmalloc.Heap.load heap (e + e_key)))
+        then Some (e, prev_off)
+        else walk (e + e_next) (Pmalloc.Heap.load heap (e + e_next))
+      end
+    in
+    let boff = bucket_of heap desc hash in
+    walk boff (Pmalloc.Heap.load heap boff)
+
+  let free_word_blob tx w =
+    if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then
+      Tx.free_on_commit tx (Pmem.Word.to_ptr w)
+
+  (* Insert or update; returns [true] if a new key was added. *)
+  let insert tx desc key value =
+    let heap = Tx.heap tx in
+    let hash = K.hash key in
+    match find_entry heap desc key hash with
+    | Some (e, _) ->
+        (* update in place: snapshot the value word, swap the payload *)
+        Tx.add tx ~off:(e + e_value) ~words:1;
+        free_word_blob tx (Pmalloc.Heap.load heap (e + e_value));
+        Tx.store tx (e + e_value) (V.write heap value);
+        false
+    | None ->
+        let e = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:4 in
+        let boff = bucket_of heap desc hash in
+        let head = Pmalloc.Heap.load heap boff in
+        Tx.store_fresh tx (e + e_hash) (Pmem.Word.of_int hash);
+        Tx.store_fresh tx (e + e_key) (K.write heap key);
+        Tx.store_fresh tx (e + e_value) (V.write heap value);
+        Tx.store_fresh tx (e + e_next) head;
+        Tx.add tx ~off:boff ~words:1;
+        Tx.store tx boff (Pmem.Word.of_ptr e);
+        Tx.add tx ~off:(desc + desc_count) ~words:1;
+        Tx.store tx (desc + desc_count)
+          (Pmem.Word.of_int (count heap desc + 1));
+        true
+
+  let remove tx desc key =
+    let heap = Tx.heap tx in
+    let hash = K.hash key in
+    match find_entry heap desc key hash with
+    | None -> false
+    | Some (e, prev_off) ->
+        let next = Pmalloc.Heap.load heap (e + e_next) in
+        Tx.add tx ~off:prev_off ~words:1;
+        Tx.store tx prev_off next;
+        free_word_blob tx (Pmalloc.Heap.load heap (e + e_key));
+        free_word_blob tx (Pmalloc.Heap.load heap (e + e_value));
+        Tx.free_on_commit tx e;
+        Tx.add tx ~off:(desc + desc_count) ~words:1;
+        Tx.store tx (desc + desc_count)
+          (Pmem.Word.of_int (count heap desc - 1));
+        true
+
+  let find heap desc key =
+    match find_entry heap desc key (K.hash key) with
+    | Some (e, _) -> Some (V.read heap (Pmalloc.Heap.load heap (e + e_value)))
+    | None -> None
+
+  let mem heap desc key = Option.is_some (find heap desc key)
+
+  let iter heap desc fn =
+    let n = nbuckets heap desc in
+    let b0 = buckets heap desc in
+    for b = 0 to n - 1 do
+      let rec walk w =
+        if not (Pmem.Word.is_null w) then begin
+          let e = Pmem.Word.to_ptr w in
+          fn
+            (K.read heap (Pmalloc.Heap.load heap (e + e_key)))
+            (V.read heap (Pmalloc.Heap.load heap (e + e_value)));
+          walk (Pmalloc.Heap.load heap (e + e_next))
+        end
+      in
+      walk (Pmalloc.Heap.load heap (b0 + b))
+    done
+
+  let cardinal heap desc = count heap desc
+end

@@ -1,0 +1,77 @@
+(** PMDK-style transactional FIFO queue: a linked list with head and tail
+    pointers, updated in place.
+
+    Layout: descriptor [head; tail]; node [value; next]. *)
+
+let d_head = 0
+let d_tail = 1
+
+let create tx =
+  let desc = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:2 in
+  Tx.store_fresh tx (desc + d_head) Pmem.Word.null;
+  Tx.store_fresh tx (desc + d_tail) Pmem.Word.null;
+  desc
+
+let head heap desc = Pmalloc.Heap.load heap (desc + d_head)
+let tail heap desc = Pmalloc.Heap.load heap (desc + d_tail)
+let is_empty heap desc = Pmem.Word.is_null (head heap desc)
+
+let enqueue tx desc w =
+  let heap = Tx.heap tx in
+  let node = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:2 in
+  Tx.store_fresh tx node w;
+  Tx.store_fresh tx (node + 1) Pmem.Word.null;
+  let t = tail heap desc in
+  if Pmem.Word.is_null t then begin
+    Tx.add tx ~off:(desc + d_head) ~words:2;
+    Tx.store tx (desc + d_head) (Pmem.Word.of_ptr node);
+    Tx.store tx (desc + d_tail) (Pmem.Word.of_ptr node)
+  end
+  else begin
+    let tnode = Pmem.Word.to_ptr t in
+    Tx.add tx ~off:(tnode + 1) ~words:1;
+    Tx.store tx (tnode + 1) (Pmem.Word.of_ptr node);
+    Tx.add tx ~off:(desc + d_tail) ~words:1;
+    Tx.store tx (desc + d_tail) (Pmem.Word.of_ptr node)
+  end
+
+let dequeue tx desc =
+  let heap = Tx.heap tx in
+  let h = head heap desc in
+  if Pmem.Word.is_null h then None
+  else begin
+    let node = Pmem.Word.to_ptr h in
+    let v = Pmalloc.Heap.load heap node in
+    let next = Pmalloc.Heap.load heap (node + 1) in
+    if Pmem.Word.is_null next then begin
+      Tx.add tx ~off:(desc + d_head) ~words:2;
+      Tx.store tx (desc + d_head) Pmem.Word.null;
+      Tx.store tx (desc + d_tail) Pmem.Word.null
+    end
+    else begin
+      Tx.add tx ~off:(desc + d_head) ~words:1;
+      Tx.store tx (desc + d_head) next
+    end;
+    Tx.free_on_commit tx node;
+    Some v
+  end
+
+let iter heap desc fn =
+  let rec walk w =
+    if not (Pmem.Word.is_null w) then begin
+      let node = Pmem.Word.to_ptr w in
+      fn (Pmalloc.Heap.load heap node);
+      walk (Pmalloc.Heap.load heap (node + 1))
+    end
+  in
+  walk (head heap desc)
+
+let length heap desc =
+  let n = ref 0 in
+  iter heap desc (fun _ -> incr n);
+  !n
+
+let to_list heap desc =
+  let acc = ref [] in
+  iter heap desc (fun w -> acc := w :: !acc);
+  List.rev !acc

@@ -1,0 +1,52 @@
+(** PMDK-style transactional stack: a linked list updated in place.
+
+    Layout: descriptor [head]; node [value; next]. *)
+
+let create tx =
+  let desc = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:1 in
+  Tx.store_fresh tx desc Pmem.Word.null;
+  desc
+
+let head heap desc = Pmalloc.Heap.load heap desc
+let is_empty heap desc = Pmem.Word.is_null (head heap desc)
+
+let push tx desc w =
+  let heap = Tx.heap tx in
+  let node = Tx.alloc tx ~kind:Pmalloc.Block.Scanned ~words:2 in
+  Tx.store_fresh tx node w;
+  Tx.store_fresh tx (node + 1) (head heap desc);
+  Tx.add tx ~off:desc ~words:1;
+  Tx.store tx desc (Pmem.Word.of_ptr node)
+
+let pop tx desc =
+  let heap = Tx.heap tx in
+  let h = head heap desc in
+  if Pmem.Word.is_null h then None
+  else begin
+    let node = Pmem.Word.to_ptr h in
+    let v = Pmalloc.Heap.load heap node in
+    Tx.add tx ~off:desc ~words:1;
+    Tx.store tx desc (Pmalloc.Heap.load heap (node + 1));
+    Tx.free_on_commit tx node;
+    Some v
+  end
+
+let iter heap desc fn =
+  let rec walk w =
+    if not (Pmem.Word.is_null w) then begin
+      let node = Pmem.Word.to_ptr w in
+      fn (Pmalloc.Heap.load heap node);
+      walk (Pmalloc.Heap.load heap (node + 1))
+    end
+  in
+  walk (head heap desc)
+
+let length heap desc =
+  let n = ref 0 in
+  iter heap desc (fun _ -> incr n);
+  !n
+
+let to_list heap desc =
+  let acc = ref [] in
+  iter heap desc (fun w -> acc := w :: !acc);
+  List.rev !acc

@@ -1,0 +1,193 @@
+(** PMDK-style persistent-memory transactions (the paper's baseline).
+
+    Two modes mirror the two PMDK releases the paper measures:
+
+    - [V1_4] -- undo logging: every snapshotted range is made durable with
+      its own ordering point before the in-place write may proceed, plus
+      stage-transition and log-invalidation fences.  This is the
+      "5-50 fences per transaction" regime of Section 3.
+    - [V1_5] -- hybrid undo-redo: snapshots are flushed with unordered
+      clwbs and drained by a single fence immediately before the first
+      in-place store of each add-batch, and the commit record is handled
+      redo-style.  Fewer ordering points, the ~23% speedup the paper
+      reports for v1.5 over v1.4 (Section 6.3).
+
+    In both modes, all in-place data modified by the transaction is
+    flushed at commit, then the undo log is durably invalidated.
+
+    The transaction tracks every word it stores; commit flushes exactly
+    those lines.  [store] optionally enforces the TX_ADD discipline: a
+    store to existing (not freshly allocated, not snapshotted) memory
+    raises, which is the class of PMDK usage bug the paper cites
+    (Liu et al., PMTest, ASPLOS'19). *)
+
+type version = V1_4 | V1_5
+
+type t = {
+  heap : Pmalloc.Heap.t;
+  version : version;
+  log : Wal.t;
+  mutable depth : int; (* nested tx flatten into the outermost one *)
+  mutable pending_drain : bool; (* v1.5: snapshots flushed, not yet fenced *)
+  mutable dirty_lines : (int, unit) Hashtbl.t;
+  mutable added : (int * int) list; (* snapshotted ranges *)
+  mutable fresh : (int * int) list; (* blocks allocated in this tx (body, words) *)
+  mutable to_free : int list; (* deferred frees, applied at commit *)
+  mutable check_adds : bool;
+}
+
+exception Abort
+
+(* [log_root_slot] registers the log block in the heap's root directory so
+   recovery-time reachability analysis never reclaims it. *)
+let create ?(log_capacity_words = 1 lsl 16) ?(check_adds = true)
+    ?(log_root_slot = Pmalloc.Heap.root_slots - 1) heap ~version =
+  let log = Wal.create heap ~capacity_words:log_capacity_words in
+  Pmalloc.Heap.root_set heap log_root_slot (Pmem.Word.of_ptr (Wal.body log));
+  Pmalloc.Heap.sfence heap;
+  {
+    heap;
+    version;
+    log;
+    depth = 0;
+    pending_drain = false;
+    dirty_lines = Hashtbl.create 64;
+    added = [];
+    fresh = [];
+    to_free = [];
+    check_adds;
+  }
+
+let heap t = t.heap
+let version t = t.version
+let in_tx t = t.depth > 0
+
+let covered ranges off words =
+  List.exists (fun (o, w) -> off >= o && off + words <= o + w) ranges
+
+(* -- transaction lifecycle ----------------------------------------------- *)
+
+let begin_ t =
+  t.depth <- t.depth + 1;
+  if t.depth = 1 then begin
+    Hashtbl.reset t.dirty_lines;
+    t.added <- [];
+    t.fresh <- [];
+    t.to_free <- [];
+    t.pending_drain <- false;
+    Wal.reset t.log;
+    match t.version with
+    | V1_4 ->
+        (* stage transition NONE -> WORK is made durable eagerly *)
+        Pmalloc.Heap.sfence t.heap
+    | V1_5 -> ()
+  end
+
+let add t ~off ~words =
+  if t.depth = 0 then invalid_arg "Tx.add: no transaction in flight";
+  if not (covered t.added off words || covered t.fresh off words) then begin
+    Wal.append t.log ~off ~words;
+    t.added <- (off, words) :: t.added;
+    match t.version with
+    | V1_4 ->
+        (* undo logging: the snapshot must be durable before the in-place
+           write, and the per-entry list metadata is persisted separately
+           (the "ordering points proportional to ranges" regime, Section 7) *)
+        Pmalloc.Heap.sfence t.heap;
+        Wal.touch_metadata t.log;
+        Pmalloc.Heap.sfence t.heap
+    | V1_5 ->
+        (* hybrid logging: entry and metadata drain under one fence *)
+        Pmalloc.Heap.sfence t.heap
+  end
+
+let load t off = Pmalloc.Heap.load t.heap off
+
+let store t off w =
+  if t.depth = 0 then invalid_arg "Tx.store: no transaction in flight";
+  if t.check_adds && not (covered t.added off 1 || covered t.fresh off 1) then
+    failwith
+      (Printf.sprintf
+         "Tx.store: unlogged in-place write at %d (missing Tx.add?)" off);
+  Pmalloc.Heap.store t.heap off w;
+  Hashtbl.replace t.dirty_lines (Pmem.Region.line_of_word off) ()
+
+let alloc t ~kind ~words =
+  if t.depth = 0 then invalid_arg "Tx.alloc: no transaction in flight";
+  let body = Pmalloc.Heap.alloc t.heap ~kind ~words in
+  t.fresh <- (body, words) :: t.fresh;
+  body
+
+(* Writes into freshly allocated blocks need no undo entry but must be
+   flushed at commit. *)
+let store_fresh t off w =
+  if t.check_adds && not (covered t.fresh off 1) then
+    failwith "Tx.store_fresh: target is not freshly allocated";
+  Pmalloc.Heap.store t.heap off w;
+  Hashtbl.replace t.dirty_lines (Pmem.Region.line_of_word off) ()
+
+let free_on_commit t body = t.to_free <- body :: t.to_free
+
+let commit t =
+  if t.depth = 0 then invalid_arg "Tx.commit: no transaction in flight";
+  if t.depth > 1 then t.depth <- t.depth - 1
+  else begin
+    (* commit-path processing (lane/stage management in libpmemobj) *)
+    let stats = Pmalloc.Heap.stats t.heap in
+    Pmem.Stats.advance stats Pmem.Config.tx_commit_overhead_ns;
+    stats.Pmem.Stats.l1_hits <-
+      stats.Pmem.Stats.l1_hits + Pmem.Config.tx_commit_accesses;
+    (* flush all in-place and freshly written lines, then drain *)
+    Hashtbl.iter
+      (fun line () ->
+        Pmalloc.Heap.clwb t.heap (line lsl Pmem.Config.line_shift))
+      t.dirty_lines;
+    (* headers of fresh blocks were written by the allocator *)
+    List.iter (fun (body, _) -> Pmalloc.Heap.flush_block t.heap body) t.fresh;
+    Pmalloc.Heap.sfence t.heap;
+    (* stage transition ONCOMMIT: persist the commit decision *)
+    Wal.touch_metadata t.log;
+    Pmalloc.Heap.sfence t.heap;
+    (* durably invalidate the undo log (store + clwb + sfence) *)
+    Wal.invalidate t.log;
+    List.iter (fun body -> Pmalloc.Heap.free t.heap body) t.to_free;
+    t.to_free <- [];
+    t.fresh <- [];
+    t.added <- [];
+    Hashtbl.reset t.dirty_lines;
+    t.depth <- 0
+  end
+
+let abort t =
+  if t.depth = 0 then invalid_arg "Tx.abort: no transaction in flight";
+  Wal.rollback t.log ~entries_valid:(Wal.entries t.log);
+  (* allocations made inside the aborted tx are rolled back *)
+  List.iter (fun (body, _) -> Pmalloc.Heap.free t.heap body) t.fresh;
+  t.fresh <- [];
+  t.added <- [];
+  t.to_free <- [];
+  Hashtbl.reset t.dirty_lines;
+  t.pending_drain <- false;
+  t.depth <- 0
+
+let run t f =
+  begin_ t;
+  match f () with
+  | result ->
+      commit t;
+      result
+  | exception e ->
+      (* flattened nesting: any exception aborts the outermost tx *)
+      abort t;
+      raise e
+
+(* Crash recovery: roll back an interrupted transaction from the durable
+   log, then let the caller run heap-level leak recovery. *)
+let recover t =
+  t.depth <- 0;
+  t.pending_drain <- false;
+  t.fresh <- [];
+  t.added <- [];
+  t.to_free <- [];
+  Hashtbl.reset t.dirty_lines;
+  Wal.recover t.log

@@ -1,0 +1,1 @@
+lib/workloads/ablation.ml: Backend Micro Mod_core Pmalloc Pmem Random

@@ -1,0 +1,1 @@
+lib/workloads/backend.ml: Pmalloc Pmem Pmstm Random

@@ -1,0 +1,1 @@
+lib/workloads/codecs.ml: Buffer Int Pfds Printf Random String

@@ -1,0 +1,1 @@
+lib/workloads/graph.ml: Array Backend Bytes Micro Mod_core Pmem Pmstm Random

@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Backend Codecs Micro Mod_core Pfds Pmem Pmstm Printf Random

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Backend Codecs Mod_core Pfds Pmem Pmstm Random

@@ -1,0 +1,1 @@
+lib/workloads/report.ml: Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Backend Graph Memcached Micro Pmalloc Pmem Printf Vacation

@@ -1,0 +1,1 @@
+lib/workloads/space.ml: Backend List Micro Mod_core Pmalloc Pmem Pmstm

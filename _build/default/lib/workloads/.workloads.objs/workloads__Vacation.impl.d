@@ -1,0 +1,1 @@
+lib/workloads/vacation.ml: Array Backend Micro Mod_core Option Pfds Pmalloc Pmem Pmstm Random

@@ -1,0 +1,28 @@
+(** Key/value shapes used by the Table 2 workloads.
+
+    The microbenchmarks use 8-byte keys/elements with 32-byte values
+    (map/set); memcached uses 16-byte keys and 512-byte values.  [Val32]
+    renders an integer payload as a 32-byte blob so both backends move the
+    same number of value bytes as the paper's configuration. *)
+
+module Val32 : Pfds.Kv.CODEC with type t = int = struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Pfds.Kv.mix_int
+  let to_string v = Printf.sprintf "%032d" (abs v)
+  let write heap v = Pfds.Kv.String_blob.write heap (to_string v)
+  let read heap w = int_of_string (Pfds.Kv.String_blob.read heap w)
+end
+
+let key16 rng =
+  Printf.sprintf "k%015d" (Random.State.int rng 1_000_000_000)
+
+let value512 rng =
+  let seed = Random.State.int rng 1_000_000_000 in
+  let base = Printf.sprintf "v%09d-" seed in
+  let buf = Buffer.create 512 in
+  while Buffer.length buf < 512 do
+    Buffer.add_string buf base
+  done;
+  String.sub (Buffer.contents buf) 0 512

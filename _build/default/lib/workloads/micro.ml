@@ -1,0 +1,272 @@
+(** The six microbenchmark workloads of Table 2, each runnable on the MOD
+    and PMDK backends.
+
+    Every workload follows the paper's harness: set up and prefill the
+    datastructure, reset the measurement clock, then run [ops] iterations
+    of the operation mix (the paper runs 1 million; the scale here is a
+    parameter).  Lookups never flush or fence on either backend
+    (Section 6.4), so only update operations are wrapped in PM-STM
+    transactions on the PMDK backends. *)
+
+module Mod_map = Mod_core.Dmap.Make (Pfds.Kv.Int) (Codecs.Val32)
+module Mod_set = Mod_core.Dset.Make (Pfds.Kv.Int)
+module Pm_map = Pmstm.Pm_hashmap.Make (Pfds.Kv.Int) (Codecs.Val32)
+module Pm_set = Pmstm.Pm_hashmap.Make (Pfds.Kv.Int) (Pfds.Kv.Unit)
+
+let ds_slot = 0
+
+(* -- map ------------------------------------------------------------------ *)
+
+type map_instance =
+  | Mmap of Mod_map.t
+  | Pmap of int (* descriptor *)
+
+let map_setup ctx ~size =
+  match Backend.kind ctx with
+  | Backend.Mod -> Mmap (Mod_map.open_or_create (Backend.heap ctx) ~slot:ds_slot)
+  | Backend.Pmdk14 | Backend.Pmdk15 ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () ->
+          let desc = Pm_map.create tx ~nbuckets:(max 64 size) in
+          Pmstm.Tx.add tx ~off:ds_slot ~words:1;
+          Pmstm.Tx.store tx ds_slot (Pmem.Word.of_ptr desc);
+          Pmap desc)
+
+let map_insert ctx inst k v =
+  match inst with
+  | Mmap m -> Mod_map.insert m k v
+  | Pmap desc ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () -> ignore (Pm_map.insert tx desc k v : bool))
+
+let map_lookup ctx inst k =
+  match inst with
+  | Mmap m -> ignore (Mod_map.find m k : int option)
+  | Pmap desc -> ignore (Pm_map.find (Backend.heap ctx) desc k : int option)
+
+let map_run ctx ~ops ~size =
+  let inst = map_setup ctx ~size in
+  let rng = Backend.rng ctx in
+  for _ = 1 to size / 2 do
+    map_insert ctx inst (Random.State.int rng size) (Random.State.int rng 1000000)
+  done;
+  Backend.start_measuring ctx;
+  for _ = 1 to ops do
+    Backend.op_pause ctx;
+    let k = Random.State.int rng size in
+    if Random.State.bool rng then
+      map_insert ctx inst k (Random.State.int rng 1000000)
+    else map_lookup ctx inst k
+  done
+
+(* -- set ------------------------------------------------------------------ *)
+
+type set_instance = Mset of Mod_set.t | Pset of int
+
+let set_setup ctx ~size =
+  match Backend.kind ctx with
+  | Backend.Mod -> Mset (Mod_set.open_or_create (Backend.heap ctx) ~slot:ds_slot)
+  | Backend.Pmdk14 | Backend.Pmdk15 ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () ->
+          let desc = Pm_set.create tx ~nbuckets:(max 64 size) in
+          Pmstm.Tx.add tx ~off:ds_slot ~words:1;
+          Pmstm.Tx.store tx ds_slot (Pmem.Word.of_ptr desc);
+          Pset desc)
+
+let set_add ctx inst k =
+  match inst with
+  | Mset s -> Mod_set.add s k
+  | Pset desc ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () -> ignore (Pm_set.insert tx desc k () : bool))
+
+let set_member ctx inst k =
+  match inst with
+  | Mset s -> ignore (Mod_set.mem s k : bool)
+  | Pset desc -> ignore (Pm_set.mem (Backend.heap ctx) desc k : bool)
+
+let set_run ctx ~ops ~size =
+  let inst = set_setup ctx ~size in
+  let rng = Backend.rng ctx in
+  for _ = 1 to size / 2 do
+    set_add ctx inst (Random.State.int rng size)
+  done;
+  Backend.start_measuring ctx;
+  for _ = 1 to ops do
+    Backend.op_pause ctx;
+    let k = Random.State.int rng size in
+    if Random.State.bool rng then set_add ctx inst k else set_member ctx inst k
+  done
+
+(* -- stack ---------------------------------------------------------------- *)
+
+type stack_instance = Mstack of Mod_core.Dstack.t | Pstack of int
+
+let stack_setup ctx =
+  match Backend.kind ctx with
+  | Backend.Mod ->
+      Mstack (Mod_core.Dstack.open_or_create (Backend.heap ctx) ~slot:ds_slot)
+  | Backend.Pmdk14 | Backend.Pmdk15 ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () ->
+          let desc = Pmstm.Pm_stack.create tx in
+          Pmstm.Tx.add tx ~off:ds_slot ~words:1;
+          Pmstm.Tx.store tx ds_slot (Pmem.Word.of_ptr desc);
+          Pstack desc)
+
+let stack_push ctx inst v =
+  match inst with
+  | Mstack s -> Mod_core.Dstack.push s (Pmem.Word.of_int v)
+  | Pstack desc ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () ->
+          Pmstm.Pm_stack.push tx desc (Pmem.Word.of_int v))
+
+let stack_pop ctx inst =
+  match inst with
+  | Mstack s -> ignore (Mod_core.Dstack.pop s : Pmem.Word.t option)
+  | Pstack desc ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () ->
+          ignore (Pmstm.Pm_stack.pop tx desc : Pmem.Word.t option))
+
+let stack_is_empty ctx inst =
+  match inst with
+  | Mstack s -> Mod_core.Dstack.is_empty s
+  | Pstack desc -> Pmstm.Pm_stack.is_empty (Backend.heap ctx) desc
+
+let stack_run ctx ~ops ~size =
+  let inst = stack_setup ctx in
+  let rng = Backend.rng ctx in
+  for i = 1 to size / 2 do
+    stack_push ctx inst i
+  done;
+  Backend.start_measuring ctx;
+  for _ = 1 to ops do
+    Backend.op_pause ctx;
+    if stack_is_empty ctx inst || Random.State.bool rng then
+      stack_push ctx inst (Random.State.int rng 1000000)
+    else stack_pop ctx inst
+  done
+
+(* -- queue ---------------------------------------------------------------- *)
+
+type queue_instance = Mqueue of Mod_core.Dqueue.t | Pqueue of int
+
+let queue_setup ctx =
+  match Backend.kind ctx with
+  | Backend.Mod ->
+      Mqueue (Mod_core.Dqueue.open_or_create (Backend.heap ctx) ~slot:ds_slot)
+  | Backend.Pmdk14 | Backend.Pmdk15 ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () ->
+          let desc = Pmstm.Pm_queue.create tx in
+          Pmstm.Tx.add tx ~off:ds_slot ~words:1;
+          Pmstm.Tx.store tx ds_slot (Pmem.Word.of_ptr desc);
+          Pqueue desc)
+
+let queue_push ctx inst v =
+  match inst with
+  | Mqueue q -> Mod_core.Dqueue.enqueue q (Pmem.Word.of_int v)
+  | Pqueue desc ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () ->
+          Pmstm.Pm_queue.enqueue tx desc (Pmem.Word.of_int v))
+
+let queue_pop ctx inst =
+  match inst with
+  | Mqueue q -> ignore (Mod_core.Dqueue.dequeue q : Pmem.Word.t option)
+  | Pqueue desc ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () ->
+          ignore (Pmstm.Pm_queue.dequeue tx desc : Pmem.Word.t option))
+
+let queue_is_empty ctx inst =
+  match inst with
+  | Mqueue q -> Mod_core.Dqueue.is_empty q
+  | Pqueue desc -> Pmstm.Pm_queue.is_empty (Backend.heap ctx) desc
+
+let queue_run ctx ~ops ~size =
+  let inst = queue_setup ctx in
+  let rng = Backend.rng ctx in
+  for i = 1 to size / 2 do
+    queue_push ctx inst i
+  done;
+  Backend.start_measuring ctx;
+  for _ = 1 to ops do
+    Backend.op_pause ctx;
+    if queue_is_empty ctx inst || Random.State.bool rng then
+      queue_push ctx inst (Random.State.int rng 1000000)
+    else queue_pop ctx inst
+  done
+
+(* -- vector --------------------------------------------------------------- *)
+
+type vector_instance = Mvec of Mod_core.Dvec.t | Pvec of int
+
+let vector_setup ctx ~size =
+  match Backend.kind ctx with
+  | Backend.Mod ->
+      let v = Mod_core.Dvec.open_or_create (Backend.heap ctx) ~slot:ds_slot in
+      for i = 1 to size do
+        Mod_core.Dvec.push_back v (Pmem.Word.of_int i)
+      done;
+      Mvec v
+  | Backend.Pmdk14 | Backend.Pmdk15 ->
+      let tx = Backend.tx ctx in
+      let desc =
+        Pmstm.Tx.run tx (fun () ->
+            let desc = Pmstm.Pm_array.create tx ~capacity:(max 16 size) in
+            Pmstm.Tx.add tx ~off:ds_slot ~words:1;
+            Pmstm.Tx.store tx ds_slot (Pmem.Word.of_ptr desc);
+            desc)
+      in
+      for i = 1 to size do
+        Pmstm.Tx.run tx (fun () ->
+            Pmstm.Pm_array.push_back tx desc (Pmem.Word.of_int i))
+      done;
+      Pvec desc
+
+let vector_write ctx inst i v =
+  match inst with
+  | Mvec vec -> Mod_core.Dvec.set vec i (Pmem.Word.of_int v)
+  | Pvec desc ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () -> Pmstm.Pm_array.set tx desc i (Pmem.Word.of_int v))
+
+let vector_read ctx inst i =
+  match inst with
+  | Mvec vec -> ignore (Mod_core.Dvec.get vec i : Pmem.Word.t)
+  | Pvec desc ->
+      ignore (Pmstm.Pm_array.get (Backend.heap ctx) desc i : Pmem.Word.t)
+
+let vector_swap ctx inst i j =
+  match inst with
+  | Mvec vec -> Mod_core.Dvec.swap vec i j
+  | Pvec desc ->
+      let tx = Backend.tx ctx in
+      Pmstm.Tx.run tx (fun () -> Pmstm.Pm_array.swap tx desc i j)
+
+let vector_run ctx ~ops ~size =
+  let inst = vector_setup ctx ~size in
+  let rng = Backend.rng ctx in
+  Backend.start_measuring ctx;
+  for _ = 1 to ops do
+    Backend.op_pause ctx;
+    let i = Random.State.int rng size in
+    if Random.State.bool rng then
+      vector_write ctx inst i (Random.State.int rng 1000000)
+    else vector_read ctx inst i
+  done
+
+let vec_swap_run ctx ~ops ~size =
+  let inst = vector_setup ctx ~size in
+  let rng = Backend.rng ctx in
+  Backend.start_measuring ctx;
+  for _ = 1 to ops do
+    Backend.op_pause ctx;
+    let i = Random.State.int rng size in
+    let j = Random.State.int rng size in
+    if i <> j then vector_swap ctx inst i j
+  done

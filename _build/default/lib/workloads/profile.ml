@@ -1,0 +1,106 @@
+(** Per-operation flush/fence profiling (Figure 10 and the Section 3
+    fence analysis).
+
+    For each operation type the paper plots, run a fresh instance,
+    prefill it, then measure [samples] operations of exactly that type
+    and average the flush and fence counts. *)
+
+type point = {
+  label : string;
+  backend : Backend.kind;
+  flushes : float;
+  fences : float;
+}
+
+let measure ctx ~samples op =
+  let stats = Backend.stats ctx in
+  let before = Pmem.Stats.snapshot stats in
+  for i = 1 to samples do
+    op i
+  done;
+  let d = Pmem.Stats.diff ~before ~after:(Pmem.Stats.snapshot stats) in
+  ( float_of_int d.Pmem.Stats.s_clwbs /. float_of_int samples,
+    float_of_int d.Pmem.Stats.s_fences /. float_of_int samples )
+
+let point label backend (flushes, fences) = { label; backend; flushes; fences }
+
+let map_insert backend ~samples ~size =
+  let ctx = Backend.create backend in
+  let inst = Micro.map_setup ctx ~size in
+  let rng = Backend.rng ctx in
+  for _ = 1 to size do
+    Micro.map_insert ctx inst (Random.State.int rng size) 1
+  done;
+  point "map-insert" backend
+    (measure ctx ~samples (fun _ ->
+         Micro.map_insert ctx inst (Random.State.int rng size) 2))
+
+let set_insert backend ~samples ~size =
+  let ctx = Backend.create backend in
+  let inst = Micro.set_setup ctx ~size in
+  let rng = Backend.rng ctx in
+  for _ = 1 to size do
+    Micro.set_add ctx inst (Random.State.int rng size)
+  done;
+  point "set-insert" backend
+    (measure ctx ~samples (fun _ ->
+         Micro.set_add ctx inst (Random.State.int rng size)))
+
+let queue_ops backend ~samples ~size =
+  let ctx = Backend.create backend in
+  let inst = Micro.queue_setup ctx in
+  for i = 1 to size + samples do
+    Micro.queue_push ctx inst i
+  done;
+  let push =
+    point "queue-push" backend
+      (measure ctx ~samples (fun i -> Micro.queue_push ctx inst i))
+  in
+  let pop =
+    point "queue-pop" backend
+      (measure ctx ~samples (fun _ -> Micro.queue_pop ctx inst))
+  in
+  [ push; pop ]
+
+let stack_ops backend ~samples ~size =
+  let ctx = Backend.create backend in
+  let inst = Micro.stack_setup ctx in
+  for i = 1 to size + samples do
+    Micro.stack_push ctx inst i
+  done;
+  let push =
+    point "stack-push" backend
+      (measure ctx ~samples (fun i -> Micro.stack_push ctx inst i))
+  in
+  let pop =
+    point "stack-pop" backend
+      (measure ctx ~samples (fun _ -> Micro.stack_pop ctx inst))
+  in
+  [ push; pop ]
+
+let vector_ops backend ~samples ~size =
+  let ctx = Backend.create backend in
+  let inst = Micro.vector_setup ctx ~size in
+  let rng = Backend.rng ctx in
+  let write =
+    point "vector-write" backend
+      (measure ctx ~samples (fun i ->
+           Micro.vector_write ctx inst (Random.State.int rng size) i))
+  in
+  let swap =
+    point "vec-swap" backend
+      (measure ctx ~samples (fun _ ->
+           let i = Random.State.int rng size in
+           let j = (i + 1 + Random.State.int rng (size - 1)) mod size in
+           Micro.vector_swap ctx inst i j))
+  in
+  [ write; swap ]
+
+let all ?(samples = 500) ?(size = 10_000) () =
+  List.concat_map
+    (fun backend ->
+      [ map_insert backend ~samples ~size; set_insert backend ~samples ~size ]
+      @ queue_ops backend ~samples ~size
+      @ stack_ops backend ~samples ~size
+      @ vector_ops backend ~samples ~size)
+    [ Backend.Pmdk15; Backend.Mod ]

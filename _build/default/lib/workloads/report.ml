@@ -1,0 +1,66 @@
+(** Plain-text rendering helpers for the benchmark harness: fixed-width
+    tables, horizontal stacked bars, and aligned scatter listings, so each
+    figure of the paper has a legible terminal counterpart. *)
+
+let hrule width = String.make width '-'
+
+let pad s width =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+let rpad s width =
+  if String.length s >= width then s
+  else String.make (width - String.length s) ' ' ^ s
+
+(* A stacked horizontal bar: each segment is (label char, fraction). *)
+let stacked_bar ?(width = 50) segments =
+  let buf = Buffer.create width in
+  let total_cells = ref 0 in
+  let n = List.length segments in
+  List.iteri
+    (fun i (ch, frac) ->
+      let cells =
+        if i = n - 1 then max 0 (width - !total_cells)
+        else
+          let c = int_of_float (Float.round (frac *. float_of_int width)) in
+          min c (width - !total_cells)
+      in
+      total_cells := !total_cells + cells;
+      Buffer.add_string buf (String.make cells ch))
+    segments;
+  Buffer.contents buf
+
+(* A plain proportional bar. *)
+let bar ?(width = 40) ~max_value value =
+  if max_value <= 0.0 then ""
+  else
+    let cells =
+      int_of_float (Float.round (value /. max_value *. float_of_int width))
+    in
+    String.make (max 0 (min width cells)) '#'
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" (hrule 78) title (hrule 78)
+
+let subsection title = Printf.printf "\n-- %s\n" title
+
+let row cells widths =
+  let line =
+    String.concat "  " (List.map2 (fun c w -> pad c w) cells widths)
+  in
+  print_endline line
+
+let row_r cells widths =
+  (* first cell left-aligned, the rest right-aligned: numeric tables *)
+  match (cells, widths) with
+  | c0 :: crest, w0 :: wrest ->
+      let line =
+        String.concat "  "
+          (pad c0 w0 :: List.map2 (fun c w -> rpad c w) crest wrest)
+      in
+      print_endline line
+  | _ -> ()
+
+let fraction_pct f = Printf.sprintf "%5.1f%%" (100.0 *. f)
+let ns_ms ns = Printf.sprintf "%8.2f ms" (ns /. 1e6)
+let f2 v = Printf.sprintf "%.2f" v
+let f1 v = Printf.sprintf "%.1f" v

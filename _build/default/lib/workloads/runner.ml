@@ -1,0 +1,81 @@
+(** Workload orchestration: run any Table 2 workload on any backend and
+    collect the measurements the figures need. *)
+
+type result = {
+  workload : string;
+  backend : Backend.kind;
+  ops : int;
+  ns_total : float;
+  ns_flush : float;
+  ns_log : float;
+  ns_other : float;
+  fences : int;
+  flushes : int;
+  loads : int;
+  stores : int;
+  miss_ratio : float;
+  live_words : int;
+  high_water_words : int;
+}
+
+let names =
+  [ "map"; "set"; "queue"; "stack"; "vector"; "vec-swap"; "bfs"; "vacation";
+    "memcached" ]
+
+(* Scale knobs per workload: the paper runs 1M iterations of each; [scale]
+   sets the iteration count here, with per-workload adjustments for the
+   heavier applications. *)
+let dispatch name ~scale ctx =
+  let ops = scale in
+  match name with
+  | "map" -> (Micro.map_run ctx ~ops ~size:scale, ops)
+  | "set" -> (Micro.set_run ctx ~ops ~size:scale, ops)
+  | "queue" -> (Micro.queue_run ctx ~ops ~size:scale, ops)
+  | "stack" -> (Micro.stack_run ctx ~ops ~size:scale, ops)
+  | "vector" -> (Micro.vector_run ctx ~ops ~size:scale, ops)
+  | "vec-swap" -> (Micro.vec_swap_run ctx ~ops ~size:scale, ops)
+  | "bfs" ->
+      let nodes = max 64 (scale / 12) in
+      (Graph.run ctx ~nodes ~edges:scale, scale)
+  | "vacation" ->
+      let relations = max 64 (scale / 10) in
+      (Vacation.run ctx ~ops ~relations, ops)
+  | "memcached" ->
+      let ops = max 1 (scale / 5) in
+      let keyspace = max 64 (scale / 5) in
+      (Memcached.run ctx ~ops ~keyspace, ops)
+  | other -> invalid_arg (Printf.sprintf "Runner: unknown workload %S" other)
+
+let run_one ?(capacity_words = 1 lsl 21) ?(trace = false) name backend ~scale =
+  let ctx = Backend.create ~capacity_words ~trace backend in
+  let (), ops = dispatch name ~scale ctx in
+  let s = Backend.stats ctx in
+  let allocator = Pmalloc.Heap.allocator (Backend.heap ctx) in
+  {
+    workload = name;
+    backend;
+    ops;
+    ns_total = s.Pmem.Stats.now_ns;
+    ns_flush = s.Pmem.Stats.ns_flush;
+    ns_log = s.Pmem.Stats.ns_log;
+    ns_other = s.Pmem.Stats.ns_other;
+    fences = s.Pmem.Stats.fences;
+    flushes = s.Pmem.Stats.clwbs;
+    loads = s.Pmem.Stats.loads;
+    stores = s.Pmem.Stats.stores;
+    miss_ratio = Pmem.Stats.miss_ratio s;
+    live_words = Pmalloc.Allocator.live_words allocator;
+    high_water_words = Pmalloc.Allocator.high_water_words allocator;
+  }
+
+(* Same run, but also return the trace for consistency checking. *)
+let run_traced name backend ~scale =
+  let ctx = Backend.create ~capacity_words:(1 lsl 21) ~trace:true backend in
+  let (), _ops = dispatch name ~scale ctx in
+  Pmalloc.Heap.trace (Backend.heap ctx)
+
+let flush_fraction r = if r.ns_total = 0.0 then 0.0 else r.ns_flush /. r.ns_total
+let log_fraction r = if r.ns_total = 0.0 then 0.0 else r.ns_log /. r.ns_total
+
+let fences_per_op r = float_of_int r.fences /. float_of_int (max 1 r.ops)
+let flushes_per_op r = float_of_int r.flushes /. float_of_int (max 1 r.ops)

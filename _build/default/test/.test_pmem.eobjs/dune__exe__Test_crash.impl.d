@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Int List Map Mod_core Option Pfds Pmalloc Pmem Pmstm Printf Random

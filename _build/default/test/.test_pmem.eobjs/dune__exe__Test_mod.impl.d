@@ -1,0 +1,1 @@
+test/test_mod.ml: Alcotest Hashtbl Int List Map Mod_core Option Pfds Pmalloc Pmem Pmstm Printf Queue Random

@@ -1,0 +1,1 @@
+test/test_pfds.ml: Alcotest Gen Hashtbl Int List Map Pfds Pmalloc Pmem Printf QCheck QCheck_alcotest Queue Random String

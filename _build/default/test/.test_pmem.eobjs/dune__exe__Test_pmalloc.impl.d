@@ -1,0 +1,1 @@
+test/test_pmalloc.ml: Alcotest Gen List Pmalloc Pmem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Cache Config Fmt Latency List Pmem Printf QCheck QCheck_alcotest Region Stats Trace Word

@@ -1,0 +1,1 @@
+test/test_pmstm.ml: Alcotest Array Gen Hashtbl Int List Map Option Pfds Pmalloc Pmem Pmstm Printf QCheck QCheck_alcotest

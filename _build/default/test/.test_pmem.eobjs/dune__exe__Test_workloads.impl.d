@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Mod_core Printf Workloads

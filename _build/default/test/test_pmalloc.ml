@@ -1,0 +1,330 @@
+(* Unit and property tests for the persistent allocator, heap and
+   recovery GC. *)
+
+let mk_heap ?(capacity = 1 lsl 16) ?(trace = false) () =
+  Pmalloc.Heap.create ~capacity_words:capacity ~trace ()
+
+let alloc_tests =
+  [
+    Alcotest.test_case "alloc returns distinct blocks" `Quick (fun () ->
+        let heap = mk_heap () in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:4 in
+        let b = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:4 in
+        Alcotest.(check bool) "distinct" true (a <> b));
+    Alcotest.test_case "block metadata round-trips" `Quick (fun () ->
+        let heap = mk_heap () in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:10 in
+        let alloc = Pmalloc.Heap.allocator heap in
+        Alcotest.(check int) "used" 10 (Pmalloc.Allocator.used_of alloc a);
+        Alcotest.(check bool)
+          "raw kind" true
+          (Pmalloc.Allocator.kind_of alloc a = Pmalloc.Block.Raw);
+        Alcotest.(check bool)
+          "capacity >= used+header" true
+          (Pmalloc.Allocator.capacity_of alloc a >= 12));
+    Alcotest.test_case "free then alloc reuses memory" `Quick (fun () ->
+        let heap = mk_heap () in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:6 in
+        Pmalloc.Heap.free heap a;
+        let b = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:6 in
+        Alcotest.(check int) "same block back" a b);
+    Alcotest.test_case "double free raises" `Quick (fun () ->
+        let heap = mk_heap () in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:4 in
+        Pmalloc.Heap.free heap a;
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             Pmalloc.Heap.free heap a;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "live accounting" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let before = Pmalloc.Allocator.live_words alloc in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:6 in
+        let mid = Pmalloc.Allocator.live_words alloc in
+        Alcotest.(check bool) "grew" true (mid > before);
+        Pmalloc.Heap.free heap a;
+        Alcotest.(check int) "restored" before (Pmalloc.Allocator.live_words alloc));
+    Alcotest.test_case "large blocks split and reuse" `Quick (fun () ->
+        let heap = mk_heap () in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:500 in
+        Pmalloc.Heap.free heap a;
+        let b = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:100 in
+        let c = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:100 in
+        (* both carved out of the freed 500-word block *)
+        let top = a + 500 in
+        Alcotest.(check bool) "b inside" true (b >= a - 2 && b < top);
+        Alcotest.(check bool) "c inside" true (c >= a - 2 && c < top));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"allocations never overlap (qcheck)" ~count:50
+         QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 80))
+         (fun sizes ->
+           let heap = mk_heap ~capacity:(1 lsl 18) () in
+           let alloc = Pmalloc.Heap.allocator heap in
+           let blocks =
+             List.map
+               (fun w -> (Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:w, w))
+               sizes
+           in
+           (* extents [header, header+capacity) must be pairwise disjoint *)
+           let extents =
+             List.map
+               (fun (body, _) ->
+                 let h = Pmalloc.Block.header_of_body body in
+                 (h, h + Pmalloc.Allocator.capacity_of alloc body))
+               blocks
+           in
+           let sorted = List.sort compare extents in
+           let rec disjoint = function
+             | (_, e1) :: ((s2, _) :: _ as rest) -> e1 <= s2 && disjoint rest
+             | _ -> true
+           in
+           disjoint sorted));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"free/alloc churn preserves contents (qcheck)"
+         ~count:30
+         QCheck.(small_list (int_range 1 40))
+         (fun sizes ->
+           let heap = mk_heap ~capacity:(1 lsl 18) () in
+           (* write a signature into each block, free every other one,
+              re-allocate, and confirm survivors are intact *)
+           let blocks =
+             List.mapi
+               (fun i w ->
+                 let b = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:w in
+                 Pmalloc.Heap.store heap b (Pmem.Word.of_int (i + 1000));
+                 (i, b, w))
+               sizes
+           in
+           List.iter
+             (fun (i, b, _) -> if i mod 2 = 0 then Pmalloc.Heap.free heap b)
+             blocks;
+           List.for_all
+             (fun (i, b, _) ->
+               i mod 2 = 0
+               || Pmem.Word.to_int (Pmalloc.Heap.load heap b) = i + 1000)
+             blocks));
+  ]
+
+let rc_tests =
+  [
+    Alcotest.test_case "retain/release lifecycle" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:2 in
+        Alcotest.(check int) "initial rc" 1 (Pmalloc.Allocator.rc_get alloc a);
+        Pmalloc.Heap.retain heap a;
+        Alcotest.(check int) "after retain" 2 (Pmalloc.Allocator.rc_get alloc a);
+        Pmalloc.Heap.release heap a;
+        Alcotest.(check bool)
+          "still allocated" true
+          (Pmalloc.Allocator.is_allocated alloc a);
+        Pmalloc.Heap.release heap a;
+        Alcotest.(check bool)
+          "freed at zero" false
+          (Pmalloc.Allocator.is_allocated alloc a));
+    Alcotest.test_case "release cascades through children" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let child = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:1 in
+        Pmalloc.Heap.store heap child (Pmem.Word.of_int 5);
+        let parent = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:1 in
+        Pmalloc.Heap.store heap parent (Pmem.Word.of_ptr child);
+        Pmalloc.Heap.release heap parent;
+        Alcotest.(check bool)
+          "child freed too" false
+          (Pmalloc.Allocator.is_allocated alloc child));
+    Alcotest.test_case "shared child survives one parent" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let child = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:1 in
+        Pmalloc.Heap.store heap child (Pmem.Word.of_int 5);
+        let mk_parent () =
+          let p = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:1 in
+          Pmalloc.Heap.store heap p (Pmem.Word.of_ptr child);
+          p
+        in
+        let p1 = mk_parent () in
+        Pmalloc.Heap.retain heap child;
+        (* second parent shares *)
+        let p2 = mk_parent () in
+        Pmalloc.Heap.release heap p1;
+        Alcotest.(check bool)
+          "child alive" true
+          (Pmalloc.Allocator.is_allocated alloc child);
+        Pmalloc.Heap.release heap p2;
+        Alcotest.(check bool)
+          "child freed" false
+          (Pmalloc.Allocator.is_allocated alloc child));
+    Alcotest.test_case "raw children are freed, not scanned" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let blob = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:3 in
+        (* raw payload that would decode as a pointer if misread *)
+        Pmalloc.Heap.store heap blob (Pmem.Word.raw 12345);
+        let parent = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:1 in
+        Pmalloc.Heap.store heap parent (Pmem.Word.of_ptr blob);
+        Pmalloc.Heap.release heap parent;
+        Alcotest.(check bool)
+          "blob freed" false
+          (Pmalloc.Allocator.is_allocated alloc blob));
+  ]
+
+let freelist_tests =
+  [
+    Alcotest.test_case "exact bins roundtrip" `Quick (fun () ->
+        let fl = Pmalloc.Freelist.create () in
+        Pmalloc.Freelist.insert fl ~body:100 ~capacity:8;
+        Pmalloc.Freelist.insert fl ~body:200 ~capacity:8;
+        Alcotest.(check int) "free words" 16 (Pmalloc.Freelist.free_words fl);
+        (match Pmalloc.Freelist.take_exact fl 8 with
+        | Some e -> Alcotest.(check int) "capacity" 8 e.Pmalloc.Freelist.capacity
+        | None -> Alcotest.fail "expected a block");
+        Alcotest.(check int) "free words after" 8
+          (Pmalloc.Freelist.free_words fl));
+    Alcotest.test_case "first-fit from coarse buckets" `Quick (fun () ->
+        let fl = Pmalloc.Freelist.create () in
+        Pmalloc.Freelist.insert fl ~body:100 ~capacity:100;
+        Pmalloc.Freelist.insert fl ~body:300 ~capacity:400;
+        (match Pmalloc.Freelist.take_at_least fl 150 with
+        | Some e ->
+            Alcotest.(check bool) "big enough" true (e.Pmalloc.Freelist.capacity >= 150)
+        | None -> Alcotest.fail "expected a block");
+        (* the 100-word block must still be available *)
+        match Pmalloc.Freelist.take_at_least fl 80 with
+        | Some e -> Alcotest.(check int) "remaining block" 100 e.Pmalloc.Freelist.capacity
+        | None -> Alcotest.fail "expected the small block");
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"free words invariant (qcheck)" ~count:100
+         QCheck.(small_list (int_range 4 500))
+         (fun caps ->
+           let fl = Pmalloc.Freelist.create () in
+           List.iteri
+             (fun i c -> Pmalloc.Freelist.insert fl ~body:(i * 1000) ~capacity:c)
+             caps;
+           let total = List.fold_left ( + ) 0 caps in
+           let rec drain acc =
+             match Pmalloc.Freelist.take_at_least fl 4 with
+             | Some e -> drain (acc + e.Pmalloc.Freelist.capacity)
+             | None -> acc
+           in
+           let drained = drain 0 in
+           drained = total && Pmalloc.Freelist.free_words fl = 0));
+  ]
+
+let root_tests =
+  [
+    Alcotest.test_case "root slots start null" `Quick (fun () ->
+        let heap = mk_heap () in
+        for slot = 0 to Pmalloc.Heap.root_slots - 1 do
+          Alcotest.(check bool)
+            "null" true
+            (Pmem.Word.is_null (Pmalloc.Heap.root_get heap slot))
+        done);
+    Alcotest.test_case "root set/get" `Quick (fun () ->
+        let heap = mk_heap () in
+        Pmalloc.Heap.root_set heap 3 (Pmem.Word.of_ptr 100);
+        Alcotest.(check int) "roundtrip" 100
+          (Pmem.Word.to_ptr (Pmalloc.Heap.root_get heap 3)));
+    Alcotest.test_case "slot bounds checked" `Quick (fun () ->
+        let heap = mk_heap () in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Pmalloc.Heap.root_get heap 64);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* Build a small linked structure, commit it properly (flush+fence+root),
+   then crash and check the recovery GC. *)
+let recovery_tests =
+  [
+    Alcotest.test_case "reachable data survives, leaks reclaimed" `Quick
+      (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        (* leaked block from an interrupted FASE: flushed but unreachable;
+           allocated first so it sits in a gap between live blocks *)
+        let leak = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:8 in
+        Pmalloc.Heap.store heap leak (Pmem.Word.of_int 99);
+        Pmalloc.Heap.flush_block heap leak;
+        Pmalloc.Heap.sfence heap;
+        (* committed chain: root -> a -> b *)
+        let b = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:2 in
+        Pmalloc.Heap.store heap b (Pmem.Word.of_int 22);
+        Pmalloc.Heap.store heap (b + 1) Pmem.Word.null;
+        Pmalloc.Heap.flush_block heap b;
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:2 in
+        Pmalloc.Heap.store heap a (Pmem.Word.of_int 11);
+        Pmalloc.Heap.store heap (a + 1) (Pmem.Word.of_ptr b);
+        Pmalloc.Heap.flush_block heap a;
+        Pmalloc.Heap.sfence heap;
+        Pmalloc.Heap.root_set heap 0 (Pmem.Word.of_ptr a);
+        Pmalloc.Heap.clwb heap 0;
+        Pmalloc.Heap.sfence heap;
+        Pmalloc.Heap.crash heap;
+        let report = Pmalloc.Recovery_gc.recover heap in
+        Alcotest.(check int) "two live blocks" 2
+          report.Pmalloc.Recovery_gc.live_blocks;
+        Alcotest.(check bool)
+          "leak reclaimed" true
+          (report.Pmalloc.Recovery_gc.reclaimed_words > 0);
+        (* data is intact after recovery *)
+        let a' = Pmem.Word.to_ptr (Pmalloc.Heap.root_get heap 0) in
+        Alcotest.(check int) "a data" 11
+          (Pmem.Word.to_int (Pmalloc.Heap.load heap a'));
+        let b' = Pmem.Word.to_ptr (Pmalloc.Heap.load heap (a' + 1)) in
+        Alcotest.(check int) "b data" 22
+          (Pmem.Word.to_int (Pmalloc.Heap.load heap b'));
+        (* reclaimed space is reusable *)
+        let fresh = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:4 in
+        Alcotest.(check bool)
+          "allocator functional" true
+          (Pmalloc.Allocator.is_allocated alloc fresh));
+    Alcotest.test_case "recovery recomputes shared refcounts" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        (* diamond: two parents share one child; both parents in roots *)
+        let child = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:1 in
+        Pmalloc.Heap.store heap child (Pmem.Word.of_int 7);
+        Pmalloc.Heap.flush_block heap child;
+        let mk_parent slot =
+          let p = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:1 in
+          Pmalloc.Heap.store heap p (Pmem.Word.of_ptr child);
+          Pmalloc.Heap.flush_block heap p;
+          Pmalloc.Heap.sfence heap;
+          Pmalloc.Heap.root_set heap slot (Pmem.Word.of_ptr p);
+          Pmalloc.Heap.clwb heap slot
+        in
+        mk_parent 0;
+        mk_parent 1;
+        Pmalloc.Heap.sfence heap;
+        Pmalloc.Heap.crash heap;
+        ignore (Pmalloc.Recovery_gc.recover heap);
+        let child' =
+          Pmem.Word.to_ptr
+            (Pmalloc.Heap.load heap
+               (Pmem.Word.to_ptr (Pmalloc.Heap.root_get heap 0)))
+        in
+        Alcotest.(check int) "in-degree 2" 2
+          (Pmalloc.Allocator.rc_get alloc child'));
+    Alcotest.test_case "empty heap recovers to empty" `Quick (fun () ->
+        let heap = mk_heap () in
+        Pmalloc.Heap.crash heap;
+        let report = Pmalloc.Recovery_gc.recover heap in
+        Alcotest.(check int) "no live blocks" 0
+          report.Pmalloc.Recovery_gc.live_blocks);
+  ]
+
+let () =
+  Alcotest.run "pmalloc"
+    [
+      ("allocator", alloc_tests);
+      ("refcounts", rc_tests);
+      ("freelist", freelist_tests);
+      ("roots", root_tests);
+      ("recovery", recovery_tests);
+    ]

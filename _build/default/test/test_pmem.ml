@@ -1,0 +1,330 @@
+(* Unit and property tests for the persistent-memory hardware model. *)
+
+let word_tests =
+  let open Pmem in
+  [
+    Alcotest.test_case "scalar roundtrip" `Quick (fun () ->
+        List.iter
+          (fun v -> Alcotest.(check int) "roundtrip" v Word.(to_int (of_int v)))
+          [ 0; 1; -1; 42; -42; 1 lsl 60; -(1 lsl 60) ]);
+    Alcotest.test_case "pointer roundtrip" `Quick (fun () ->
+        List.iter
+          (fun p -> Alcotest.(check int) "roundtrip" p Word.(to_ptr (of_ptr p)))
+          [ 0; 1; 64; 123456; 1 lsl 40 ]);
+    Alcotest.test_case "tags distinguish" `Quick (fun () ->
+        Alcotest.(check bool) "ptr is ptr" true (Word.is_ptr (Word.of_ptr 7));
+        Alcotest.(check bool) "int not ptr" false (Word.is_ptr (Word.of_int 7));
+        Alcotest.(check bool) "null is null" true (Word.is_null Word.null);
+        Alcotest.(check bool)
+          "ptr 0 is null" true
+          (Word.is_null (Word.of_ptr 0));
+        Alcotest.(check bool)
+          "scalar 0 is not null" false
+          (Word.is_null (Word.of_int 0)));
+    Alcotest.test_case "decode mismatches raise" `Quick (fun () ->
+        Alcotest.check_raises "to_ptr of scalar"
+          (Invalid_argument "Word.to_ptr: scalar word") (fun () ->
+            ignore (Word.to_ptr (Word.of_int 3)));
+        Alcotest.check_raises "to_int of ptr"
+          (Invalid_argument "Word.to_int: pointer word") (fun () ->
+            ignore (Word.to_int (Word.of_ptr 3))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"scalar roundtrip (qcheck)" ~count:500
+         (QCheck.int_range (-(1 lsl 55)) (1 lsl 55))
+         (fun v -> Pmem.Word.(to_int (of_int v)) = v));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pointer roundtrip (qcheck)" ~count:500
+         (QCheck.int_range 0 (1 lsl 50))
+         (fun p -> Pmem.Word.(to_ptr (of_ptr p)) = p));
+  ]
+
+let region_tests =
+  let open Pmem in
+  [
+    Alcotest.test_case "store visible to load" `Quick (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 10 (Word.of_int 99);
+        Alcotest.(check int) "load" 99 (Word.to_int (Region.load r 10)));
+    Alcotest.test_case "unflushed store not durable" `Quick (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 10 (Word.of_int 99);
+        Alcotest.(check int) "durable still zero" 0
+          (Word.bits (Region.peek_durable r 10)));
+    Alcotest.test_case "clwb+sfence makes durable" `Quick (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 10 (Word.of_int 99);
+        Region.clwb r 10;
+        Region.sfence r;
+        Alcotest.(check int) "durable" 99
+          (Word.to_int (Region.peek_durable r 10)));
+    Alcotest.test_case "clwb without fence leaves line in flight" `Quick
+      (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 10 (Word.of_int 99);
+        Region.clwb r 10;
+        Alcotest.(check int) "one in flight" 1 (Region.inflight r);
+        Region.sfence r;
+        Alcotest.(check int) "drained" 0 (Region.inflight r));
+    Alcotest.test_case "store to in-flight line re-dirties it" `Quick
+      (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 10 (Word.of_int 1);
+        Region.clwb r 10;
+        Region.store r 10 (Word.of_int 2);
+        Alcotest.(check int) "no longer in flight" 0 (Region.inflight r);
+        Region.clwb r 10;
+        Region.sfence r;
+        Alcotest.(check int) "latest value durable" 2
+          (Word.to_int (Region.peek_durable r 10)));
+    Alcotest.test_case "crash drops dirty, keeps fenced" `Quick (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 8 (Word.of_int 11);
+        Region.clwb r 8;
+        Region.sfence r;
+        Region.store r 128 (Word.of_int 22);
+        (* dirty, never flushed *)
+        Region.crash ~mode:Region.Drop_inflight r;
+        Alcotest.(check int) "fenced data survives" 11
+          (Word.to_int (Region.load r 8));
+        Alcotest.(check int) "dirty data lost" 0 (Word.bits (Region.load r 128)));
+    Alcotest.test_case "crash keep-inflight persists launched flushes" `Quick
+      (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 8 (Word.of_int 11);
+        Region.clwb r 8;
+        Region.crash ~mode:Region.Keep_inflight r;
+        Alcotest.(check int) "in-flight survived" 11
+          (Word.to_int (Region.load r 8)));
+    Alcotest.test_case "crash drop-inflight loses launched flushes" `Quick
+      (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 8 (Word.of_int 11);
+        Region.clwb r 8;
+        Region.crash ~mode:Region.Drop_inflight r;
+        Alcotest.(check int) "in-flight lost" 0 (Word.bits (Region.load r 8)));
+    Alcotest.test_case "capacity grows on demand" `Quick (fun () ->
+        let r = Region.create ~capacity_words:64 () in
+        Region.ensure_capacity r 1000;
+        Alcotest.(check bool) "grew" true (Region.capacity_words r >= 1000);
+        Region.store r 999 (Word.of_int 5);
+        Alcotest.(check int) "usable" 5 (Word.to_int (Region.load r 999)));
+    Alcotest.test_case "out-of-bounds access raises" `Quick (fun () ->
+        let r = Region.create ~capacity_words:64 () in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Region.load r 64);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "sfence counts drained lines once" `Quick (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        (* words 0 and 1 share a line; 64 is another line *)
+        Region.store r 0 (Word.of_int 1);
+        Region.store r 1 (Word.of_int 2);
+        Region.store r 64 (Word.of_int 3);
+        Region.clwb r 0;
+        Region.clwb r 1;
+        Region.clwb r 64;
+        Alcotest.(check int) "two lines in flight" 2 (Region.inflight r);
+        Region.sfence r;
+        let s = Region.stats r in
+        Alcotest.(check int) "drained" 2 s.Pmem.Stats.lines_drained);
+  ]
+
+let latency_tests =
+  let open Pmem in
+  [
+    Alcotest.test_case "single flush+fence costs 353ns" `Quick (fun () ->
+        Alcotest.(check (float 0.01)) "t1" 353.0 (Latency.amdahl_avg_ns 1));
+    Alcotest.test_case "16-way overlap cuts latency ~75%" `Quick (fun () ->
+        let avg16 = Latency.amdahl_avg_ns 16 in
+        let reduction = (353.0 -. avg16) /. 353.0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "reduction %.2f in [0.72, 0.80]" reduction)
+          true
+          (reduction > 0.72 && reduction < 0.80));
+    Alcotest.test_case "amdahl is monotone decreasing" `Quick (fun () ->
+        let rec check n =
+          if n < 32 then begin
+            Alcotest.(check bool)
+              "monotone" true
+              (Latency.amdahl_avg_ns (n + 1) < Latency.amdahl_avg_ns n);
+            check (n + 1)
+          end
+        in
+        check 1);
+    Alcotest.test_case "fence stall scales with inflight" `Quick (fun () ->
+        Alcotest.(check (float 0.01))
+          "empty fence" Config.fence_base_ns
+          (Latency.fence_stall_ns ~inflight:0);
+        Alcotest.(check (float 0.01))
+          "1 flush" 353.0
+          (Latency.fence_stall_ns ~inflight:1);
+        let s8 = Latency.fence_stall_ns ~inflight:8 in
+        Alcotest.(check bool)
+          "8 flushes cost less than 8 serialized" true
+          (s8 < 8.0 *. 353.0));
+    Alcotest.test_case "region charges fence stall to flush phase" `Quick
+      (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        Region.store r 0 (Word.of_int 1);
+        Region.clwb r 0;
+        let before = (Region.stats r).Stats.ns_flush in
+        Region.sfence r;
+        let after = (Region.stats r).Stats.ns_flush in
+        Alcotest.(check (float 0.01)) "353ns stall" 353.0 (after -. before));
+  ]
+
+let hierarchy_tests =
+  let open Pmem in
+  [
+    Alcotest.test_case "L2 absorbs L1 conflict misses cheaply" `Quick
+      (fun () ->
+        let r = Region.create ~capacity_words:(1 lsl 16) () in
+        (* touch a working set larger than L1D (32KB) but far below L2 *)
+        let words = 8192 in
+        for i = 0 to words - 1 do
+          ignore (Region.load r (i * 8))
+        done;
+        let s = Region.stats r in
+        let cold = s.Stats.now_ns in
+        Stats.reset s;
+        for i = 0 to words - 1 do
+          ignore (Region.load r (i * 8))
+        done;
+        (* second sweep: all L1 misses, but served by L2 at 14ns *)
+        Alcotest.(check bool)
+          (Printf.sprintf "warm sweep (%.0f) far cheaper than cold (%.0f)"
+             s.Stats.now_ns cold)
+          true
+          (s.Stats.now_ns < cold /. 4.0));
+    Alcotest.test_case "first touch pays PM latency" `Quick (fun () ->
+        let r = Region.create ~capacity_words:1024 () in
+        let s = Region.stats r in
+        let before = s.Stats.now_ns in
+        ignore (Region.load r 512);
+        Alcotest.(check (float 0.01)) "PM read" Config.pm_read_ns
+          (s.Stats.now_ns -. before);
+        let before = s.Stats.now_ns in
+        ignore (Region.load r 512);
+        Alcotest.(check (float 0.01)) "L1 hit" Config.l1_hit_ns
+          (s.Stats.now_ns -. before));
+  ]
+
+let cache_tests =
+  let open Pmem in
+  [
+    Alcotest.test_case "repeat access hits" `Quick (fun () ->
+        let c = Cache.create () in
+        let wb _ = () in
+        Alcotest.(check bool) "first miss" false
+          (Cache.access c ~writeback:wb ~line:5 ~write:false);
+        Alcotest.(check bool) "second hit" true
+          (Cache.access c ~writeback:wb ~line:5 ~write:false));
+    Alcotest.test_case "conflict misses evict LRU" `Quick (fun () ->
+        let c = Cache.create ~sets:1 ~ways:2 () in
+        let wb _ = () in
+        ignore (Cache.access c ~writeback:wb ~line:1 ~write:false);
+        ignore (Cache.access c ~writeback:wb ~line:2 ~write:false);
+        ignore (Cache.access c ~writeback:wb ~line:3 ~write:false);
+        (* line 1 was LRU and must be gone *)
+        Alcotest.(check bool) "line1 evicted" false (Cache.resident c ~line:1);
+        Alcotest.(check bool) "line3 resident" true (Cache.resident c ~line:3));
+    Alcotest.test_case "dirty eviction triggers writeback" `Quick (fun () ->
+        let c = Cache.create ~sets:1 ~ways:1 () in
+        let written = ref [] in
+        let wb l = written := l :: !written in
+        ignore (Cache.access c ~writeback:wb ~line:1 ~write:true);
+        ignore (Cache.access c ~writeback:wb ~line:2 ~write:false);
+        Alcotest.(check (list int)) "victim written back" [ 1 ] !written);
+    Alcotest.test_case "mark_clean suppresses writeback" `Quick (fun () ->
+        let c = Cache.create ~sets:1 ~ways:1 () in
+        let written = ref [] in
+        let wb l = written := l :: !written in
+        ignore (Cache.access c ~writeback:wb ~line:1 ~write:true);
+        Cache.mark_clean c ~line:1;
+        ignore (Cache.access c ~writeback:wb ~line:2 ~write:false);
+        Alcotest.(check (list int)) "no writeback" [] !written);
+    Alcotest.test_case "eviction writeback makes line durable" `Quick
+      (fun () ->
+        (* region-level: write many lines so the 32KB L1D must evict;
+           evicted dirty lines land in PM even without clwb *)
+        let r = Region.create ~capacity_words:(1 lsl 16) () in
+        for i = 0 to 8191 do
+          Region.store r (i * 8) (Word.of_int i)
+        done;
+        let durable = ref 0 in
+        for i = 0 to 8191 do
+          if Word.bits (Region.peek_durable r (i * 8)) <> 0 then incr durable
+        done;
+        Alcotest.(check bool)
+          (Printf.sprintf "%d lines evicted to PM" !durable)
+          true (!durable > 4000));
+  ]
+
+let stats_tests =
+  let open Pmem in
+  [
+    Alcotest.test_case "phase attribution" `Quick (fun () ->
+        let s = Stats.create () in
+        Stats.advance s 10.0;
+        Stats.in_phase s Stats.Log (fun () -> Stats.advance s 5.0);
+        Stats.in_phase s Stats.Flush (fun () -> Stats.advance s 2.0);
+        Alcotest.(check (float 0.001)) "other" 10.0 s.Stats.ns_other;
+        Alcotest.(check (float 0.001)) "log" 5.0 s.Stats.ns_log;
+        Alcotest.(check (float 0.001)) "flush" 2.0 s.Stats.ns_flush;
+        Alcotest.(check (float 0.001)) "total" 17.0 s.Stats.now_ns);
+    Alcotest.test_case "in_phase restores on exception" `Quick (fun () ->
+        let s = Stats.create () in
+        (try Stats.in_phase s Stats.Log (fun () -> failwith "boom")
+         with Failure _ -> ());
+        Stats.advance s 1.0;
+        Alcotest.(check (float 0.001)) "charged to other" 1.0 s.Stats.ns_other);
+    Alcotest.test_case "snapshot diff" `Quick (fun () ->
+        let s = Stats.create () in
+        let before = Stats.snapshot s in
+        Stats.advance s 7.0;
+        s.Stats.clwbs <- 3;
+        let d = Stats.diff ~before ~after:(Stats.snapshot s) in
+        Alcotest.(check (float 0.001)) "ns" 7.0 d.Stats.s_now_ns;
+        Alcotest.(check int) "clwbs" 3 d.Stats.s_clwbs);
+  ]
+
+let trace_tests =
+  let open Pmem in
+  [
+    Alcotest.test_case "records region events in order" `Quick (fun () ->
+        let r = Region.create ~capacity_words:1024 ~trace:true () in
+        Region.store r 9 (Word.of_int 1);
+        Region.clwb r 9;
+        Region.sfence r;
+        match Trace.to_list (Region.trace r) with
+        | [ Trace.Write { off = 9 }; Trace.Flush { line = 1 }; Trace.Fence ] ->
+            ()
+        | evs ->
+            Alcotest.failf "unexpected trace: %a"
+              (Fmt.list ~sep:Fmt.comma Trace.pp_event)
+              evs);
+    Alcotest.test_case "disabled trace records nothing" `Quick (fun () ->
+        let r = Region.create ~capacity_words:1024 ~trace:false () in
+        Region.store r 9 (Word.of_int 1);
+        Alcotest.(check int) "empty" 0 (Trace.length (Region.trace r)));
+    Alcotest.test_case "trace grows past initial capacity" `Quick (fun () ->
+        let t = Trace.create ~enabled:true in
+        for i = 0 to 5000 do
+          Trace.emit t (Trace.Write { off = i })
+        done;
+        Alcotest.(check int) "all kept" 5001 (Trace.length t));
+  ]
+
+let () =
+  Alcotest.run "pmem"
+    [
+      ("word", word_tests);
+      ("region", region_tests);
+      ("latency", latency_tests);
+      ("cache", cache_tests);
+      ("hierarchy", hierarchy_tests);
+      ("stats", stats_tests);
+      ("trace", trace_tests);
+    ]

@@ -3,6 +3,8 @@
    Subcommands:
      run         -- run a Table 2 workload on a backend, print measurements
      crash-test  -- randomized crash/recover rounds on a MOD map
+     crashtest   -- exhaustive crash-point exploration with the
+                    durable-linearizability oracle (and --replay)
      check       -- run a workload under tracing and apply the Section 5.4
                     consistency checker
      fig4        -- the flush-concurrency microbenchmark
@@ -103,6 +105,188 @@ let crash_cmd =
   let doc = "Randomized crash/recovery demonstration on a MOD map." in
   Cmd.v (Cmd.info "crash-test" ~doc) Term.(const run $ rounds $ seed)
 
+(* -- crashtest ---------------------------------------------------------- *)
+
+let crashtest_cmd =
+  let run workload ops stride samples seed max_points quick replay mode sseed
+      shrink =
+    let ops = if quick then min ops 8 else ops in
+    let samples = if quick then min samples 2 else samples in
+    let cfg =
+      {
+        Crashtest.Explorer.default with
+        stride;
+        randomize_samples = samples;
+        seed;
+        max_points;
+        log = prerr_endline;
+      }
+    in
+    let build name =
+      try Crashtest.Workload.build name ~ops
+      with Invalid_argument msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    match replay with
+    | Some crash_index -> (
+        (* deterministic single-point replay of a reported failure *)
+        let m =
+          match Crashtest.Explorer.mode_of_name mode with
+          | Ok m -> m
+          | Error e ->
+              prerr_endline e;
+              exit 2
+        in
+        let w = build workload in
+        match
+          Crashtest.Replay.replay ~cfg w ~crash_index ~mode:m ?seed:sseed ()
+        with
+        | None ->
+            Printf.printf
+              "crash index %d is beyond the workload's last PM event\n"
+              crash_index
+        | Some Crashtest.Oracle.Consistent ->
+            Printf.printf
+              "replay %s @ event %d (mode %s): consistent with a \
+               FASE-boundary prefix\n"
+              workload crash_index mode
+        | Some (Crashtest.Oracle.Violation d) ->
+            Printf.printf "replay %s @ event %d (mode %s): VIOLATION\n  %s\n"
+              workload crash_index mode d;
+            if shrink then begin
+              let f =
+                {
+                  Crashtest.Explorer.workload;
+                  ops;
+                  crash_index;
+                  mode = m;
+                  survival_seed = sseed;
+                  detail = d;
+                }
+              in
+              let f' = Crashtest.Replay.minimize ~cfg f in
+              Printf.printf "  minimal repro: %s\n"
+                (Crashtest.Replay.command f')
+            end;
+            exit 1)
+    | None ->
+        let names =
+          match workload with
+          | "all" -> Crashtest.Workload.names
+          | "mod" -> Crashtest.Workload.mod_names
+          | n -> [ n ]
+        in
+        let bad = ref false in
+        List.iter
+          (fun name ->
+            let w = build name in
+            let r = Crashtest.Explorer.explore ~cfg w in
+            Format.printf "%a@." Crashtest.Explorer.pp_result r;
+            let failed = not (Crashtest.Explorer.ok r) in
+            if w.Crashtest.Workload.negative then
+              if not failed then begin
+                Format.printf
+                  "  NEGATIVE CONTROL MISSED: expected an oracle violation, \
+                   none found@.";
+                bad := true
+              end
+              else
+                let f = List.hd r.Crashtest.Explorer.failures in
+                Format.printf
+                  "  negative control caught as expected; replay with:@.  \
+                   \  %s@."
+                  (Crashtest.Replay.command f)
+            else if failed then begin
+              bad := true;
+              List.iteri
+                (fun i f ->
+                  if i < 5 then
+                    Format.printf "  %a@.    replay: %s@."
+                      Crashtest.Explorer.pp_failure f
+                      (Crashtest.Replay.command f))
+                r.Crashtest.Explorer.failures
+            end)
+          names;
+        if !bad then exit 1
+  in
+  let workload =
+    Arg.(
+      value & opt string "all"
+      & info [ "workload"; "w" ]
+          ~doc:
+            (Printf.sprintf
+               "Workload to explore: all, mod (the six MOD structures), or \
+                one of %s."
+               (String.concat ", " Crashtest.Workload.names)))
+  in
+  let ops =
+    Arg.(
+      value & opt int 40
+      & info [ "ops" ] ~doc:"Operations per workload script.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~doc:"Test every STRIDE-th crash point.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 3
+      & info [ "samples" ]
+          ~doc:"Randomize-mode survival samples per crash point.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Master seed survival seeds derive from.")
+  in
+  let max_points =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-points" ] ~doc:"Cap on tested crash points.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Bounded smoke sweep (at most 8 ops, 2 samples) for CI.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay" ]
+          ~doc:"Replay one crash point: power fails after this PM event.")
+  in
+  let mode =
+    Arg.(
+      value & opt string "randomize"
+      & info [ "mode" ] ~doc:"Crash mode for --replay: drop|keep|randomize.")
+  in
+  let sseed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "survival-seed" ]
+          ~doc:"Line-survival seed for --replay in randomize mode.")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"After a failing --replay, print the minimal repro command.")
+  in
+  let doc =
+    "Exhaustively explore the crash-state space of a workload: inject a \
+     power failure after every PM event, recover, and check the recovered \
+     state against the durable-linearizability oracle (plus the Section \
+     5.4 trace invariants).  Negative controls (stm-broken, map-nofence) \
+     are expected to violate the oracle."
+  in
+  Cmd.v (Cmd.info "crashtest" ~doc)
+    Term.(
+      const run $ workload $ ops $ stride $ samples $ seed $ max_points
+      $ quick $ replay $ mode $ sseed $ shrink)
+
 (* -- check ------------------------------------------------------------- *)
 
 let check_cmd =
@@ -160,4 +344,7 @@ let machine_cmd =
 let () =
   let doc = "MOD: minimally ordered durable datastructures (reproduction)" in
   let info = Cmd.info "modpm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; crash_cmd; check_cmd; fig4_cmd; machine_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; crash_cmd; crashtest_cmd; check_cmd; fig4_cmd; machine_cmd ]))

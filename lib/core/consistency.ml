@@ -92,10 +92,16 @@ let check ?(root_slots = Pmalloc.Heap.root_slots) trace =
     | Pmem.Trace.Flush { line } -> Hashtbl.replace line_flushed line true
     | Pmem.Trace.Fence ->
         incr fences;
-        Hashtbl.iter
-          (fun line flushed ->
-            if not flushed then note (Unflushed_write { index; line }))
-          line_flushed;
+        (* Hashtbl.iter order is unspecified; collect this fence's
+           violations and sort by line so reports are deterministic. *)
+        let unflushed =
+          Hashtbl.fold
+            (fun line flushed acc -> if flushed then acc else line :: acc)
+            line_flushed []
+        in
+        List.iter
+          (fun line -> note (Unflushed_write { index; line }))
+          (List.sort compare unflushed);
         Hashtbl.reset line_flushed
     | Pmem.Trace.Commit_begin -> incr in_commit
     | Pmem.Trace.Commit_end ->

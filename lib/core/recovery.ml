@@ -13,20 +13,28 @@
     [crash_and_recover] drives the whole cycle against the simulated
     hardware and is what the crash-injection tests exercise. *)
 
-type report = { stm_rolled_back : bool; gc : Pmalloc.Recovery_gc.report }
+type report = {
+  stm_rolled_back : bool;
+  gc : Pmalloc.Recovery_gc.report;
+  crash_seed : int option;
+}
 
 let recover ?stm heap =
   let stm_rolled_back =
     match stm with Some tx -> Pmstm.Tx.recover tx | None -> false
   in
   let gc = Pmalloc.Recovery_gc.recover heap in
-  { stm_rolled_back; gc }
+  { stm_rolled_back; gc; crash_seed = None }
 
-let crash_and_recover ?mode ?stm heap =
-  Pmalloc.Heap.crash ?mode heap;
-  recover ?stm heap
+let crash_and_recover ?mode ?seed ?stm heap =
+  Pmalloc.Heap.crash ?mode ?seed heap;
+  let crash_seed = Pmem.Region.last_crash_seed (Pmalloc.Heap.region heap) in
+  { (recover ?stm heap) with crash_seed }
 
 let pp_report ppf r =
-  Format.fprintf ppf "%a%s" Pmalloc.Recovery_gc.pp_report r.gc
+  Format.fprintf ppf "%a%s%s" Pmalloc.Recovery_gc.pp_report r.gc
     (if r.stm_rolled_back then " (rolled back an interrupted transaction)"
      else "")
+    (match r.crash_seed with
+    | Some s -> Printf.sprintf " (crash seed %d)" s
+    | None -> "")

@@ -7,13 +7,24 @@
     (CommitUnrelated / the PMDK baseline), then runs the reachability
     analysis that recomputes reference counts and reclaims every leak. *)
 
-type report = { stm_rolled_back : bool; gc : Pmalloc.Recovery_gc.report }
+type report = {
+  stm_rolled_back : bool;
+  gc : Pmalloc.Recovery_gc.report;
+  crash_seed : int option;
+      (** seed that drove randomized line survival, when a crash was
+          injected by {!crash_and_recover}; replay it with [?seed] *)
+}
 
 val recover : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
 (** Recovery against the current durable image (call after a crash). *)
 
 val crash_and_recover :
-  ?mode:Pmem.Region.crash_mode -> ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
-(** Inject a power failure, then recover. *)
+  ?mode:Pmem.Region.crash_mode ->
+  ?seed:int ->
+  ?stm:Pmstm.Tx.t ->
+  Pmalloc.Heap.t ->
+  report
+(** Inject a power failure, then recover.  [seed] pins the [Randomize]
+    survival outcomes; the seed actually used is in the report. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,257 @@
+(** Exhaustive crash-point exploration.
+
+    A workload is re-run deterministically with the {!Pmem.Region} crash
+    scheduler armed at budget 1, 2, ..., so a simulated power failure is
+    injected after every single PM event (store / clwb / sfence).  At
+    each crash point the memory image is snapshotted and sampled under
+    the three crash modes -- [Drop_inflight] and [Keep_inflight] are
+    deterministic corner cases; [Randomize] is sampled K times from
+    explicit, replayable survival seeds -- then recovered and checked
+    against the durable-linearizability oracle.  A full (uncrashed) run
+    is also traced and fed to the Section 5.4 consistency checker as a
+    second invariant.
+
+    Large runs can be strided or capped; whatever is skipped is reported
+    through [log] rather than silently dropped. *)
+
+type config = {
+  stride : int;  (** test every [stride]-th crash point *)
+  randomize_samples : int;  (** survival samples per point in Randomize *)
+  seed : int;  (** master seed survival seeds are derived from *)
+  modes : Pmem.Region.crash_mode list;
+  capacity_words : int;
+  heap_seed : int;
+  max_points : int option;  (** cap on tested points (strided sweeps) *)
+  log : string -> unit;
+}
+
+let default =
+  {
+    stride = 1;
+    randomize_samples = 3;
+    seed = 1;
+    modes =
+      [
+        Pmem.Region.Drop_inflight;
+        Pmem.Region.Keep_inflight;
+        Pmem.Region.Randomize;
+      ];
+    capacity_words = 1 lsl 14;
+    heap_seed = 42;
+    max_points = None;
+    log = ignore;
+  }
+
+type failure = {
+  workload : string;
+  ops : int;
+  crash_index : int;  (** PM event the power failed after *)
+  mode : Pmem.Region.crash_mode;
+  survival_seed : int option;  (** Randomize line-survival seed *)
+  detail : string;
+}
+
+type result = {
+  workload : string;
+  ops : int;
+  total_events : int;
+  points_tested : int;
+  points_skipped : int;
+  crashes_sampled : int;
+  trace_report : Mod_core.Consistency.report option;
+  failures : failure list;
+}
+
+let ok r =
+  r.failures = []
+  && match r.trace_report with
+     | Some rep -> Mod_core.Consistency.ok rep
+     | None -> true
+
+let mode_name = function
+  | Pmem.Region.Drop_inflight -> "drop"
+  | Pmem.Region.Keep_inflight -> "keep"
+  | Pmem.Region.Randomize -> "randomize"
+
+let mode_of_name = function
+  | "drop" -> Ok Pmem.Region.Drop_inflight
+  | "keep" -> Ok Pmem.Region.Keep_inflight
+  | "randomize" | "random" -> Ok Pmem.Region.Randomize
+  | s -> Error (Printf.sprintf "unknown crash mode %S (drop|keep|randomize)" s)
+
+(* Survival seeds are a pure function of (master seed, crash point,
+   sample index): any failure replays bit-for-bit from its triple. *)
+let survival_seed cfg ~crash_index ~k =
+  (cfg.seed * 1_000_003) + (crash_index * 131) + k
+
+type crashed = {
+  c_heap : Pmalloc.Heap.t;
+  c_inst : Workload.instance;
+  c_history : Workload.state list;  (** distinct committed states, newest first *)
+  c_pending : Workload.state option;
+}
+
+(* Run [w] on a fresh deterministic heap; if [budget] is given, power
+   fails after that many PM events (counted from just after heap
+   creation) and the interrupted execution is returned. *)
+let run_until cfg (w : Workload.t) ~budget =
+  let heap =
+    Pmalloc.Heap.create ~capacity_words:cfg.capacity_words ~trace:true
+      ~seed:cfg.heap_seed ()
+  in
+  let region = Pmalloc.Heap.region heap in
+  let base_events = Pmem.Region.pm_events region in
+  (match budget with
+  | Some n -> Pmem.Region.set_crash_after region n
+  | None -> ());
+  let history = ref [ w.model.(0) ] in
+  let pending = ref None in
+  let inst = w.make heap in
+  match
+    inst.Workload.init ();
+    for i = 0 to w.ops - 1 do
+      pending := Some w.model.(i + 1);
+      inst.Workload.run_op i;
+      pending := None;
+      if w.model.(i + 1) <> List.hd !history then
+        history := w.model.(i + 1) :: !history
+    done
+  with
+  | () ->
+      Pmem.Region.clear_crash_point region;
+      `Completed (Pmem.Region.pm_events region - base_events, heap)
+  | exception Pmem.Region.Crash_point ->
+      `Crashed
+        { c_heap = heap; c_inst = inst; c_history = !history;
+          c_pending = !pending }
+
+let recover_and_check (c : crashed) =
+  let recovered =
+    match
+      c.c_inst.Workload.recover ();
+      c.c_inst.Workload.dump ()
+    with
+    | s -> Ok s
+    | exception e -> Error e
+  in
+  Oracle.check ~history:c.c_history ~pending:c.c_pending ~recovered
+
+(* Sample one crash point: snapshot the interrupted image, then for each
+   mode (and each survival seed, under Randomize) restore, crash,
+   recover and consult the oracle. *)
+let sample_point cfg (w : Workload.t) ~crash_index (c : crashed) =
+  let region = Pmalloc.Heap.region c.c_heap in
+  let snap = Pmem.Region.snapshot region in
+  let sampled = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun mode ->
+      let samples =
+        match mode with
+        | Pmem.Region.Randomize -> cfg.randomize_samples
+        | Pmem.Region.Drop_inflight | Pmem.Region.Keep_inflight -> 1
+      in
+      for k = 0 to samples - 1 do
+        Pmem.Region.restore region snap;
+        let seed =
+          match mode with
+          | Pmem.Region.Randomize ->
+              Some (survival_seed cfg ~crash_index ~k)
+          | _ -> None
+        in
+        Pmalloc.Heap.crash ~mode ?seed c.c_heap;
+        incr sampled;
+        match recover_and_check c with
+        | Oracle.Consistent -> ()
+        | Oracle.Violation detail ->
+            failures :=
+              {
+                workload = w.Workload.name;
+                ops = w.Workload.ops;
+                crash_index;
+                mode;
+                survival_seed = seed;
+                detail;
+              }
+              :: !failures
+      done)
+    cfg.modes;
+  (!sampled, List.rev !failures)
+
+let explore ?(cfg = default) (w : Workload.t) =
+  let total_events, trace_report =
+    match run_until cfg w ~budget:None with
+    | `Completed (events, heap) ->
+        let report =
+          if w.Workload.check_trace then
+            Some (Mod_core.Consistency.check (Pmalloc.Heap.trace heap))
+          else None
+        in
+        (events, report)
+    | `Crashed _ -> assert false (* no budget armed *)
+  in
+  let tested = ref 0 in
+  let sampled = ref 0 in
+  let failures = ref [] in
+  let budget = ref 1 in
+  let stop = ref false in
+  while not !stop do
+    let capped =
+      match cfg.max_points with Some m -> !tested >= m | None -> false
+    in
+    if capped || !budget > total_events then stop := true
+    else
+      match run_until cfg w ~budget:(Some !budget) with
+      | `Completed _ ->
+          (* the budget outlived the execution: sweep is complete *)
+          stop := true
+      | `Crashed c ->
+          incr tested;
+          let n, fs = sample_point cfg w ~crash_index:!budget c in
+          sampled := !sampled + n;
+          failures := !failures @ fs;
+          budget := !budget + cfg.stride
+  done;
+  let skipped = max 0 (total_events - !tested) in
+  if skipped > 0 then
+    cfg.log
+      (Printf.sprintf
+         "%s: tested %d of %d crash points (stride %d%s), %d skipped"
+         w.Workload.name !tested total_events cfg.stride
+         (match cfg.max_points with
+         | Some m -> Printf.sprintf ", cap %d" m
+         | None -> "")
+         skipped);
+  {
+    workload = w.Workload.name;
+    ops = w.Workload.ops;
+    total_events;
+    points_tested = !tested;
+    points_skipped = skipped;
+    crashes_sampled = !sampled;
+    trace_report;
+    failures = !failures;
+  }
+
+let pp_failure ppf (f : failure) =
+  Format.fprintf ppf "%s: crash after PM event %d (mode %s%s): %s"
+    f.workload f.crash_index (mode_name f.mode)
+    (match f.survival_seed with
+    | Some s -> Printf.sprintf ", survival seed %d" s
+    | None -> "")
+    f.detail
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-12s %5d events, %5d points tested (%d skipped), %6d crash samples, %s%s"
+    r.workload r.total_events r.points_tested r.points_skipped
+    r.crashes_sampled
+    (match r.trace_report with
+    | Some rep when not (Mod_core.Consistency.ok rep) ->
+        Printf.sprintf "trace: %d violation(s), "
+          (List.length rep.Mod_core.Consistency.violations)
+    | Some _ -> "trace: ok, "
+    | None -> "")
+    (match r.failures with
+    | [] -> "oracle: ok"
+    | fs -> Printf.sprintf "oracle: %d violation(s)" (List.length fs))

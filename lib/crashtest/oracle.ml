@@ -1,0 +1,42 @@
+(** Durable-linearizability oracle.
+
+    MOD provides buffered durable linearizability under epoch persistency
+    (paper Section 5.1): after a crash, the recovered abstract state must
+    equal the model state at a FASE boundary no older than the
+    penultimate committed operation -- the final root write's flush may
+    still have been in flight, and an operation that was mid-flight at
+    the crash may or may not have committed.  Anything else (a torn
+    state, a lost older operation, a phantom value) is a violation. *)
+
+type verdict = Consistent | Violation of string
+
+(* [acceptable] is the window of states a crash may legally expose:
+   the most recent committed state, the distinct state before it (its
+   root write was the only one whose flush could still be in flight --
+   every older root write was drained by a later FASE's fence), and the
+   state of the operation that was mid-flight when power failed. *)
+let acceptable ~history ~pending =
+  let committed =
+    match history with
+    | latest :: previous :: _ -> [ latest; previous ]
+    | l -> l
+  in
+  match pending with None -> committed | Some s -> s :: committed
+
+let check ~history ~pending ~recovered =
+  let ok = acceptable ~history ~pending in
+  match recovered with
+  | Error exn ->
+      Violation
+        (Printf.sprintf "reading the recovered structure raised %s"
+           (Printexc.to_string exn))
+  | Ok state ->
+      if List.mem state ok then Consistent
+      else
+        Violation
+          (Printf.sprintf
+             "recovered state %s is not at a FASE boundary (acceptable: %s)"
+             state
+             (String.concat " | " ok))
+
+let is_consistent = function Consistent -> true | Violation _ -> false

@@ -1,0 +1,55 @@
+(** Minimal-repro replay and shrinking.
+
+    Every explorer failure is identified by the triple
+    [(workload/ops, crash event index, survival seed)]; [replay] re-runs
+    exactly that crash deterministically, [command] prints the CLI
+    incantation that does the same, and [minimize] shrinks the workload
+    to the smallest operation count that still reproduces the failure. *)
+
+(* Re-run one crash point, single sample.  [None] means the crash index
+   lies beyond the workload's last PM event (nothing to inject). *)
+let replay ?(cfg = Explorer.default) (w : Workload.t) ~crash_index ~mode
+    ?seed () =
+  match Explorer.run_until cfg w ~budget:(Some crash_index) with
+  | `Completed _ -> None
+  | `Crashed c ->
+      Pmalloc.Heap.crash ~mode ?seed c.Explorer.c_heap;
+      Some (Explorer.recover_and_check c)
+
+let command (f : Explorer.failure) =
+  Printf.sprintf "modpm crashtest --workload %s --ops %d --replay %d --mode %s%s"
+    f.Explorer.workload f.Explorer.ops f.Explorer.crash_index
+    (Explorer.mode_name f.Explorer.mode)
+    (match f.Explorer.survival_seed with
+    | Some s -> Printf.sprintf " --survival-seed %d" s
+    | None -> "")
+
+let reproduces ?cfg (f : Explorer.failure) =
+  let w = Workload.build f.Explorer.workload ~ops:f.Explorer.ops in
+  match
+    replay ?cfg w ~crash_index:f.Explorer.crash_index ~mode:f.Explorer.mode
+      ?seed:f.Explorer.survival_seed ()
+  with
+  | Some (Oracle.Violation _) -> true
+  | Some Oracle.Consistent | None -> false
+
+(* Shrink the workload length: try 1, 2, 4, ... operations and keep the
+   first count whose execution still reaches the crash index and still
+   violates the oracle there (the crash index and survival seed are
+   preserved, so the repro stays bit-for-bit deterministic). *)
+let minimize ?cfg (f : Explorer.failure) =
+  let fails ops =
+    let w = Workload.build f.Explorer.workload ~ops in
+    match
+      replay ?cfg w ~crash_index:f.Explorer.crash_index
+        ~mode:f.Explorer.mode ?seed:f.Explorer.survival_seed ()
+    with
+    | Some (Oracle.Violation detail) ->
+        Some { f with Explorer.ops; detail }
+    | Some Oracle.Consistent | None -> None
+  in
+  let rec go ops =
+    if ops >= f.Explorer.ops then f
+    else match fails ops with Some f' -> f' | None -> go (ops * 2)
+  in
+  go 1

@@ -1,0 +1,535 @@
+(** Deterministic workload scripts for the crash-point explorer.
+
+    A workload is a fixed, seed-determined sequence of operations against
+    one durable structure, paired with a purely volatile model of the
+    abstract state after every prefix of operations.  States are rendered
+    canonically (sorted, fully explicit) so the durable-linearizability
+    oracle can compare a recovered structure against model prefixes with
+    plain string equality.
+
+    [make] builds a per-heap instance whose closures apply operations,
+    recover after a crash, and dump the recovered abstract state.
+    Instance construction itself performs no PM work; [init] does, so a
+    crash can land inside initialization too. *)
+
+type state = string
+
+type instance = {
+  init : unit -> unit;  (** durable initialization (may commit) *)
+  run_op : int -> unit;  (** apply operation [i] through the structure *)
+  dump : unit -> state;  (** canonical view of the (recovered) state *)
+  recover : unit -> unit;  (** post-crash recovery for this workload *)
+}
+
+type t = {
+  name : string;
+  ops : int;
+  negative : bool;
+      (** negative control: the oracle is expected to report violations *)
+  check_trace : bool;
+      (** also run the Section 5.4 trace checker (MOD-only invariant) *)
+  model : state array;  (** [model.(i)] = state after [i] operations *)
+  make : Pmalloc.Heap.t -> instance;
+}
+
+let seed_of name ~ops = (Hashtbl.hash name * 65599) + ops
+
+(* -- canonical renderings ------------------------------------------------- *)
+
+let render_ints l =
+  "[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+
+let render_pairs l =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) l)
+  ^ "}"
+
+(* [prefix_states ~init ~apply script] is the ops+1 abstract states after
+   every prefix of [script], starting from [init]. *)
+let prefix_states ~init ~apply script =
+  let _, acc =
+    List.fold_left
+      (fun (cur, acc) op ->
+        let next = apply cur op in
+        (next, next :: acc))
+      (init, [ init ]) script
+  in
+  Array.of_list (List.rev acc)
+
+(* -- map ------------------------------------------------------------------ *)
+
+module IntMap = Map.Make (Int)
+module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int)
+
+type map_op = Minsert of int * int | Mremove of int
+
+let map_script ~ops seed =
+  let rng = Random.State.make [| seed |] in
+  List.init ops (fun _ ->
+      let k = Random.State.int rng 24 in
+      if Random.State.int rng 3 < 2 then
+        Minsert (k, Random.State.int rng 1000)
+      else Mremove k)
+
+let map_model script =
+  Array.map
+    (fun m -> render_pairs (IntMap.bindings m))
+    (prefix_states ~init:IntMap.empty
+       ~apply:(fun m -> function
+         | Minsert (k, v) -> IntMap.add k v m
+         | Mremove k -> IntMap.remove k m)
+       script)
+
+let dump_map heap =
+  let h = Mod_core.Handle.make heap ~slot:0 in
+  render_pairs
+    (IntMap.bindings (Imap.fold h IntMap.add IntMap.empty))
+
+let map_workload ~ops =
+  let script = map_script ~ops (seed_of "map" ~ops) in
+  let arr = Array.of_list script in
+  {
+    name = "map";
+    ops;
+    negative = false;
+    check_trace = true;
+    model = map_model script;
+    make =
+      (fun heap ->
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        {
+          init = (fun () -> ());
+          run_op =
+            (fun i ->
+              match arr.(i) with
+              | Minsert (k, v) -> Imap.insert h k v
+              | Mremove k -> ignore (Imap.remove h k : bool));
+          dump = (fun () -> dump_map heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+(* A deliberately broken MOD map: commits swing the root pointer without
+   the preceding sfence, so the durable root can point at a shadow whose
+   nodes never became durable.  The Section 5.4 trace checker does not
+   catch this (it only inspects flush-before-fence pairs, and there are
+   no fences); only the durable-linearizability oracle does. *)
+let map_nofence_workload ~ops =
+  let script = map_script ~ops (seed_of "map" ~ops) in
+  let arr = Array.of_list script in
+  let base = map_workload ~ops in
+  let broken_commit heap version =
+    let old = Pmalloc.Heap.root_get heap 0 in
+    (* missing ordering point: no sfence before the root swing *)
+    Pmalloc.Heap.root_set heap 0 version;
+    if Pmem.Word.is_ptr old && not (Pmem.Word.is_null old) then
+      Pmalloc.Heap.release heap (Pmem.Word.to_ptr old)
+  in
+  {
+    base with
+    name = "map-nofence";
+    negative = true;
+    make =
+      (fun heap ->
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        {
+          init = (fun () -> ());
+          run_op =
+            (fun i ->
+              let v = Mod_core.Handle.current h in
+              match arr.(i) with
+              | Minsert (k, value) ->
+                  broken_commit heap (Imap.insert_pure heap v k value)
+              | Mremove k ->
+                  let shadow, removed = Imap.remove_pure heap v k in
+                  if removed then broken_commit heap shadow);
+          dump = (fun () -> dump_map heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+(* -- set ------------------------------------------------------------------ *)
+
+module Iset = Mod_core.Dset.Make (Pfds.Kv.Int)
+module IntSet = Set.Make (Int)
+
+type set_op = Sadd of int | Sremove of int
+
+let set_workload ~ops =
+  let rng = Random.State.make [| seed_of "set" ~ops |] in
+  let script =
+    List.init ops (fun _ ->
+        let k = Random.State.int rng 24 in
+        if Random.State.int rng 3 < 2 then Sadd k else Sremove k)
+  in
+  let arr = Array.of_list script in
+  let model =
+    Array.map
+      (fun s -> render_ints (IntSet.elements s))
+      (prefix_states ~init:IntSet.empty
+         ~apply:(fun s -> function
+           | Sadd k -> IntSet.add k s
+           | Sremove k -> IntSet.remove k s)
+         script)
+  in
+  let dump heap =
+    let h = Mod_core.Handle.make heap ~slot:0 in
+    render_ints (IntSet.elements (Iset.fold h IntSet.add IntSet.empty))
+  in
+  {
+    name = "set";
+    ops;
+    negative = false;
+    check_trace = true;
+    model;
+    make =
+      (fun heap ->
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        {
+          init = (fun () -> ());
+          run_op =
+            (fun i ->
+              match arr.(i) with
+              | Sadd k -> Iset.add h k
+              | Sremove k -> ignore (Iset.remove h k : bool));
+          dump = (fun () -> dump heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+(* -- stack / queue -------------------------------------------------------- *)
+
+type sq_op = Push of int | Pop
+
+let sq_script name ~ops =
+  let rng = Random.State.make [| seed_of name ~ops |] in
+  let rec gen i depth acc =
+    if i = ops then List.rev acc
+    else if depth > 0 && Random.State.int rng 3 = 0 then
+      gen (i + 1) (depth - 1) (Pop :: acc)
+    else gen (i + 1) (depth + 1) (Push (Random.State.int rng 1000) :: acc)
+  in
+  gen 0 0 []
+
+let stack_workload ~ops =
+  let script = sq_script "stack" ~ops in
+  let arr = Array.of_list script in
+  let model =
+    Array.map render_ints
+      (prefix_states ~init:[]
+         ~apply:(fun s -> function
+           | Push v -> v :: s
+           | Pop -> ( match s with [] -> [] | _ :: tl -> tl))
+         script)
+  in
+  let dump heap =
+    let h = Mod_core.Handle.make heap ~slot:0 in
+    render_ints (List.map Pmem.Word.to_int (Mod_core.Dstack.to_list h))
+  in
+  {
+    name = "stack";
+    ops;
+    negative = false;
+    check_trace = true;
+    model;
+    make =
+      (fun heap ->
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        {
+          init = (fun () -> ());
+          run_op =
+            (fun i ->
+              match arr.(i) with
+              | Push v -> Mod_core.Dstack.push h (Pmem.Word.of_int v)
+              | Pop -> ignore (Mod_core.Dstack.pop h));
+          dump = (fun () -> dump heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+let queue_workload ~ops =
+  let script = sq_script "queue" ~ops in
+  let arr = Array.of_list script in
+  let model =
+    Array.map render_ints
+      (prefix_states ~init:[]
+         ~apply:(fun q -> function
+           | Push v -> q @ [ v ]
+           | Pop -> ( match q with [] -> [] | _ :: tl -> tl))
+         script)
+  in
+  let dump heap =
+    let h = Mod_core.Handle.make heap ~slot:0 in
+    if not (Mod_core.Handle.is_initialized h) then render_ints []
+    else
+      render_ints (List.map Pmem.Word.to_int (Mod_core.Dqueue.to_list h))
+  in
+  {
+    name = "queue";
+    ops;
+    negative = false;
+    check_trace = true;
+    model;
+    make =
+      (fun heap ->
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        {
+          init =
+            (fun () ->
+              ignore (Mod_core.Dqueue.open_or_create heap ~slot:0));
+          run_op =
+            (fun i ->
+              match arr.(i) with
+              | Push v -> Mod_core.Dqueue.enqueue h (Pmem.Word.of_int v)
+              | Pop -> ignore (Mod_core.Dqueue.dequeue h));
+          dump = (fun () -> dump heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+(* -- vector / sequence ---------------------------------------------------- *)
+
+type vec_op = Vpush of int | Vset of int * int | Vpop
+
+let vec_script name ~ops =
+  let rng = Random.State.make [| seed_of name ~ops |] in
+  let rec gen i size acc =
+    if i = ops then List.rev acc
+    else
+      let choice = if size = 0 then 0 else Random.State.int rng 4 in
+      match choice with
+      | 0 | 3 ->
+          gen (i + 1) (size + 1) (Vpush (Random.State.int rng 1000) :: acc)
+      | 1 ->
+          gen (i + 1) size
+            (Vset (Random.State.int rng size, Random.State.int rng 1000)
+            :: acc)
+      | _ -> gen (i + 1) (size - 1) (Vpop :: acc)
+  in
+  gen 0 0 []
+
+let vec_like_states script =
+  let apply l = function
+    | Vpush v -> l @ [ v ]
+    | Vset (i, v) -> List.mapi (fun j x -> if j = i then v else x) l
+    | Vpop -> ( match List.rev l with [] -> [] | _ :: tl -> List.rev tl)
+  in
+  Array.map render_ints (prefix_states ~init:[] ~apply script)
+
+let vec_workload ~ops =
+  let script = vec_script "vec" ~ops in
+  let arr = Array.of_list script in
+  let dump heap =
+    let h = Mod_core.Handle.make heap ~slot:0 in
+    if not (Mod_core.Handle.is_initialized h) then render_ints []
+    else render_ints (List.map Pmem.Word.to_int (Mod_core.Dvec.to_list h))
+  in
+  {
+    name = "vec";
+    ops;
+    negative = false;
+    check_trace = true;
+    model = vec_like_states script;
+    make =
+      (fun heap ->
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        {
+          init =
+            (fun () -> ignore (Mod_core.Dvec.open_or_create heap ~slot:0));
+          run_op =
+            (fun i ->
+              match arr.(i) with
+              | Vpush v -> Mod_core.Dvec.push_back h (Pmem.Word.of_int v)
+              | Vset (j, v) -> Mod_core.Dvec.set h j (Pmem.Word.of_int v)
+              | Vpop -> ignore (Mod_core.Dvec.pop_back h));
+          dump = (fun () -> dump heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+let seq_workload ~ops =
+  let script = vec_script "seq" ~ops in
+  let arr = Array.of_list script in
+  let dump heap =
+    let h = Mod_core.Handle.make heap ~slot:0 in
+    if not (Mod_core.Handle.is_initialized h) then render_ints []
+    else render_ints (List.map Pmem.Word.to_int (Mod_core.Dseq.to_list h))
+  in
+  {
+    name = "seq";
+    ops;
+    negative = false;
+    check_trace = true;
+    model = vec_like_states script;
+    make =
+      (fun heap ->
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        {
+          init =
+            (fun () -> ignore (Mod_core.Dseq.open_or_create heap ~slot:0));
+          run_op =
+            (fun i ->
+              match arr.(i) with
+              | Vpush v -> Mod_core.Dseq.push_back h (Pmem.Word.of_int v)
+              | Vset (j, v) -> Mod_core.Dseq.set h j (Pmem.Word.of_int v)
+              | Vpop ->
+                  let size = Mod_core.Dseq.size h in
+                  Mod_core.Dseq.restrict h ~pos:0 ~len:(size - 1));
+          dump = (fun () -> dump heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+(* -- priority queue ------------------------------------------------------- *)
+
+type pq_op = Pinsert of int | Pdelete_min
+
+let pqueue_workload ~ops =
+  let rng = Random.State.make [| seed_of "pqueue" ~ops |] in
+  let rec gen i size acc =
+    if i = ops then List.rev acc
+    else if size > 0 && Random.State.int rng 3 = 0 then
+      gen (i + 1) (size - 1) (Pdelete_min :: acc)
+    else gen (i + 1) (size + 1) (Pinsert (Random.State.int rng 1000) :: acc)
+  in
+  let script = gen 0 0 [] in
+  let arr = Array.of_list script in
+  let model =
+    Array.map render_ints
+      (prefix_states ~init:[]
+         ~apply:(fun s -> function
+           | Pinsert p -> List.sort compare (p :: s)
+           | Pdelete_min -> ( match s with [] -> [] | _ :: tl -> tl))
+         script)
+  in
+  let dump heap =
+    let h = Mod_core.Handle.make heap ~slot:0 in
+    render_ints
+      (Pfds.Pheap.to_sorted_list_model heap (Mod_core.Handle.current h))
+  in
+  {
+    name = "pqueue";
+    ops;
+    negative = false;
+    check_trace = true;
+    model;
+    make =
+      (fun heap ->
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        {
+          init = (fun () -> ());
+          run_op =
+            (fun i ->
+              match arr.(i) with
+              | Pinsert p -> Mod_core.Dpqueue.insert h p
+              | Pdelete_min -> ignore (Mod_core.Dpqueue.delete_min h));
+          dump = (fun () -> dump heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+(* -- PM-STM baselines ----------------------------------------------------- *)
+
+(* An 8-cell counter array updated in place under PMDK-style transactions.
+   The undo log makes every committed transaction durable, so recovery
+   must observe exactly the last committed state (positive control).  The
+   [broken] variant skips the snapshot fences and the commit-time data
+   flushes -- the oracle must catch it. *)
+let stm_cells = 8
+
+let stm_workload name version ~broken ~ops =
+  let rng = Random.State.make [| seed_of name ~ops |] in
+  let script =
+    List.init ops (fun _ ->
+        (Random.State.int rng stm_cells, 1 + Random.State.int rng 99))
+  in
+  let arr = Array.of_list script in
+  let model =
+    Array.map
+      (fun c -> render_ints (Array.to_list c))
+      (prefix_states
+         ~init:(Array.make stm_cells 0)
+         ~apply:(fun c (idx, delta) ->
+           let c' = Array.copy c in
+           c'.(idx) <- c'.(idx) + delta;
+           c')
+         script)
+  in
+  let dump heap =
+    let root = Pmalloc.Heap.root_get heap 1 in
+    if Pmem.Word.is_null root then model.(0)
+    else
+      let body = Pmem.Word.to_ptr root in
+      render_ints
+        (List.init stm_cells (fun i ->
+             Pmem.Word.to_int (Pmalloc.Heap.load heap (body + i))))
+  in
+  {
+    name;
+    ops;
+    negative = broken;
+    check_trace = false (* in-place by design: invariant 1 never holds *);
+    model;
+    make =
+      (fun heap ->
+        let tx = ref None in
+        let body = ref (-1) in
+        {
+          init =
+            (fun () ->
+              let t =
+                Pmstm.Tx.create heap ~version ~broken_ordering:broken
+              in
+              tx := Some t;
+              let b =
+                Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw
+                  ~words:stm_cells
+              in
+              for i = 0 to stm_cells - 1 do
+                Pmalloc.Heap.store heap (b + i) (Pmem.Word.of_int 0)
+              done;
+              Pmalloc.Heap.flush_block heap b;
+              Pmalloc.Heap.root_set heap 1 (Pmem.Word.of_ptr b);
+              Pmalloc.Heap.sfence heap;
+              body := b);
+          run_op =
+            (fun i ->
+              let t = Option.get !tx in
+              let idx, delta = arr.(i) in
+              let off = !body + idx in
+              Pmstm.Tx.run t (fun () ->
+                  Pmstm.Tx.add t ~off ~words:1;
+                  let v = Pmem.Word.to_int (Pmstm.Tx.load t off) in
+                  Pmstm.Tx.store t off (Pmem.Word.of_int (v + delta))));
+          dump = (fun () -> dump heap);
+          recover =
+            (fun () ->
+              ignore (Mod_core.Recovery.recover ?stm:!tx heap));
+        });
+  }
+
+(* -- registry ------------------------------------------------------------- *)
+
+let mod_names = [ "map"; "queue"; "stack"; "vec"; "set"; "pqueue"; "seq" ]
+let stm_names = [ "stm14"; "stm15" ]
+let negative_names = [ "stm-broken"; "map-nofence" ]
+let names = mod_names @ stm_names @ negative_names
+
+let build name ~ops =
+  match name with
+  | "map" -> map_workload ~ops
+  | "queue" -> queue_workload ~ops
+  | "stack" -> stack_workload ~ops
+  | "vec" -> vec_workload ~ops
+  | "set" -> set_workload ~ops
+  | "pqueue" -> pqueue_workload ~ops
+  | "seq" -> seq_workload ~ops
+  | "stm14" -> stm_workload "stm14" Pmstm.Tx.V1_4 ~broken:false ~ops
+  | "stm15" -> stm_workload "stm15" Pmstm.Tx.V1_5 ~broken:false ~ops
+  | "stm-broken" -> stm_workload "stm-broken" Pmstm.Tx.V1_4 ~broken:true ~ops
+  | "map-nofence" -> map_nofence_workload ~ops
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Workload.build: unknown workload %S (expected %s)"
+           name (String.concat ", " names))

@@ -10,7 +10,20 @@
     Reference counts are deliberately volatile (paper Section 5.3: they
     never need to be durable because recovery recomputes them), kept in an
     OCaml-side table rather than in simulated PM so that the Section 5.4
-    trace checker sees no in-place PM writes from refcount maintenance. *)
+    trace checker sees no in-place PM writes from refcount maintenance.
+
+    Reclamation through {!release} is {e epoch-deferred}: a superseded
+    version is released right after the commit's 8-byte root write, but
+    that write's clwb is only ordered by the {e next} FASE's fence (epoch
+    persistency, Section 5.1).  Until that fence completes, a crash can
+    still re-expose the old version as the durable root -- so its blocks
+    must not be handed back to allocation, or the next FASE's stores
+    (which a cache eviction can persist at any moment) would corrupt a
+    state recovery may legitimately return to.  Released blocks therefore
+    park on [deferred] and only enter the free lists at the next
+    [sfence], once no durable root can reference them.  Plain {!free} is
+    immediate: its callers (the PM-STM undo path) only free blocks whose
+    last durable reference was already retired under a fence. *)
 
 type t = {
   region : Pmem.Region.t;
@@ -18,6 +31,7 @@ type t = {
   mutable frontier : int;
   freelist : Freelist.t;
   rc : (int, int) Hashtbl.t; (* body offset -> reference count *)
+  mutable deferred : (int * int) list; (* (body, capacity) awaiting fence *)
   mutable live_words : int;
   mutable high_water_words : int;
   mutable allocations : int;
@@ -31,6 +45,7 @@ let create region ~heap_start =
     frontier = heap_start;
     freelist = Freelist.create ();
     rc = Hashtbl.create 4096;
+    deferred = [];
     live_words = 0;
     high_water_words = 0;
     allocations = 0;
@@ -117,7 +132,7 @@ let used_of t body =
    reachability decides. *)
 let is_allocated t body = Hashtbl.mem t.rc body
 
-let free t body =
+let dealloc t body ~defer =
   let header = Block.header_of_body body in
   let capacity, _kind, _ =
     Block.decode_info (Pmem.Region.peek_current t.region header)
@@ -125,12 +140,27 @@ let free t body =
   if not (Hashtbl.mem t.rc body) then
     invalid_arg (Printf.sprintf "Allocator.free: double free at %d" body);
   Hashtbl.remove t.rc body;
-  Freelist.insert t.freelist ~body ~capacity;
+  if defer then t.deferred <- (body, capacity) :: t.deferred
+  else Freelist.insert t.freelist ~body ~capacity;
   t.live_words <- t.live_words - capacity;
   t.frees <- t.frees + 1;
   Pmem.Trace.emit
     (Pmem.Region.trace t.region)
     (Pmem.Trace.Free { off = header; words = capacity })
+
+let free t body = dealloc t body ~defer:false
+
+let deferred_words t =
+  List.fold_left (fun acc (_, cap) -> acc + cap) 0 t.deferred
+
+(* The fence that ends the deferral epoch: every clwb issued before it --
+   in particular the root write that unlinked these blocks -- is now
+   complete, so no durable root can reach them and they may be reused. *)
+let epoch_flush t =
+  List.iter
+    (fun (body, capacity) -> Freelist.insert t.freelist ~body ~capacity)
+    t.deferred;
+  t.deferred <- []
 
 (* Flush every cacheline of a block (header + initialized body) with
    weakly-ordered clwb instructions; no fence (recipe step 3). *)
@@ -154,7 +184,9 @@ let rc_set t body n = Hashtbl.replace t.rc body n
 
 (* Drop a reference to [body]; when the count reaches zero, release the
    block's children (for Scanned blocks) and free it.  This is the
-   reclamation step of CommitSingle and friends (Section 5.3). *)
+   reclamation step of CommitSingle and friends (Section 5.3).  Frees are
+   epoch-deferred (see the module comment): the blocks leave the live set
+   now but only become allocatable at the next fence. *)
 let rec release t body =
   if rc_decr t body = 0 then begin
     (match kind_of t body with
@@ -166,7 +198,7 @@ let rec release t body =
             release t (Pmem.Word.to_ptr w)
         done
     | Block.Raw -> ());
-    free t body
+    dealloc t body ~defer:true
   end
 
 let retain t body = rc_incr t body
@@ -176,6 +208,7 @@ let retain t body = rc_incr t body
 let recovery_reset t ~frontier =
   Freelist.clear t.freelist;
   Hashtbl.reset t.rc;
+  t.deferred <- [];
   t.live_words <- 0;
   t.frontier <- frontier
 

@@ -25,7 +25,20 @@ val free : t -> int -> unit
 
 val release : t -> int -> unit
 (** Drop a reference; at zero, recursively release pointer children (of
-    [Scanned] blocks) and free.  CommitSingle's reclamation step. *)
+    [Scanned] blocks) and free.  CommitSingle's reclamation step.
+    Blocks freed this way are {e epoch-deferred}: they leave the live
+    set immediately but only become allocatable at the next
+    {!epoch_flush} (i.e. the next fence), because until the commit's
+    root write has drained, a crash can still re-expose the superseded
+    version they belong to as the durable root. *)
+
+val epoch_flush : t -> unit
+(** Move epoch-deferred frees into the free lists.  Called by
+    [Heap.sfence] after the fence completes: every earlier root-write
+    clwb has drained, so no durable root can reference the blocks. *)
+
+val deferred_words : t -> int
+(** Words currently parked in the deferral list (not yet allocatable). *)
 
 val retain : t -> int -> unit
 val rc_get : t -> int -> int

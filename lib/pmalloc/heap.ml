@@ -52,5 +52,11 @@ let load t off = Pmem.Region.load t.region off
 let store t off w = Pmem.Region.store t.region off w
 let clwb t off = Pmem.Region.clwb t.region off
 let clwb_range t off words = Pmem.Region.clwb_range t.region off words
-let sfence t = Pmem.Region.sfence t.region
-let crash ?mode t = Pmem.Region.crash ?mode t.region
+(* A fence ends the reclamation epoch: every in-flight clwb -- including
+   the previous commit's root write -- is now durable, so blocks released
+   by that commit can no longer be reached from any durable root and the
+   allocator may hand them out again. *)
+let sfence t =
+  Pmem.Region.sfence t.region;
+  Allocator.epoch_flush t.allocator
+let crash ?mode ?seed t = Pmem.Region.crash ?mode ?seed t.region

@@ -32,7 +32,10 @@ val alloc : t -> kind:Block.kind -> words:int -> int
 
 val free : t -> int -> unit
 val release : t -> int -> unit
-(** Drop a reference; at zero, recursively release children and free. *)
+(** Drop a reference; at zero, recursively release children and free.
+    Release-path frees are epoch-deferred: the blocks become allocatable
+    only at the next {!sfence}, once the commit's root write that
+    unlinked them is guaranteed durable (see {!Allocator.release}). *)
 
 val retain : t -> int -> unit
 val flush_block : t -> int -> unit
@@ -43,4 +46,10 @@ val store : t -> int -> Pmem.Word.t -> unit
 val clwb : t -> int -> unit
 val clwb_range : t -> int -> int -> unit
 val sfence : t -> unit
-val crash : ?mode:Pmem.Region.crash_mode -> t -> unit
+(** Drain all in-flight flushes, then hand epoch-deferred frees back to
+    the allocator (the previous commit's root write is now durable, so
+    no durable root can reference them). *)
+
+val crash : ?mode:Pmem.Region.crash_mode -> ?seed:int -> t -> unit
+(** Inject a power failure; [seed] pins the [Randomize] survival
+    outcomes for replay (see {!Pmem.Region.crash}). *)

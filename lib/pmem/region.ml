@@ -2,6 +2,8 @@ type line_state = Clean | Dirty | Flushing
 
 type crash_mode = Drop_inflight | Keep_inflight | Randomize
 
+exception Crash_point
+
 type t = {
   mutable current : int array; (* the CPU's coherent view *)
   mutable durable : int array; (* what Optane DCPMM holds *)
@@ -17,6 +19,19 @@ type t = {
   (* ablation knob: order every clwb individually, as if each flush were
      followed by its own sfence (the paper's Section 3 worst case) *)
   mutable fence_per_flush : bool;
+  (* crash scheduler: every store/clwb/sfence is one PM event; when the
+     budget counts down to zero the power fails (Crash_point is raised) *)
+  mutable events : int;
+  mutable crash_budget : int; (* -1 = no crash scheduled *)
+  mutable last_crash_seed : int option;
+}
+
+type snapshot = {
+  s_current : int array;
+  s_durable : int array;
+  s_state : line_state array;
+  s_capacity : int;
+  s_inflight : int;
 }
 
 let line_of_word off = off lsr Config.line_shift
@@ -37,6 +52,9 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
     rng = Random.State.make [| seed |];
     inflight = 0;
     fence_per_flush = false;
+    events = 0;
+    crash_budget = -1;
+    last_crash_seed = None;
   }
 
 let stats t = t.stats
@@ -44,6 +62,26 @@ let trace t = t.trace
 let cache t = t.cache
 let capacity_words t = t.capacity
 let inflight t = t.inflight
+let pm_events t = t.events
+let set_crash_after t n =
+  if n <= 0 then invalid_arg "Region.set_crash_after: budget must be positive";
+  t.crash_budget <- n
+
+let clear_crash_point t = t.crash_budget <- -1
+let last_crash_seed t = t.last_crash_seed
+
+(* Count one PM event (store / clwb / sfence) against the crash budget.
+   The event itself has completed by the time we raise: the power fails
+   immediately after it. *)
+let tick t =
+  t.events <- t.events + 1;
+  if t.crash_budget > 0 then begin
+    t.crash_budget <- t.crash_budget - 1;
+    if t.crash_budget = 0 then begin
+      t.crash_budget <- -1;
+      raise Crash_point
+    end
+  end
 
 let ensure_capacity t n =
   if n > t.capacity then begin
@@ -130,7 +168,8 @@ let store t off w =
          flushed again before it can be considered durable. *)
       t.inflight <- t.inflight - 1;
       t.state.(line) <- Dirty);
-  Trace.emit t.trace (Trace.Write { off })
+  Trace.emit t.trace (Trace.Write { off });
+  tick t
 
 let rec clwb t off =
   check_off t off "clwb";
@@ -142,6 +181,7 @@ let rec clwb t off =
       t.state.(line) <- Flushing;
       t.inflight <- t.inflight + 1
   | Clean | Flushing -> ());
+  tick t;
   if t.fence_per_flush then sfence t
 
 and sfence t =
@@ -158,7 +198,8 @@ and sfence t =
   t.inflight <- 0;
   Stats.record_fence t.stats ~drained;
   Stats.advance_in t.stats Stats.Flush (Latency.fence_stall_ns ~inflight:drained);
-  Trace.emit t.trace Trace.Fence
+  Trace.emit t.trace Trace.Fence;
+  tick t
 
 let clwb_range t off words =
   if words > 0 then begin
@@ -171,7 +212,17 @@ let clwb_range t off words =
 
 let set_fence_per_flush t enabled = t.fence_per_flush <- enabled
 
-let crash ?(mode = Randomize) t =
+let crash ?(mode = Randomize) ?seed t =
+  (* Each crash draws its line-survival outcomes from a dedicated RNG
+     whose seed is either supplied by the caller (replay) or drawn from
+     the region's private stream -- and always recorded, so any failing
+     randomized crash can be reproduced in isolation. *)
+  let seed_used =
+    match seed with Some s -> s | None -> Random.State.bits t.rng
+  in
+  let crash_rng = Random.State.make [| seed_used |] in
+  t.last_crash_seed <- Some seed_used;
+  t.crash_budget <- -1;
   Array.iteri
     (fun line st ->
       let survives =
@@ -179,13 +230,13 @@ let crash ?(mode = Randomize) t =
         | Clean, _ -> false (* already durable, nothing in flight *)
         | Flushing, Keep_inflight -> true
         | Flushing, Drop_inflight -> false
-        | Flushing, Randomize -> Random.State.bool t.rng
+        | Flushing, Randomize -> Random.State.bool crash_rng
         | Dirty, Keep_inflight -> false
         | Dirty, Drop_inflight -> false
         | Dirty, Randomize ->
             (* a dirty, never-flushed line reaches PM only if the cache
                happened to evict it; make that rarer than in-flight lines *)
-            Random.State.int t.rng 4 = 0
+            Random.State.int crash_rng 4 = 0
       in
       if survives then writeback_line t line;
       t.state.(line) <- Clean)
@@ -196,6 +247,32 @@ let crash ?(mode = Randomize) t =
   Cache.reset t.l2;
   Cache.reset t.llc;
   Trace.emit t.trace Trace.Crash
+
+(* Snapshot / restore of the full memory image, for the crash-point
+   explorer: one execution to a crash point can be sampled under many
+   survival seeds without re-running the workload.  Cache contents are
+   not captured -- restore resets the hierarchy, which only matters for
+   latency stats, not durability, because the intended next step after a
+   restore is another [crash]. *)
+let snapshot t =
+  {
+    s_current = Array.copy t.current;
+    s_durable = Array.copy t.durable;
+    s_state = Array.copy t.state;
+    s_capacity = t.capacity;
+    s_inflight = t.inflight;
+  }
+
+let restore t s =
+  t.current <- Array.copy s.s_current;
+  t.durable <- Array.copy s.s_durable;
+  t.state <- Array.copy s.s_state;
+  t.capacity <- s.s_capacity;
+  t.inflight <- s.s_inflight;
+  t.crash_budget <- -1;
+  Cache.reset t.cache;
+  Cache.reset t.l2;
+  Cache.reset t.llc
 
 let durable_load t off =
   check_off t off "durable_load";

@@ -15,6 +15,10 @@ type crash_mode =
   | Keep_inflight  (** every launched writeback completed: best case *)
   | Randomize      (** each in-flight / dirty line flips a coin *)
 
+exception Crash_point
+(** Raised by the deterministic crash scheduler (see {!set_crash_after})
+    immediately after the scheduled PM event completes. *)
+
 val create : ?capacity_words:int -> ?trace:bool -> ?seed:int -> unit -> t
 
 val stats : t -> Stats.t
@@ -52,10 +56,49 @@ val set_fence_per_flush : t -> bool -> unit
 (** Ablation knob: when enabled, every [clwb] is immediately followed by
     an [sfence], serializing all flushes (the Section 3 worst case). *)
 
-val crash : ?mode:crash_mode -> t -> unit
+val crash : ?mode:crash_mode -> ?seed:int -> t -> unit
 (** Power failure: volatile state is lost.  Lines that were flushed and
     fenced are durable; other dirty state survives per [mode].  After the
-    call, loads observe exactly the durable image. *)
+    call, loads observe exactly the durable image.  Line-survival
+    randomness ([Randomize]) comes from a per-crash RNG seeded by [seed]
+    when given, else by a draw from the region's private stream; either
+    way the seed actually used is recorded in {!last_crash_seed}, so a
+    failing randomized crash can be replayed in isolation. *)
+
+val last_crash_seed : t -> int option
+(** Seed that drove the most recent [crash]'s survival outcomes. *)
+
+(** {1 Deterministic crash scheduler}
+
+    Every completed [store], [clwb] and [sfence] is one {e PM event}.
+    [set_crash_after t n] arms a budget: the [n]-th subsequent event
+    completes and then {!Crash_point} is raised, simulating a power
+    failure at that exact instruction boundary.  The caller catches the
+    exception, injects {!crash}, and recovers -- re-running the same
+    deterministic workload with budgets 1, 2, ... enumerates every
+    possible crash point. *)
+
+val pm_events : t -> int
+(** Total PM events (stores + clwbs + sfences) since [create]. *)
+
+val set_crash_after : t -> int -> unit
+(** Arm the scheduler: raise {!Crash_point} after [n] more PM events
+    ([n >= 1]).  The budget disarms itself when it fires. *)
+
+val clear_crash_point : t -> unit
+(** Disarm a pending crash budget. *)
+
+type snapshot
+(** A full copy of the memory image (volatile view, durable image,
+    per-line durability state). *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** [restore t s] rewinds the memory image to [s] so the same crash
+    point can be sampled under several survival seeds without re-running
+    the workload.  The cache hierarchy is reset rather than restored;
+    that affects only latency accounting, so the intended next step
+    after a restore is another [crash]. *)
 
 val durable_load : t -> int -> Word.t
 (** Read the durable image directly (recovery-time inspection; charges PM

@@ -34,6 +34,11 @@ type t = {
   mutable fresh : (int * int) list; (* blocks allocated in this tx (body, words) *)
   mutable to_free : int list; (* deferred frees, applied at commit *)
   mutable check_adds : bool;
+  (* deliberately ordering-broken variant (negative control for the
+     crash-point explorer): skips the snapshot-before-store fences and
+     never flushes in-place data at commit, the classic PM bug class the
+     durable-linearizability oracle must catch *)
+  broken_ordering : bool;
 }
 
 exception Abort
@@ -41,6 +46,7 @@ exception Abort
 (* [log_root_slot] registers the log block in the heap's root directory so
    recovery-time reachability analysis never reclaims it. *)
 let create ?(log_capacity_words = 1 lsl 16) ?(check_adds = true)
+    ?(broken_ordering = false)
     ?(log_root_slot = Pmalloc.Heap.root_slots - 1) heap ~version =
   let log = Wal.create heap ~capacity_words:log_capacity_words in
   Pmalloc.Heap.root_set heap log_root_slot (Pmem.Word.of_ptr (Wal.body log));
@@ -56,11 +62,13 @@ let create ?(log_capacity_words = 1 lsl 16) ?(check_adds = true)
     fresh = [];
     to_free = [];
     check_adds;
+    broken_ordering;
   }
 
 let heap t = t.heap
 let version t = t.version
 let in_tx t = t.depth > 0
+let is_broken t = t.broken_ordering
 
 let covered ranges off words =
   List.exists (fun (o, w) -> off >= o && off + words <= o + w) ranges
@@ -88,7 +96,10 @@ let add t ~off ~words =
   if not (covered t.added off words || covered t.fresh off words) then begin
     Wal.append t.log ~off ~words;
     t.added <- (off, words) :: t.added;
-    match t.version with
+    if t.broken_ordering then ()
+      (* broken: the in-place write may reach PM before its undo snapshot *)
+    else
+      match t.version with
     | V1_4 ->
         (* undo logging: the snapshot must be durable before the in-place
            write, and the per-entry list metadata is persisted separately
@@ -138,10 +149,13 @@ let commit t =
     stats.Pmem.Stats.l1_hits <-
       stats.Pmem.Stats.l1_hits + Pmem.Config.tx_commit_accesses;
     (* flush all in-place and freshly written lines, then drain *)
-    Hashtbl.iter
-      (fun line () ->
-        Pmalloc.Heap.clwb t.heap (line lsl Pmem.Config.line_shift))
-      t.dirty_lines;
+    if not t.broken_ordering then
+      (* broken: in-place data is never flushed, so the durably
+         invalidated log can outlive writes that never reached PM *)
+      Hashtbl.iter
+        (fun line () ->
+          Pmalloc.Heap.clwb t.heap (line lsl Pmem.Config.line_shift))
+        t.dirty_lines;
     (* headers of fresh blocks were written by the allocator *)
     List.iter (fun (body, _) -> Pmalloc.Heap.flush_block t.heap body) t.fresh;
     Pmalloc.Heap.sfence t.heap;

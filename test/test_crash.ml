@@ -248,6 +248,38 @@ let boundary_sweep_tests =
         done);
   ]
 
+(* -- vector / set / priority queue / sequence -------------------------------- *)
+
+(* The remaining MOD structures get the same coverage through the
+   crash-point explorer: every PM event of a scripted run is interrupted
+   under all three crash modes and the recovered state must sit inside
+   the durable-linearizability window (plus the Section 5.4 trace check). *)
+let explorer_crash_tests =
+  List.map
+    (fun name ->
+      Alcotest.test_case
+        (Printf.sprintf "%s: exhaustive crash sweep, all modes" name)
+        `Quick
+        (fun () ->
+          let w = Crashtest.Workload.build name ~ops:6 in
+          let cfg =
+            { Crashtest.Explorer.default with randomize_samples = 2 }
+          in
+          let r = Crashtest.Explorer.explore ~cfg w in
+          Alcotest.(check int) "every crash point tested" 0
+            r.Crashtest.Explorer.points_skipped;
+          (match r.Crashtest.Explorer.trace_report with
+          | Some rep ->
+              Alcotest.(check bool) "Section 5.4 trace clean" true
+                (Mod_core.Consistency.ok rep)
+          | None -> ());
+          if not (Crashtest.Explorer.ok r) then
+            Alcotest.failf "%s: %d oracle violation(s), first: %s" name
+              (List.length r.Crashtest.Explorer.failures)
+              (Format.asprintf "%a" Crashtest.Explorer.pp_failure
+                 (List.hd r.Crashtest.Explorer.failures))))
+    [ "vec"; "set"; "pqueue"; "seq" ]
+
 let () =
   Alcotest.run "crash"
     [
@@ -255,4 +287,5 @@ let () =
       ("queue", queue_crash_tests);
       ("composition", composition_crash_tests);
       ("boundary-sweep", boundary_sweep_tests);
+      ("explorer", explorer_crash_tests);
     ]

@@ -1,0 +1,278 @@
+(* Tests for the exhaustive crash-point exploration engine: the PM-event
+   crash scheduler, snapshot/restore, epoch-deferred reclamation, the
+   durable-linearizability oracle, exhaustive sweeps over every workload,
+   negative controls, and minimal-repro replay. *)
+
+let mk_region () = Pmem.Region.create ~capacity_words:256 ~trace:true ~seed:7 ()
+
+(* -- crash scheduler -------------------------------------------------------- *)
+
+let scheduler_tests =
+  [
+    Alcotest.test_case "pm_events counts stores, clwbs and fences" `Quick
+      (fun () ->
+        let r = mk_region () in
+        let base = Pmem.Region.pm_events r in
+        Pmem.Region.store r 10 (Pmem.Word.of_int 1);
+        Pmem.Region.store r 11 (Pmem.Word.of_int 2);
+        Pmem.Region.clwb r 10;
+        Pmem.Region.sfence r;
+        Alcotest.(check int) "four events" 4 (Pmem.Region.pm_events r - base));
+    Alcotest.test_case "crash fires after exactly the Nth event" `Quick
+      (fun () ->
+        let r = mk_region () in
+        Pmem.Region.set_crash_after r 3;
+        Pmem.Region.store r 10 (Pmem.Word.of_int 1);
+        Pmem.Region.store r 11 (Pmem.Word.of_int 2);
+        (match Pmem.Region.store r 12 (Pmem.Word.of_int 3) with
+        | () -> Alcotest.fail "expected Crash_point on the third event"
+        | exception Pmem.Region.Crash_point -> ());
+        (* the budget disarms itself: further events run normally *)
+        Pmem.Region.store r 13 (Pmem.Word.of_int 4));
+    Alcotest.test_case "set_crash_after rejects non-positive budgets" `Quick
+      (fun () ->
+        let r = mk_region () in
+        Alcotest.check_raises "zero budget"
+          (Invalid_argument "Region.set_crash_after: budget must be positive")
+          (fun () -> Pmem.Region.set_crash_after r 0));
+    Alcotest.test_case "clear_crash_point disarms a pending budget" `Quick
+      (fun () ->
+        let r = mk_region () in
+        Pmem.Region.set_crash_after r 1;
+        Pmem.Region.clear_crash_point r;
+        Pmem.Region.store r 10 (Pmem.Word.of_int 1));
+    Alcotest.test_case "snapshot/restore round-trips the memory image" `Quick
+      (fun () ->
+        let r = mk_region () in
+        Pmem.Region.store r 10 (Pmem.Word.of_int 41);
+        Pmem.Region.clwb r 10;
+        Pmem.Region.sfence r;
+        let snap = Pmem.Region.snapshot r in
+        Pmem.Region.store r 10 (Pmem.Word.of_int 99);
+        Pmem.Region.store r 20 (Pmem.Word.of_int 7);
+        Pmem.Region.restore r snap;
+        Alcotest.(check int) "current word restored" 41
+          (Pmem.Word.to_int (Pmem.Region.load r 10));
+        Alcotest.(check int) "untouched word restored" 0
+          (Pmem.Word.to_int (Pmem.Region.load r 20)));
+    Alcotest.test_case "same survival seed yields the same crash image" `Quick
+      (fun () ->
+        let r = mk_region () in
+        for i = 0 to 15 do
+          Pmem.Region.store r (64 + i) (Pmem.Word.of_int i)
+        done;
+        Pmem.Region.clwb_range r 64 8;
+        (* half flushed (in flight), half dirty: both survive by coin flip *)
+        let snap = Pmem.Region.snapshot r in
+        let image () =
+          List.init 16 (fun i ->
+              Pmem.Word.to_int (Pmem.Region.load r (64 + i)))
+        in
+        Pmem.Region.crash ~mode:Pmem.Region.Randomize ~seed:5 r;
+        let first = image () in
+        Pmem.Region.restore r snap;
+        Pmem.Region.crash ~mode:Pmem.Region.Randomize ~seed:5 r;
+        Alcotest.(check (list int)) "deterministic replay" first (image ());
+        Alcotest.(check (option int)) "seed recorded" (Some 5)
+          (Pmem.Region.last_crash_seed r));
+  ]
+
+(* -- epoch-deferred reclamation --------------------------------------------- *)
+
+let deferral_tests =
+  [
+    Alcotest.test_case "released blocks wait for the next fence" `Quick
+      (fun () ->
+        let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 12) () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:4 in
+        let free_before = Pmalloc.Allocator.free_words alloc in
+        Pmalloc.Heap.release heap a;
+        Alcotest.(check bool) "left the live set" false
+          (Pmalloc.Allocator.is_allocated alloc a);
+        Alcotest.(check bool) "parked on the deferral list" true
+          (Pmalloc.Allocator.deferred_words alloc > 0);
+        Alcotest.(check int) "not yet allocatable" free_before
+          (Pmalloc.Allocator.free_words alloc);
+        Pmalloc.Heap.sfence heap;
+        Alcotest.(check int) "deferral list drained" 0
+          (Pmalloc.Allocator.deferred_words alloc);
+        Alcotest.(check bool) "allocatable after the fence" true
+          (Pmalloc.Allocator.free_words alloc > free_before));
+    Alcotest.test_case "plain free stays immediate" `Quick (fun () ->
+        let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 12) () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:4 in
+        let free_before = Pmalloc.Allocator.free_words alloc in
+        Pmalloc.Heap.free heap a;
+        Alcotest.(check int) "nothing deferred" 0
+          (Pmalloc.Allocator.deferred_words alloc);
+        Alcotest.(check bool) "immediately allocatable" true
+          (Pmalloc.Allocator.free_words alloc > free_before));
+  ]
+
+(* -- durable-linearizability oracle ----------------------------------------- *)
+
+let verdict = Alcotest.testable (fun ppf -> function
+    | Crashtest.Oracle.Consistent -> Format.fprintf ppf "consistent"
+    | Crashtest.Oracle.Violation d -> Format.fprintf ppf "violation: %s" d)
+    (fun a b ->
+      match (a, b) with
+      | Crashtest.Oracle.Consistent, Crashtest.Oracle.Consistent -> true
+      | Crashtest.Oracle.Violation _, Crashtest.Oracle.Violation _ -> true
+      | _ -> false)
+
+let oracle_tests =
+  let history = [ "c"; "b"; "a" ] (* distinct committed states, newest first *)
+  and pending = Some "d" in
+  let check recovered =
+    Crashtest.Oracle.check ~history ~pending ~recovered
+  in
+  [
+    Alcotest.test_case "latest, previous and pending states pass" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.check verdict s Crashtest.Oracle.Consistent
+              (check (Ok s)))
+          [ "d"; "c"; "b" ]);
+    Alcotest.test_case "older committed states are violations" `Quick
+      (fun () ->
+        (* "a" was committed two FASEs back: its root write was drained by a
+           later fence, so recovery may never fall back that far *)
+        Alcotest.check verdict "stale state"
+          (Crashtest.Oracle.Violation "") (check (Ok "a"));
+        Alcotest.check verdict "torn state"
+          (Crashtest.Oracle.Violation "") (check (Ok "garbage")));
+    Alcotest.test_case "a raising dump is a violation" `Quick (fun () ->
+        Alcotest.check verdict "exception"
+          (Crashtest.Oracle.Violation "")
+          (check (Error (Failure "segfault"))));
+    Alcotest.test_case "no pending op narrows the window" `Quick (fun () ->
+        let chk recovered =
+          Crashtest.Oracle.check ~history ~pending:None ~recovered
+        in
+        Alcotest.check verdict "latest ok" Crashtest.Oracle.Consistent
+          (chk (Ok "c"));
+        Alcotest.check verdict "pending-only state now stale"
+          (Crashtest.Oracle.Violation "") (chk (Ok "d")));
+  ]
+
+(* -- Section 5.4 checker: deterministic violation order --------------------- *)
+
+let consistency_tests =
+  [
+    Alcotest.test_case "unflushed-write violations are sorted by line" `Quick
+      (fun () ->
+        let r = mk_region () in
+        (* dirty three lines high-to-low, never flush, then fence *)
+        Pmem.Region.store r 40 (Pmem.Word.of_int 1);
+        Pmem.Region.store r 24 (Pmem.Word.of_int 2);
+        Pmem.Region.store r 8 (Pmem.Word.of_int 3);
+        Pmem.Region.sfence r;
+        let report = Mod_core.Consistency.check (Pmem.Region.trace r) in
+        let lines =
+          List.filter_map
+            (function
+              | Mod_core.Consistency.Unflushed_write { line; _ } -> Some line
+              | _ -> None)
+            report.Mod_core.Consistency.violations
+        in
+        Alcotest.(check (list int))
+          "ascending line order regardless of write order"
+          [ 1; 3; 5 ] lines);
+  ]
+
+(* -- exhaustive sweeps -------------------------------------------------------- *)
+
+let quick_cfg =
+  { Crashtest.Explorer.default with randomize_samples = 2 }
+
+let sweep_tests =
+  List.map
+    (fun name ->
+      Alcotest.test_case (name ^ ": every crash point is consistent") `Quick
+        (fun () ->
+          let w = Crashtest.Workload.build name ~ops:5 in
+          let r = Crashtest.Explorer.explore ~cfg:quick_cfg w in
+          Alcotest.(check int) "exhaustive (no skips)" 0
+            r.Crashtest.Explorer.points_skipped;
+          Alcotest.(check bool) "every point sampled" true
+            (r.Crashtest.Explorer.points_tested
+            = r.Crashtest.Explorer.total_events);
+          if not (Crashtest.Explorer.ok r) then
+            Alcotest.failf "%d oracle violation(s), first: %s"
+              (List.length r.Crashtest.Explorer.failures)
+              (Format.asprintf "%a" Crashtest.Explorer.pp_failure
+                 (List.hd r.Crashtest.Explorer.failures))))
+    (Crashtest.Workload.mod_names @ Crashtest.Workload.stm_names)
+
+(* -- negative controls and minimal-repro replay ------------------------------- *)
+
+let negative_tests =
+  List.map
+    (fun name ->
+      Alcotest.test_case (name ^ ": caught, replayable and shrinkable") `Quick
+        (fun () ->
+          let w = Crashtest.Workload.build name ~ops:6 in
+          let r = Crashtest.Explorer.explore ~cfg:quick_cfg w in
+          let f =
+            match r.Crashtest.Explorer.failures with
+            | f :: _ -> f
+            | [] -> Alcotest.fail "negative control produced no violation"
+          in
+          (* the printed triple (workload, crash index, seed) must reproduce
+             the violation bit-for-bit, twice *)
+          Alcotest.(check bool) "replay reproduces" true
+            (Crashtest.Replay.reproduces ~cfg:quick_cfg f);
+          Alcotest.(check bool) "replay is deterministic" true
+            (Crashtest.Replay.reproduces ~cfg:quick_cfg f);
+          let cmd = Crashtest.Replay.command f in
+          let contains s sub =
+            let n = String.length sub in
+            let rec go i =
+              i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "command names the crash index" true
+            (contains cmd "--replay");
+          let f' = Crashtest.Replay.minimize ~cfg:quick_cfg f in
+          Alcotest.(check bool) "shrunk repro is no larger" true
+            (f'.Crashtest.Explorer.ops <= f.Crashtest.Explorer.ops);
+          Alcotest.(check bool) "shrunk repro still reproduces" true
+            (Crashtest.Replay.reproduces ~cfg:quick_cfg f')))
+    Crashtest.Workload.negative_names
+
+(* -- seeded crash/recover reporting ------------------------------------------ *)
+
+let seed_tests =
+  [
+    Alcotest.test_case "crash_and_recover reports the survival seed" `Quick
+      (fun () ->
+        let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 16) () in
+        let report =
+          Mod_core.Recovery.crash_and_recover ~mode:Pmem.Region.Randomize
+            ~seed:123 heap
+        in
+        Alcotest.(check (option int)) "explicit seed surfaces" (Some 123)
+          report.Mod_core.Recovery.crash_seed;
+        (* unseeded Randomize crashes still report the seed they drew *)
+        let report2 =
+          Mod_core.Recovery.crash_and_recover ~mode:Pmem.Region.Randomize heap
+        in
+        Alcotest.(check bool) "drawn seed surfaces" true
+          (report2.Mod_core.Recovery.crash_seed <> None));
+  ]
+
+let () =
+  Alcotest.run "crashtest"
+    [
+      ("scheduler", scheduler_tests);
+      ("deferral", deferral_tests);
+      ("oracle", oracle_tests);
+      ("consistency-order", consistency_tests);
+      ("sweep", sweep_tests);
+      ("negative", negative_tests);
+      ("seed", seed_tests);
+    ]

@@ -18,7 +18,29 @@ let default_scale = 10_000
 let usage () =
   print_endline
     "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations bechamel all";
+  print_endline "options: --scale N | --full | --json FILE";
   exit 1
+
+(* Machine-readable counterpart of a Runner sweep entry (BENCH_*.json). *)
+let runner_json (r : Runner.result) =
+  Report.Json.(
+    Obj
+      [
+        ("workload", String r.Runner.workload);
+        ("backend", String (Backend.kind_name r.Runner.backend));
+        ("ops", Int r.Runner.ops);
+        ("sim_ns_total", Float r.Runner.ns_total);
+        ("sim_ns_flush", Float r.Runner.ns_flush);
+        ("sim_ns_log", Float r.Runner.ns_log);
+        ("sim_ns_other", Float r.Runner.ns_other);
+        ("fences", Int r.Runner.fences);
+        ("flushes", Int r.Runner.flushes);
+        ("loads", Int r.Runner.loads);
+        ("stores", Int r.Runner.stores);
+        ("cache_miss_ratio", Float r.Runner.miss_ratio);
+        ("live_words", Int r.Runner.live_words);
+        ("high_water_words", Int r.Runner.high_water_words);
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: average flush latency vs flushes overlapped per fence     *)
@@ -34,6 +56,7 @@ let fig4 () =
     [ "flushes/fence"; "observed (ns)"; "amdahl (ns)"; "" ]
     [ 14; 14; 12; 30 ];
   let lines_total = 320 in
+  let points = ref [] in
   List.iter
     (fun n ->
       let region = Pmem.Region.create ~capacity_words:(1 lsl 16) () in
@@ -50,6 +73,15 @@ let fig4 () =
       if lines_total mod n <> 0 then Pmem.Region.sfence region;
       let avg = (stats.Pmem.Stats.now_ns -. t0) /. float_of_int lines_total in
       let model = Pmem.Latency.amdahl_avg_ns n in
+      points :=
+        Report.Json.(
+          Obj
+            [
+              ("flushes_per_fence", Int n);
+              ("observed_avg_ns", Float avg);
+              ("amdahl_avg_ns", Float model);
+            ])
+        :: !points;
       Report.row_r
         [
           string_of_int n;
@@ -63,7 +95,8 @@ let fig4 () =
   Printf.printf
     "\nheadline: 16 concurrent flushes are %.0f%% cheaper than serialized\n\
      flushes (paper: 75%%).\n"
-    (100.0 *. (r1 -. r16) /. r1)
+    (100.0 *. (r1 -. r16) /. r1);
+  Report.Json.List (List.rev !points)
 
 (* ------------------------------------------------------------------ *)
 (* Workload sweeps shared by Figures 2, 9 and 11                       *)
@@ -257,7 +290,27 @@ let table3 ~scale =
     "\nper-update shadow overhead: one insert into a %d-element map consumes\n\
      %d transient words = %.6fx of the structure (paper: 0.00002-0.00004x).\n"
     n transient
-    (float_of_int transient /. float_of_int live)
+    (float_of_int transient /. float_of_int live);
+  Report.Json.(
+    Obj
+      [
+        ("n", Int n);
+        ( "rows",
+          List
+            (List.map
+               (fun (r : Space.row) ->
+                 Obj
+                   [
+                     ("structure", String r.structure);
+                     ("backend", String (Backend.kind_name r.backend));
+                     ("words_at_n", Int r.words_at_n);
+                     ("words_at_2n", Int r.words_at_2n);
+                     ("ratio", Float r.ratio);
+                   ])
+               rows) );
+        ("shadow_transient_words", Int transient);
+        ("shadow_live_words", Int live);
+      ])
 
 let ablations ~scale =
   Report.section "Ablations (DESIGN.md): what each MOD ingredient buys";
@@ -271,12 +324,38 @@ let ablations ~scale =
           (r.ns_total /. 1e6) r.fences r.flushes r.high_water_words)
       rows
   in
-  print_group "(a) structural sharing (vector point updates)"
-    (Ablation.sharing ~ops ~size:(max 500 (scale / 5)));
-  print_group "(b) minimal ordering (map inserts)"
-    (Ablation.ordering ~ops ~size:(max 500 (scale / 5)));
-  print_group "(c) eager reclamation (map insert churn)"
-    (Ablation.reclamation ~ops ~size:100)
+  let groups =
+    [
+      ( "sharing",
+        "(a) structural sharing (vector point updates)",
+        Ablation.sharing ~ops ~size:(max 500 (scale / 5)) );
+      ( "ordering",
+        "(b) minimal ordering (map inserts)",
+        Ablation.ordering ~ops ~size:(max 500 (scale / 5)) );
+      ( "reclamation",
+        "(c) eager reclamation (map insert churn)",
+        Ablation.reclamation ~ops ~size:100 );
+    ]
+  in
+  List.iter (fun (_, title, rows) -> print_group title rows) groups;
+  Report.Json.(
+    Obj
+      (List.map
+         (fun (key, _, rows) ->
+           ( key,
+             List
+               (List.map
+                  (fun (r : Ablation.result) ->
+                    Obj
+                      [
+                        ("label", String r.label);
+                        ("sim_ns_total", Float r.ns_total);
+                        ("fences", Int r.fences);
+                        ("flushes", Int r.flushes);
+                        ("high_water_words", Int r.high_water_words);
+                      ])
+                  rows) ))
+         groups))
 
 (* ------------------------------------------------------------------ *)
 (* Section 6.1 baseline choice: WHISPER hashmap vs ctree on PMDK       *)
@@ -339,7 +418,9 @@ let ctree ~scale =
 headline: hashmap outperforms ctree by %.0f%% -- the paper compares
      MOD against hashmap for this reason (Section 6.1).
 "
-    (100.0 *. (t_ctree -. t_map) /. t_ctree)
+    (100.0 *. (t_ctree -. t_map) /. t_ctree);
+  Report.Json.(
+    Obj [ ("hashmap_sim_ns", Float t_map); ("ctree_sim_ns", Float t_ctree) ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: host wall-clock of the simulator itself                   *)
@@ -397,15 +478,19 @@ let bechamel () =
         | _ -> acc)
       results []
   in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, est) -> Printf.printf "  %-40s %12.0f ns/op (host)\n" name est)
-    (List.sort compare rows)
+    rows;
+  Report.Json.(
+    Obj (List.map (fun (name, est) -> (name, Float est)) rows))
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref default_scale in
+  let json_out = ref None in
   let sections = ref [] in
   let rec parse = function
     | [] -> ()
@@ -414,6 +499,9 @@ let () =
         parse rest
     | "--full" :: rest ->
         scale := 1_000_000;
+        parse rest
+    | "--json" :: file :: rest ->
+        json_out := Some file;
         parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | s :: rest ->
@@ -426,14 +514,67 @@ let () =
   let scale = !scale in
   print_endline (Pmem.Config.describe ());
   Printf.printf "\nworkload scale: %d operations (paper: 1,000,000)\n" scale;
+  let t_start = Unix.gettimeofday () in
   let results = lazy (sweep ~scale) in
-  if wants "fig4" then fig4 ();
-  if wants "fig2" then fig2 (Lazy.force results);
-  if wants "fig9" then fig9 (Lazy.force results);
-  if wants "fig10" then fig10 ();
-  if wants "fig11" then fig11 (Lazy.force results);
-  if wants "table3" then table3 ~scale;
-  if wants "ctree" then ctree ~scale;
-  if wants "ablations" then ablations ~scale;
-  if wants "bechamel" then bechamel ();
+  (* Each section renders its terminal figure and hands back a JSON
+     payload (Null for the pure views over the shared sweep, whose data
+     lands in the top-level "sweep" array). *)
+  let collected = ref [] in
+  let run name enabled f =
+    if enabled then begin
+      let t0 = Unix.gettimeofday () in
+      let payload = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      collected := (name, dt, payload) :: !collected
+    end
+  in
+  let unit_section f () = f (); Report.Json.Null in
+  run "fig4" (wants "fig4") fig4;
+  run "fig2" (wants "fig2") (unit_section (fun () -> fig2 (Lazy.force results)));
+  run "fig9" (wants "fig9") (unit_section (fun () -> fig9 (Lazy.force results)));
+  run "fig10" (wants "fig10") (unit_section fig10);
+  run "fig11" (wants "fig11")
+    (unit_section (fun () -> fig11 (Lazy.force results)));
+  run "table3" (wants "table3") (fun () -> table3 ~scale);
+  run "ctree" (wants "ctree") (fun () -> ctree ~scale);
+  run "ablations" (wants "ablations") (fun () -> ablations ~scale);
+  run "bechamel" (wants "bechamel") (fun () -> bechamel ());
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+      let open Report.Json in
+      let sweep_json =
+        if Lazy.is_val results then
+          List
+            (List.concat_map
+               (fun (_, per_backend) ->
+                 List.map (fun (_, r) -> runner_json r) per_backend)
+               (Lazy.force results))
+        else List []
+      in
+      let section_json =
+        List
+          (List.rev_map
+             (fun (name, dt, payload) ->
+               let fields =
+                 [ ("name", String name); ("wall_seconds", Float dt) ]
+               in
+               Obj
+                 (match payload with
+                 | Null -> fields
+                 | p -> fields @ [ ("data", p) ]))
+             !collected)
+      in
+      let doc =
+        Obj
+          [
+            ("schema", String "modpm-bench/1");
+            ("scale", Int scale);
+            ("wall_seconds", Float (Unix.gettimeofday () -. t_start));
+            ("sections", section_json);
+            ("sweep", sweep_json);
+          ]
+      in
+      to_file path doc;
+      Printf.printf "\nwrote %s\n" path);
   Printf.printf "\ndone.\n"

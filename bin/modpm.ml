@@ -108,10 +108,18 @@ let crash_cmd =
 (* -- crashtest ---------------------------------------------------------- *)
 
 let crashtest_cmd =
-  let run workload ops stride samples seed max_points quick replay mode sseed
-      shrink =
+  let run action workload ops stride samples seed max_points quick replay mode
+      sseed shrink jobs full_snapshots json_out baseline =
+    (match action with
+    | None | Some "sweep" -> ()
+    | Some other ->
+        Printf.eprintf "unknown action %S (only: sweep)\n" other;
+        exit 2);
     let ops = if quick then min ops 8 else ops in
     let samples = if quick then min samples 2 else samples in
+    let snapshot_mode =
+      if full_snapshots then Pmem.Region.Full_copy else Pmem.Region.Journal
+    in
     let cfg =
       {
         Crashtest.Explorer.default with
@@ -119,6 +127,8 @@ let crashtest_cmd =
         randomize_samples = samples;
         seed;
         max_points;
+        snapshot_mode;
+        jobs;
         log = prerr_endline;
       }
     in
@@ -178,10 +188,12 @@ let crashtest_cmd =
           | n -> [ n ]
         in
         let bad = ref false in
+        let results = ref [] in
         List.iter
           (fun name ->
             let w = build name in
             let r = Crashtest.Explorer.explore ~cfg w in
+            results := (w, r) :: !results;
             Format.printf "%a@." Crashtest.Explorer.pp_result r;
             let failed = not (Crashtest.Explorer.ok r) in
             if w.Crashtest.Workload.negative then
@@ -208,6 +220,104 @@ let crashtest_cmd =
                 r.Crashtest.Explorer.failures
             end)
           names;
+        let results = List.rev !results in
+        let total_points =
+          List.fold_left
+            (fun a (_, r) -> a + r.Crashtest.Explorer.points_tested)
+            0 results
+        in
+        let total_wall =
+          List.fold_left
+            (fun a (_, r) -> a +. r.Crashtest.Explorer.wall_seconds)
+            0.0 results
+        in
+        let points_per_sec =
+          if total_wall <= 0.0 then 0.0
+          else float_of_int total_points /. total_wall
+        in
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            let open Workloads.Report.Json in
+            let doc =
+              Obj
+                [
+                  ("schema", String "modpm-crashtest/1");
+                  ("ops", Int ops);
+                  ("stride", Int stride);
+                  ("samples", Int samples);
+                  ("seed", Int seed);
+                  ( "snapshot_mode",
+                    String
+                      (match snapshot_mode with
+                      | Pmem.Region.Journal -> "journal"
+                      | Pmem.Region.Full_copy -> "full-copy") );
+                  ("jobs", Int jobs);
+                  ("wall_seconds", Float total_wall);
+                  ("points_tested", Int total_points);
+                  ("points_per_sec", Float points_per_sec);
+                  ( "workloads",
+                    List
+                      (List.map
+                         (fun ((w : Crashtest.Workload.t), r) ->
+                           Obj
+                             [
+                               ("workload", String r.Crashtest.Explorer.workload);
+                               ("ops", Int r.Crashtest.Explorer.ops);
+                               ("negative", Bool w.Crashtest.Workload.negative);
+                               ( "total_events",
+                                 Int r.Crashtest.Explorer.total_events );
+                               ( "points_tested",
+                                 Int r.Crashtest.Explorer.points_tested );
+                               ( "points_skipped",
+                                 Int r.Crashtest.Explorer.points_skipped );
+                               ( "crashes_sampled",
+                                 Int r.Crashtest.Explorer.crashes_sampled );
+                               ( "wall_seconds",
+                                 Float r.Crashtest.Explorer.wall_seconds );
+                               ( "points_per_sec",
+                                 Float (Crashtest.Explorer.points_per_sec r) );
+                               ( "failures",
+                                 Int
+                                   (List.length r.Crashtest.Explorer.failures)
+                               );
+                               ("ok", Bool (Crashtest.Explorer.ok r));
+                             ])
+                         results) );
+                ]
+            in
+            to_file path doc;
+            Printf.printf "wrote %s\n" path);
+        (match baseline with
+        | None -> ()
+        | Some path -> (
+            (* fail if throughput regressed to less than half the committed
+               baseline (generous: CI machines vary, 2x does not) *)
+            let open Workloads.Report.Json in
+            match
+              let doc = of_file path in
+              Option.bind (member "points_per_sec" doc) to_number_opt
+            with
+            | exception Sys_error e ->
+                Printf.eprintf "baseline %s unreadable: %s\n" path e;
+                exit 2
+            | exception Parse_error e ->
+                Printf.eprintf "baseline %s: bad JSON: %s\n" path e;
+                exit 2
+            | None ->
+                Printf.eprintf "baseline %s has no points_per_sec\n" path;
+                exit 2
+            | Some base ->
+                Printf.printf
+                  "throughput %.0f points/s vs baseline %.0f points/s\n"
+                  points_per_sec base;
+                if points_per_sec < base /. 2.0 then begin
+                  Printf.eprintf
+                    "PERF REGRESSION: %.0f points/s is more than 2x below \
+                     the committed baseline (%.0f points/s)\n"
+                    points_per_sec base;
+                  bad := true
+                end));
         if !bad then exit 1
   in
   let workload =
@@ -275,6 +385,42 @@ let crashtest_cmd =
       & info [ "shrink" ]
           ~doc:"After a failing --replay, print the minimal repro command.")
   in
+  let action =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"ACTION"
+          ~doc:"Optional action; only $(b,sweep) (the default).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker processes for the sweep (forked); 1 = sequential, 0 = \
+             one per core.")
+  in
+  let full_snapshots =
+    Arg.(
+      value & flag
+      & info [ "full-snapshots" ]
+          ~doc:
+            "Use the original full-image snapshot path instead of \
+             copy-on-write journaling (slow; differential reference).")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable sweep summary to $(docv).")
+  in
+  let baseline =
+    Arg.(
+      value & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare crash-points/sec against a committed baseline JSON and \
+             fail if it regressed more than 2x.")
+  in
   let doc =
     "Exhaustively explore the crash-state space of a workload: inject a \
      power failure after every PM event, recover, and check the recovered \
@@ -284,8 +430,9 @@ let crashtest_cmd =
   in
   Cmd.v (Cmd.info "crashtest" ~doc)
     Term.(
-      const run $ workload $ ops $ stride $ samples $ seed $ max_points
-      $ quick $ replay $ mode $ sseed $ shrink)
+      const run $ action $ workload $ ops $ stride $ samples $ seed
+      $ max_points $ quick $ replay $ mode $ sseed $ shrink $ jobs
+      $ full_snapshots $ json_out $ baseline)
 
 (* -- check ------------------------------------------------------------- *)
 

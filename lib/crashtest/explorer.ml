@@ -11,6 +11,18 @@
     is also traced and fed to the Section 5.4 consistency checker as a
     second invariant.
 
+    Sweeps default to the fast path: the region journals copy-on-write
+    undo records ({!Pmem.Region.snapshot_mode} [Journal]), so each crash
+    point costs O(state touched) instead of O(capacity), and one scratch
+    heap is rewound to a pristine snapshot between budgets instead of
+    being rebuilt.  [snapshot_mode = Full_copy] selects the original
+    full-image path, kept as a differential reference: both paths must
+    produce identical oracle verdicts.  With [jobs > 1] the budget list
+    is partitioned round-robin across forked worker processes and the
+    per-worker reports are merged deterministically (identical to a
+    sequential sweep); on platforms without [fork] the sweep falls back
+    to sequential.
+
     Large runs can be strided or capped; whatever is skipped is reported
     through [log] rather than silently dropped. *)
 
@@ -22,6 +34,10 @@ type config = {
   capacity_words : int;
   heap_seed : int;
   max_points : int option;  (** cap on tested points (strided sweeps) *)
+  snapshot_mode : Pmem.Region.snapshot_mode;
+      (** [Journal] = O(touched) copy-on-write sweeps (default);
+          [Full_copy] = the original O(capacity) reference path *)
+  jobs : int;  (** worker processes; 1 = sequential, 0 = one per core *)
   log : string -> unit;
 }
 
@@ -39,6 +55,8 @@ let default =
     capacity_words = 1 lsl 14;
     heap_seed = 42;
     max_points = None;
+    snapshot_mode = Pmem.Region.Journal;
+    jobs = 1;
     log = ignore;
   }
 
@@ -58,6 +76,7 @@ type result = {
   points_tested : int;
   points_skipped : int;
   crashes_sampled : int;
+  wall_seconds : float;
   trace_report : Mod_core.Consistency.report option;
   failures : failure list;
 }
@@ -67,6 +86,10 @@ let ok r =
   && match r.trace_report with
      | Some rep -> Mod_core.Consistency.ok rep
      | None -> true
+
+let points_per_sec r =
+  if r.wall_seconds <= 0.0 then 0.0
+  else float_of_int r.points_tested /. r.wall_seconds
 
 let mode_name = function
   | Pmem.Region.Drop_inflight -> "drop"
@@ -91,13 +114,32 @@ type crashed = {
   c_pending : Workload.state option;
 }
 
-(* Run [w] on a fresh deterministic heap; if [budget] is given, power
-   fails after that many PM events (counted from just after heap
-   creation) and the interrupted execution is returned. *)
-let run_until cfg (w : Workload.t) ~budget =
+(* A reusable execution context: one heap whose region journals undo
+   records, rewound to its pristine snapshot between crash points.
+   Equivalent to a fresh heap per budget (the reference behavior) but
+   O(state touched) instead of O(capacity + cache hierarchy). *)
+type scratch = { s_heap : Pmalloc.Heap.t; s_pristine : Pmem.Region.snapshot }
+
+let make_scratch cfg =
   let heap =
     Pmalloc.Heap.create ~capacity_words:cfg.capacity_words ~trace:true
       ~seed:cfg.heap_seed ()
+  in
+  Pmem.Region.set_snapshot_mode (Pmalloc.Heap.region heap) Pmem.Region.Journal;
+  { s_heap = heap; s_pristine = Pmalloc.Heap.pristine_snapshot heap }
+
+(* Run [w] on a fresh deterministic heap (or a rewound scratch heap); if
+   [budget] is given, power fails after that many PM events (counted from
+   just after heap creation) and the interrupted execution is returned. *)
+let run_until ?scratch cfg (w : Workload.t) ~budget =
+  let heap =
+    match scratch with
+    | Some s ->
+        Pmalloc.Heap.reset_fresh s.s_heap ~pristine:s.s_pristine;
+        s.s_heap
+    | None ->
+        Pmalloc.Heap.create ~capacity_words:cfg.capacity_words ~trace:true
+          ~seed:cfg.heap_seed ()
   in
   let region = Pmalloc.Heap.region heap in
   let base_events = Pmem.Region.pm_events region in
@@ -178,7 +220,128 @@ let sample_point cfg (w : Workload.t) ~crash_index (c : crashed) =
     cfg.modes;
   (!sampled, List.rev !failures)
 
+(* -- sweep driver -------------------------------------------------------- *)
+
+(* The crash points a sweep must test, honoring stride and cap.  The
+   parallel driver partitions exactly this list, so sequential and
+   parallel sweeps test identical point sets. *)
+let sweep_budgets cfg ~total_events =
+  let rec go b n acc =
+    if b > total_events then List.rev acc
+    else
+      match cfg.max_points with
+      | Some m when n >= m -> List.rev acc
+      | _ -> go (b + cfg.stride) (n + 1) (b :: acc)
+  in
+  go 1 0 []
+
+type chunk = {
+  ch_tested : int;
+  ch_sampled : int;
+  ch_failures : failure list;  (** in ascending crash-point order *)
+}
+
+(* Test every budget in [bs] (ascending), reusing one scratch heap on
+   the journaled path. *)
+let sweep_chunk cfg (w : Workload.t) bs =
+  let scratch =
+    match cfg.snapshot_mode with
+    | Pmem.Region.Journal -> Some (make_scratch cfg)
+    | Pmem.Region.Full_copy -> None
+  in
+  let tested = ref 0 in
+  let sampled = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun budget ->
+      match run_until ?scratch cfg w ~budget:(Some budget) with
+      | `Completed _ -> ()
+      | `Crashed c ->
+          incr tested;
+          let n, fs = sample_point cfg w ~crash_index:budget c in
+          sampled := !sampled + n;
+          failures := List.rev_append fs !failures)
+    bs;
+  { ch_tested = !tested; ch_sampled = !sampled;
+    ch_failures = List.rev !failures }
+
+(* Fork one worker per budget partition; each marshals its chunk back
+   over a pipe.  Round-robin partitioning plus a stable merge keyed on
+   the crash index reproduces the sequential failure order exactly
+   (within one crash point all samples come from the same worker, in
+   canonical mode/seed order). *)
+let sweep_parallel cfg w bs ~jobs =
+  let parts = Array.make jobs [] in
+  List.iteri (fun i b -> parts.(i mod jobs) <- b :: parts.(i mod jobs)) bs;
+  flush stdout;
+  flush stderr;
+  let children =
+    Array.to_list parts
+    |> List.filter_map (fun part ->
+           if part = [] then None
+           else
+             let part = List.rev part in
+             let rd, wr = Unix.pipe () in
+             match Unix.fork () with
+             | 0 ->
+                 Unix.close rd;
+                 let status =
+                   match sweep_chunk cfg w part with
+                   | chunk ->
+                       let oc = Unix.out_channel_of_descr wr in
+                       Marshal.to_channel oc chunk [];
+                       flush oc;
+                       close_out oc;
+                       0
+                   | exception e ->
+                       Printf.eprintf "crashtest worker: %s\n%!"
+                         (Printexc.to_string e);
+                       1
+                 in
+                 (* not [exit]: at_exit handlers would replay the parent's
+                    buffered output *)
+                 Unix._exit status
+             | pid ->
+                 Unix.close wr;
+                 Some (pid, rd))
+  in
+  let chunks =
+    List.map
+      (fun (pid, rd) ->
+        let ic = Unix.in_channel_of_descr rd in
+        let chunk =
+          match (Marshal.from_channel ic : chunk) with
+          | c -> Some c
+          | exception (End_of_file | Failure _) -> None
+        in
+        close_in ic;
+        let _, status = Unix.waitpid [] pid in
+        match (chunk, status) with
+        | Some c, Unix.WEXITED 0 -> c
+        | _ -> failwith "Explorer.explore: parallel sweep worker failed")
+      children
+  in
+  {
+    ch_tested = List.fold_left (fun a c -> a + c.ch_tested) 0 chunks;
+    ch_sampled = List.fold_left (fun a c -> a + c.ch_sampled) 0 chunks;
+    ch_failures =
+      List.concat_map (fun c -> c.ch_failures) chunks
+      |> List.stable_sort (fun a b -> compare a.crash_index b.crash_index);
+  }
+
+let resolve_jobs cfg =
+  let requested =
+    if cfg.jobs = 0 then Domain.recommended_domain_count () else cfg.jobs
+  in
+  let requested = max 1 requested in
+  if requested > 1 && not Sys.unix then begin
+    cfg.log "explorer: no fork on this platform, falling back to sequential";
+    1
+  end
+  else requested
+
 let explore ?(cfg = default) (w : Workload.t) =
+  let t0 = Unix.gettimeofday () in
   let total_events, trace_report =
     match run_until cfg w ~budget:None with
     | `Completed (events, heap) ->
@@ -190,34 +353,17 @@ let explore ?(cfg = default) (w : Workload.t) =
         (events, report)
     | `Crashed _ -> assert false (* no budget armed *)
   in
-  let tested = ref 0 in
-  let sampled = ref 0 in
-  let failures = ref [] in
-  let budget = ref 1 in
-  let stop = ref false in
-  while not !stop do
-    let capped =
-      match cfg.max_points with Some m -> !tested >= m | None -> false
-    in
-    if capped || !budget > total_events then stop := true
-    else
-      match run_until cfg w ~budget:(Some !budget) with
-      | `Completed _ ->
-          (* the budget outlived the execution: sweep is complete *)
-          stop := true
-      | `Crashed c ->
-          incr tested;
-          let n, fs = sample_point cfg w ~crash_index:!budget c in
-          sampled := !sampled + n;
-          failures := !failures @ fs;
-          budget := !budget + cfg.stride
-  done;
-  let skipped = max 0 (total_events - !tested) in
+  let bs = sweep_budgets cfg ~total_events in
+  let jobs = min (resolve_jobs cfg) (max 1 (List.length bs)) in
+  let chunk =
+    if jobs > 1 then sweep_parallel cfg w bs ~jobs else sweep_chunk cfg w bs
+  in
+  let skipped = max 0 (total_events - chunk.ch_tested) in
   if skipped > 0 then
     cfg.log
       (Printf.sprintf
          "%s: tested %d of %d crash points (stride %d%s), %d skipped"
-         w.Workload.name !tested total_events cfg.stride
+         w.Workload.name chunk.ch_tested total_events cfg.stride
          (match cfg.max_points with
          | Some m -> Printf.sprintf ", cap %d" m
          | None -> "")
@@ -226,11 +372,12 @@ let explore ?(cfg = default) (w : Workload.t) =
     workload = w.Workload.name;
     ops = w.Workload.ops;
     total_events;
-    points_tested = !tested;
+    points_tested = chunk.ch_tested;
     points_skipped = skipped;
-    crashes_sampled = !sampled;
+    crashes_sampled = chunk.ch_sampled;
+    wall_seconds = Unix.gettimeofday () -. t0;
     trace_report;
-    failures = !failures;
+    failures = chunk.ch_failures;
   }
 
 let pp_failure ppf (f : failure) =
@@ -243,9 +390,10 @@ let pp_failure ppf (f : failure) =
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "%-12s %5d events, %5d points tested (%d skipped), %6d crash samples, %s%s"
+    "%-12s %5d events, %5d points tested (%d skipped), %6d crash samples in \
+     %.2fs (%.0f points/s), %s%s"
     r.workload r.total_events r.points_tested r.points_skipped
-    r.crashes_sampled
+    r.crashes_sampled r.wall_seconds (points_per_sec r)
     (match r.trace_report with
     | Some rep when not (Mod_core.Consistency.ok rep) ->
         Printf.sprintf "trace: %d violation(s), "

@@ -4,7 +4,12 @@
     [(workload/ops, crash event index, survival seed)]; [replay] re-runs
     exactly that crash deterministically, [command] prints the CLI
     incantation that does the same, and [minimize] shrinks the workload
-    to the smallest operation count that still reproduces the failure. *)
+    to the smallest operation count that still reproduces the failure.
+
+    Replay always executes on a fresh heap and crashes the live image
+    directly -- no snapshots, no workers -- so a repro command reproduces
+    bit-for-bit regardless of the [snapshot_mode] ([--full-snapshots])
+    and [jobs] ([--jobs]) settings the sweep that found it ran under. *)
 
 (* Re-run one crash point, single sample.  [None] means the crash index
    lies beyond the workload's last PM event (nothing to inject). *)

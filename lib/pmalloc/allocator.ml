@@ -203,6 +203,20 @@ let rec release t body =
 
 let retain t body = rc_incr t body
 
+(* Return the allocator to its just-created state.  Used by the
+   crash-point explorer when it rewinds a scratch heap's region to its
+   pristine snapshot instead of building a fresh heap per crash point:
+   the volatile allocator state must rewind with the image. *)
+let reset_fresh t =
+  Freelist.clear t.freelist;
+  Hashtbl.reset t.rc;
+  t.deferred <- [];
+  t.live_words <- 0;
+  t.high_water_words <- 0;
+  t.allocations <- 0;
+  t.frees <- 0;
+  t.frontier <- t.heap_start
+
 (* Recovery support: wipe all volatile allocator state and reinstall it
    from the reachability analysis. *)
 let recovery_reset t ~frontier =

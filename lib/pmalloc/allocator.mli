@@ -63,6 +63,12 @@ val allocations : t -> int
 val frees : t -> int
 val free_words : t -> int
 
+val reset_fresh : t -> unit
+(** Return all volatile state (free lists, refcounts, deferral list,
+    counters, frontier) to the just-created state.  Pairs with rewinding
+    the region to a pristine snapshot: together they are equivalent to a
+    fresh heap without the O(capacity) construction cost. *)
+
 (** {1 Recovery support} ({!Recovery_gc})} *)
 
 val recovery_reset : t -> frontier:int -> unit

@@ -60,3 +60,15 @@ let sfence t =
   Pmem.Region.sfence t.region;
   Allocator.epoch_flush t.allocator
 let crash ?mode ?seed t = Pmem.Region.crash ?mode ?seed t.region
+
+(* Scratch-heap support for the crash-point explorer: a snapshot taken
+   right after [create] captures the pristine heap; [reset_fresh]
+   rewinds the region to it and resets the volatile allocator state,
+   which together are equivalent to a fresh [create] without the
+   O(capacity) construction cost (the 33MB simulated cache hierarchy
+   dominates heap construction). *)
+let pristine_snapshot t = Pmem.Region.snapshot t.region
+
+let reset_fresh t ~pristine =
+  Pmem.Region.restore t.region pristine;
+  Allocator.reset_fresh t.allocator

@@ -53,3 +53,13 @@ val sfence : t -> unit
 val crash : ?mode:Pmem.Region.crash_mode -> ?seed:int -> t -> unit
 (** Inject a power failure; [seed] pins the [Randomize] survival
     outcomes for replay (see {!Pmem.Region.crash}). *)
+
+val pristine_snapshot : t -> Pmem.Region.snapshot
+(** Snapshot of the just-created heap (take it before any application
+    work), for {!reset_fresh}. *)
+
+val reset_fresh : t -> pristine:Pmem.Region.snapshot -> unit
+(** Rewind the region to the pristine snapshot and reset all volatile
+    allocator state: observably equivalent to a fresh {!create} with the
+    same parameters, but O(state touched since the snapshot) when the
+    region is in [Journal] snapshot mode. *)

@@ -15,6 +15,13 @@ type t = {
   dirty : bool array;
   last_use : int array; (* LRU timestamps *)
   mutable tick : int;
+  (* Epoch-based O(1) invalidation: a set whose [set_epoch] lags [epoch]
+     holds stale entries from before the last [invalidate] and is wiped
+     lazily on first access.  Observably identical to [reset], but the
+     crash-point explorer can drop a 33MB LLC between samples without
+     touching its arrays. *)
+  set_epoch : int array; (* one per set *)
+  mutable epoch : int;
 }
 
 let create ?(sets = Config.l1d_sets) ?(ways = Config.l1d_ways) () =
@@ -25,22 +32,41 @@ let create ?(sets = Config.l1d_sets) ?(ways = Config.l1d_ways) () =
     dirty = Array.make (sets * ways) false;
     last_use = Array.make (sets * ways) 0;
     tick = 0;
+    set_epoch = Array.make sets 0;
+    epoch = 0;
   }
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.dirty 0 (Array.length t.dirty) false;
   Array.fill t.last_use 0 (Array.length t.last_use) 0;
+  t.tick <- 0;
+  Array.fill t.set_epoch 0 t.sets t.epoch
+
+let invalidate t =
+  t.epoch <- t.epoch + 1;
   t.tick <- 0
 
 let set_of t line = line mod t.sets
+
+(* Wipe [set]'s ways if it predates the last [invalidate]. *)
+let refresh_set t set =
+  if t.set_epoch.(set) <> t.epoch then begin
+    t.set_epoch.(set) <- t.epoch;
+    let base = set * t.ways in
+    Array.fill t.tags base t.ways (-1);
+    Array.fill t.dirty base t.ways false;
+    Array.fill t.last_use base t.ways 0
+  end
 
 (* Returns [true] on hit.  On a miss the LRU way of the set is evicted; if
    it held a dirty line, [writeback] is called with that line address before
    the new line is installed. *)
 let access t ~writeback ~line ~write =
   t.tick <- t.tick + 1;
-  let base = set_of t line * t.ways in
+  let set = set_of t line in
+  refresh_set t set;
+  let base = set * t.ways in
   let hit_way = ref (-1) in
   for w = 0 to t.ways - 1 do
     if t.tags.(base + w) = line then hit_way := w
@@ -81,13 +107,17 @@ let access t ~writeback ~line ~write =
 (* Mark a line clean in the cache (its data has been written back by a
    clwb+sfence), without evicting it: clwb writes back but need not evict. *)
 let mark_clean t ~line =
-  let base = set_of t line * t.ways in
+  let set = set_of t line in
+  refresh_set t set;
+  let base = set * t.ways in
   for w = 0 to t.ways - 1 do
     if t.tags.(base + w) = line then t.dirty.(base + w) <- false
   done
 
 let resident t ~line =
-  let base = set_of t line * t.ways in
+  let set = set_of t line in
+  refresh_set t set;
+  let base = set * t.ways in
   let found = ref false in
   for w = 0 to t.ways - 1 do
     if t.tags.(base + w) = line then found := true
@@ -97,6 +127,8 @@ let resident t ~line =
 let dirty_lines t =
   let acc = ref [] in
   Array.iteri
-    (fun i tag -> if tag >= 0 && t.dirty.(i) then acc := tag :: !acc)
+    (fun i tag ->
+      if tag >= 0 && t.dirty.(i) && t.set_epoch.(i / t.ways) = t.epoch then
+        acc := tag :: !acc)
     t.tags;
   !acc

@@ -4,6 +4,32 @@ type crash_mode = Drop_inflight | Keep_inflight | Randomize
 
 exception Crash_point
 
+type snapshot_mode = Journal | Full_copy
+
+(* One undo-journal record: the full pre-image of a cacheline (volatile
+   view, durable image, durability state) captured on its first mutation
+   after a snapshot or restore.  Replaying records newest-to-oldest
+   rewinds the region in O(lines touched). *)
+type jentry = {
+  e_line : int;
+  e_state : line_state;
+  e_cur : int array;
+  e_dur : int array;
+}
+
+let dummy_entry = { e_line = 0; e_state = Clean; e_cur = [||]; e_dur = [||] }
+
+type jtoken = {
+  t_region : int;  (** stamp of the region this token belongs to *)
+  t_pos : int;  (** journal length when the snapshot was taken *)
+  mutable t_valid : bool;  (** cleared when the log is truncated below *)
+  t_capacity : int;
+  t_inflight : int;
+  t_stats : Stats.t;
+  t_rng : Random.State.t;
+  t_trace_len : int;
+}
+
 type t = {
   mutable current : int array; (* the CPU's coherent view *)
   mutable durable : int array; (* what Optane DCPMM holds *)
@@ -14,7 +40,7 @@ type t = {
   llc : Cache.t; (* latency modelling only *)
   stats : Stats.t;
   trace : Trace.t;
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
   mutable inflight : int;
   (* ablation knob: order every clwb individually, as if each flush were
      followed by its own sfence (the paper's Section 3 worst case) *)
@@ -24,21 +50,38 @@ type t = {
   mutable events : int;
   mutable crash_budget : int; (* -1 = no crash scheduled *)
   mutable last_crash_seed : int option;
+  (* snapshot journal (see [snapshot]) *)
+  region_stamp : int;
+  mutable snap_mode : snapshot_mode;
+  mutable j_on : bool; (* journaling armed: first-touch undo records *)
+  mutable j_entries : jentry array;
+  mutable j_len : int;
+  mutable j_mark : int array; (* per line: epoch of its current record *)
+  mutable j_epoch : int;
+  mutable j_tokens : jtoken list; (* live journaled snapshots *)
 }
 
-type snapshot = {
-  s_current : int array;
-  s_durable : int array;
-  s_state : line_state array;
-  s_capacity : int;
-  s_inflight : int;
-}
+type snapshot =
+  | Full of {
+      s_current : int array;
+      s_durable : int array;
+      s_state : line_state array;
+      s_capacity : int;
+      s_inflight : int;
+      s_stats : Stats.t;
+      s_rng : Random.State.t;
+      s_trace_len : int;
+    }
+  | Journaled of jtoken
 
 let line_of_word off = off lsr Config.line_shift
+
+let next_stamp = ref 0
 
 let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
   let cap = max capacity_words Config.words_per_line in
   let lines = (cap + Config.words_per_line - 1) / Config.words_per_line in
+  incr next_stamp;
   {
     current = Array.make cap 0;
     durable = Array.make cap 0;
@@ -55,6 +98,14 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
     events = 0;
     crash_budget = -1;
     last_crash_seed = None;
+    region_stamp = !next_stamp;
+    snap_mode = Full_copy;
+    j_on = false;
+    j_entries = [||];
+    j_len = 0;
+    j_mark = Array.make lines (-1);
+    j_epoch = 0;
+    j_tokens = [];
   }
 
 let stats t = t.stats
@@ -69,6 +120,41 @@ let set_crash_after t n =
 
 let clear_crash_point t = t.crash_budget <- -1
 let last_crash_seed t = t.last_crash_seed
+
+let set_snapshot_mode t mode = t.snap_mode <- mode
+let snapshot_mode t = t.snap_mode
+
+(* -- snapshot journal ---------------------------------------------------- *)
+
+let journal_push t e =
+  let n = Array.length t.j_entries in
+  if t.j_len = n then begin
+    let bigger = Array.make (max 64 (2 * n)) dummy_entry in
+    Array.blit t.j_entries 0 bigger 0 n;
+    t.j_entries <- bigger
+  end;
+  t.j_entries.(t.j_len) <- e;
+  t.j_len <- t.j_len + 1
+
+(* First-touch undo record: called before any mutation of [line]'s
+   volatile contents, durable contents or durability state. *)
+let journal_touch t line =
+  if t.j_on && t.j_mark.(line) <> t.j_epoch then begin
+    t.j_mark.(line) <- t.j_epoch;
+    let base = line lsl Config.line_shift in
+    let len = min Config.words_per_line (t.capacity - base) in
+    journal_push t
+      {
+        e_line = line;
+        e_state = t.state.(line);
+        e_cur = Array.sub t.current base len;
+        e_dur = Array.sub t.durable base len;
+      }
+  end
+
+let journal_entries t = t.j_len
+
+(* ------------------------------------------------------------------------ *)
 
 (* Count one PM event (store / clwb / sfence) against the crash budget.
    The event itself has completed by the time we raise: the power fails
@@ -101,6 +187,11 @@ let ensure_capacity t n =
     let st = Array.make lines Clean in
     Array.blit t.state 0 st 0 (Array.length t.state);
     t.state <- st;
+    if lines > Array.length t.j_mark then begin
+      let marks = Array.make lines (-1) in
+      Array.blit t.j_mark 0 marks 0 (Array.length t.j_mark);
+      t.j_mark <- marks
+    end;
     t.capacity <- cap
   end
 
@@ -118,6 +209,7 @@ let writeback_line t line =
    back to PM, incidentally making it durable. *)
 let evict_writeback t victim_line =
   if victim_line < Array.length t.state then begin
+    journal_touch t victim_line;
     writeback_line t victim_line;
     (match t.state.(victim_line) with
     | Flushing -> t.inflight <- t.inflight - 1
@@ -155,11 +247,12 @@ let load t off =
 
 let store t off w =
   check_off t off "store";
+  let line = line_of_word off in
+  journal_touch t line;
   ignore (touch_cache t off ~write:true : Latency.load_level);
   t.stats.Stats.stores <- t.stats.Stats.stores + 1;
   Stats.advance t.stats Latency.store_ns;
   t.current.(off) <- Word.bits w;
-  let line = line_of_word off in
   (match t.state.(line) with
   | Clean -> t.state.(line) <- Dirty
   | Dirty -> ()
@@ -178,6 +271,7 @@ let rec clwb t off =
   Trace.emit t.trace (Trace.Flush { line });
   (match t.state.(line) with
   | Dirty ->
+      journal_touch t line;
       t.state.(line) <- Flushing;
       t.inflight <- t.inflight + 1
   | Clean | Flushing -> ());
@@ -190,6 +284,7 @@ and sfence t =
     (fun line st ->
       match st with
       | Flushing ->
+          journal_touch t line;
           writeback_line t line;
           t.state.(line) <- Clean;
           Cache.mark_clean t.cache ~line
@@ -212,6 +307,20 @@ let clwb_range t off words =
 
 let set_fence_per_flush t enabled = t.fence_per_flush <- enabled
 
+(* Invalidate the cache hierarchy.  The full wipe is kept on the
+   full-copy reference path; journaled snapshots use the O(1) epoch
+   invalidation (observably identical -- see Cache). *)
+let reset_caches t =
+  match t.snap_mode with
+  | Full_copy ->
+      Cache.reset t.cache;
+      Cache.reset t.l2;
+      Cache.reset t.llc
+  | Journal ->
+      Cache.invalidate t.cache;
+      Cache.invalidate t.l2;
+      Cache.invalidate t.llc
+
 let crash ?(mode = Randomize) ?seed t =
   (* Each crash draws its line-survival outcomes from a dedicated RNG
      whose seed is either supplied by the caller (replay) or drawn from
@@ -225,54 +334,153 @@ let crash ?(mode = Randomize) ?seed t =
   t.crash_budget <- -1;
   Array.iteri
     (fun line st ->
-      let survives =
-        match (st, mode) with
-        | Clean, _ -> false (* already durable, nothing in flight *)
-        | Flushing, Keep_inflight -> true
-        | Flushing, Drop_inflight -> false
-        | Flushing, Randomize -> Random.State.bool crash_rng
-        | Dirty, Keep_inflight -> false
-        | Dirty, Drop_inflight -> false
-        | Dirty, Randomize ->
-            (* a dirty, never-flushed line reaches PM only if the cache
-               happened to evict it; make that rarer than in-flight lines *)
-            Random.State.int crash_rng 4 = 0
-      in
-      if survives then writeback_line t line;
-      t.state.(line) <- Clean)
+      (* Clean lines are already durable with no writeback in flight, so
+         their volatile and durable contents agree: losing power changes
+         nothing.  Only dirty / in-flight lines need work (or undo
+         journaling), keeping a crash O(lines + dirty words). *)
+      match st with
+      | Clean -> ()
+      | Dirty | Flushing ->
+          let survives =
+            match (st, mode) with
+            | Clean, _ -> false (* already durable, nothing in flight *)
+            | Flushing, Keep_inflight -> true
+            | Flushing, Drop_inflight -> false
+            | Flushing, Randomize -> Random.State.bool crash_rng
+            | Dirty, Keep_inflight -> false
+            | Dirty, Drop_inflight -> false
+            | Dirty, Randomize ->
+                (* a dirty, never-flushed line reaches PM only if the cache
+                   happened to evict it; make that rarer than in-flight
+                   lines *)
+                Random.State.int crash_rng 4 = 0
+          in
+          journal_touch t line;
+          if survives then writeback_line t line
+          else begin
+            (* the volatile view reverts to what PM holds *)
+            let base = line lsl Config.line_shift in
+            let len = min Config.words_per_line (t.capacity - base) in
+            Array.blit t.durable base t.current base len
+          end;
+          t.state.(line) <- Clean)
     t.state;
   t.inflight <- 0;
-  Array.blit t.durable 0 t.current 0 t.capacity;
-  Cache.reset t.cache;
-  Cache.reset t.l2;
-  Cache.reset t.llc;
+  reset_caches t;
   Trace.emit t.trace Trace.Crash
 
-(* Snapshot / restore of the full memory image, for the crash-point
-   explorer: one execution to a crash point can be sampled under many
-   survival seeds without re-running the workload.  Cache contents are
-   not captured -- restore resets the hierarchy, which only matters for
-   latency stats, not durability, because the intended next step after a
-   restore is another [crash]. *)
+(* Snapshot / restore of the memory image, for the crash-point explorer:
+   one execution to a crash point can be sampled under many survival
+   seeds without re-running the workload.
+
+   Two implementations, selected by {!set_snapshot_mode}:
+   - [Full_copy] (the differential reference): three whole-image array
+     copies, O(capacity) per snapshot and restore.
+   - [Journal] (the default for sweeps): [snapshot] is O(1) -- it records
+     a position in a copy-on-write undo journal; every subsequent
+     first-touch mutation of a cacheline saves that line's pre-image, and
+     [restore] replays the records newest-to-oldest, O(lines touched).
+     Tokens stack (an outer "pristine" snapshot survives inner crash-point
+     snapshots); truncating the journal below a token's position
+     invalidates it.
+
+   Cache contents are not captured -- restore invalidates the hierarchy,
+   which only matters for latency stats, not durability, because the
+   intended next step after a restore is another [crash].  Simulated-time
+   and event counters (Stats) are captured and restored alongside the
+   image so crash samples do not leak time into each other, and the
+   region RNG and trace position rewind with them. *)
 let snapshot t =
-  {
-    s_current = Array.copy t.current;
-    s_durable = Array.copy t.durable;
-    s_state = Array.copy t.state;
-    s_capacity = t.capacity;
-    s_inflight = t.inflight;
-  }
+  match t.snap_mode with
+  | Full_copy ->
+      Full
+        {
+          s_current = Array.copy t.current;
+          s_durable = Array.copy t.durable;
+          s_state = Array.copy t.state;
+          s_capacity = t.capacity;
+          s_inflight = t.inflight;
+          s_stats = Stats.copy t.stats;
+          s_rng = Random.State.copy t.rng;
+          s_trace_len = Trace.length t.trace;
+        }
+  | Journal ->
+      let tok =
+        {
+          t_region = t.region_stamp;
+          t_pos = t.j_len;
+          t_valid = true;
+          t_capacity = t.capacity;
+          t_inflight = t.inflight;
+          t_stats = Stats.copy t.stats;
+          t_rng = Random.State.copy t.rng;
+          t_trace_len = Trace.length t.trace;
+        }
+      in
+      t.j_on <- true;
+      t.j_epoch <- t.j_epoch + 1;
+      t.j_tokens <- tok :: t.j_tokens;
+      Journaled tok
+
+(* Shrink the image arrays back to [cap] (undoing ensure_capacity growth
+   that happened after the snapshot).  The journal already rewound every
+   surviving line; words beyond [cap] simply cease to exist, exactly as
+   under the full-copy path, and any later re-growth re-zeroes them. *)
+let truncate_image t cap =
+  if cap < t.capacity then begin
+    t.current <- Array.sub t.current 0 cap;
+    t.durable <- Array.sub t.durable 0 cap;
+    let lines = (cap + Config.words_per_line - 1) / Config.words_per_line in
+    t.state <- Array.sub t.state 0 lines;
+    t.capacity <- cap
+  end
 
 let restore t s =
-  t.current <- Array.copy s.s_current;
-  t.durable <- Array.copy s.s_durable;
-  t.state <- Array.copy s.s_state;
-  t.capacity <- s.s_capacity;
-  t.inflight <- s.s_inflight;
+  (match s with
+  | Full f ->
+      t.current <- Array.copy f.s_current;
+      t.durable <- Array.copy f.s_durable;
+      t.state <- Array.copy f.s_state;
+      t.capacity <- f.s_capacity;
+      t.inflight <- f.s_inflight;
+      Stats.assign ~into:t.stats f.s_stats;
+      t.rng <- Random.State.copy f.s_rng;
+      Trace.truncate t.trace f.s_trace_len;
+      (* a full restore orphans any journal state *)
+      List.iter (fun tk -> tk.t_valid <- false) t.j_tokens;
+      t.j_tokens <- [];
+      t.j_len <- 0;
+      t.j_epoch <- t.j_epoch + 1
+  | Journaled tok ->
+      if tok.t_region <> t.region_stamp then
+        invalid_arg "Region.restore: journaled snapshot from another region";
+      if not (tok.t_valid && tok.t_pos <= t.j_len) then
+        invalid_arg
+          "Region.restore: stale journaled snapshot (journal truncated below \
+           it)";
+      (* replay undo records newest-to-oldest down to the token *)
+      for i = t.j_len - 1 downto tok.t_pos do
+        let e = t.j_entries.(i) in
+        let base = e.e_line lsl Config.line_shift in
+        Array.blit e.e_cur 0 t.current base (Array.length e.e_cur);
+        Array.blit e.e_dur 0 t.durable base (Array.length e.e_dur);
+        t.state.(e.e_line) <- e.e_state;
+        t.j_entries.(i) <- dummy_entry
+      done;
+      t.j_len <- tok.t_pos;
+      List.iter
+        (fun tk -> if tk.t_pos > tok.t_pos then tk.t_valid <- false)
+        t.j_tokens;
+      t.j_tokens <- List.filter (fun tk -> tk.t_valid) t.j_tokens;
+      truncate_image t tok.t_capacity;
+      t.inflight <- tok.t_inflight;
+      Stats.assign ~into:t.stats tok.t_stats;
+      t.rng <- Random.State.copy tok.t_rng;
+      Trace.truncate t.trace tok.t_trace_len;
+      (* mutations after this restore need fresh undo records *)
+      t.j_epoch <- t.j_epoch + 1);
   t.crash_budget <- -1;
-  Cache.reset t.cache;
-  Cache.reset t.l2;
-  Cache.reset t.llc
+  reset_caches t
 
 let durable_load t off =
   check_off t off "durable_load";
@@ -296,3 +504,11 @@ let is_durable_line t line =
     if t.current.(i) <> t.durable.(i) then same := false
   done;
   !same
+
+(* Bit-level comparison of two regions' images (differential testing of
+   the two snapshot implementations). *)
+let images_equal a b =
+  a.capacity = b.capacity && a.inflight = b.inflight
+  && Array.sub a.current 0 a.capacity = Array.sub b.current 0 b.capacity
+  && Array.sub a.durable 0 a.capacity = Array.sub b.durable 0 b.capacity
+  && a.state = b.state

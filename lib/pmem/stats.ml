@@ -63,6 +63,28 @@ let reset t =
   t.cur_phase <- Other;
   Hashtbl.reset t.drain_histogram
 
+(* Deep copy, for region snapshots: a crash-point sample must not leak
+   its simulated time or event counts into the next sample. *)
+let copy t = { t with drain_histogram = Hashtbl.copy t.drain_histogram }
+
+(* Overwrite [into] with the contents of [src] (the restore half). *)
+let assign ~into src =
+  into.now_ns <- src.now_ns;
+  into.ns_flush <- src.ns_flush;
+  into.ns_log <- src.ns_log;
+  into.ns_other <- src.ns_other;
+  into.loads <- src.loads;
+  into.stores <- src.stores;
+  into.l1_hits <- src.l1_hits;
+  into.l1_misses <- src.l1_misses;
+  into.clwbs <- src.clwbs;
+  into.fences <- src.fences;
+  into.lines_drained <- src.lines_drained;
+  into.log_writes <- src.log_writes;
+  into.cur_phase <- src.cur_phase;
+  Hashtbl.reset into.drain_histogram;
+  Hashtbl.iter (Hashtbl.replace into.drain_histogram) src.drain_histogram
+
 (* Advance simulated time, attributing it to the current phase. *)
 let advance t ns =
   t.now_ns <- t.now_ns +. ns;

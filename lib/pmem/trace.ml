@@ -41,6 +41,14 @@ let emit t ev =
   end
 
 let length t = t.len
+
+(* Rewind to a previously observed [length]: region restore drops the
+   events a sampled crash appended after the snapshot was taken. *)
+let truncate t len =
+  if len < 0 || len > t.len then
+    invalid_arg (Printf.sprintf "Trace.truncate: length %d out of range" len);
+  t.len <- len
+
 let get t i = t.events.(i)
 let iter t fn =
   for i = 0 to t.len - 1 do

@@ -23,6 +23,11 @@ val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 val emit : t -> event -> unit
 val length : t -> int
+
+val truncate : t -> int -> unit
+(** [truncate t len] rewinds the trace to a previously observed {!length}
+    (snapshot/restore support: drops events recorded after the snapshot). *)
+
 val get : t -> int -> event
 val iter : t -> (event -> unit) -> unit
 val to_list : t -> event list

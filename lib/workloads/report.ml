@@ -64,3 +64,253 @@ let fraction_pct f = Printf.sprintf "%5.1f%%" (100.0 *. f)
 let ns_ms ns = Printf.sprintf "%8.2f ms" (ns /. 1e6)
 let f2 v = Printf.sprintf "%.2f" v
 let f1 v = Printf.sprintf "%.1f" v
+
+(** Minimal JSON for the machine-readable harness output (BENCH_*.json)
+    and for reading committed baselines back in regression checks.  Only
+    what the harness needs -- no external dependency. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let float_repr f =
+    if Float.is_nan f || Float.abs f = infinity then "null"
+    else Printf.sprintf "%.12g" f
+
+  let rec emit buf indent t =
+    let pad n = Buffer.add_string buf (String.make n ' ') in
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 2);
+            emit buf (indent + 2) item)
+          items;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 2);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            emit buf (indent + 2) v)
+          kvs;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    emit buf 0 t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let to_file path t =
+    let oc = open_out path in
+    output_string oc (to_string t);
+    close_out oc
+
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              (if !pos >= n then fail "bad escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'
+                 | '\\' -> Buffer.add_char buf '\\'
+                 | '/' -> Buffer.add_char buf '/'
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | 'r' -> Buffer.add_char buf '\r'
+                 | 't' -> Buffer.add_char buf '\t'
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "bad unicode escape";
+                     let code =
+                       int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                     in
+                     pos := !pos + 4;
+                     (* harness strings are ASCII; clamp the rest *)
+                     Buffer.add_char buf
+                       (if code < 128 then Char.chr code else '?')
+                 | c -> fail (Printf.sprintf "bad escape \\%c" c));
+              incr pos;
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        incr pos
+      done;
+      let lit = String.sub s start (!pos - start) in
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" lit))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected , or }"
+            in
+            members []
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  items (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected , or ]"
+            in
+            items []
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let of_file path =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    of_string s
+
+  (* accessors for the regression checks *)
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+
+  let to_list_opt = function List l -> Some l | _ -> None
+
+  let to_number_opt = function
+    | Int i -> Some (float_of_int i)
+    | Float f -> Some f
+    | _ -> None
+
+  let to_string_opt = function String s -> Some s | _ -> None
+end

@@ -244,6 +244,81 @@ let negative_tests =
             (Crashtest.Replay.reproduces ~cfg:quick_cfg f')))
     Crashtest.Workload.negative_names
 
+(* -- journaled + parallel sweeps match the full-copy reference ---------------- *)
+
+let failure_key (f : Crashtest.Explorer.failure) =
+  Printf.sprintf "%d:%s:%s:%s" f.crash_index
+    (Crashtest.Explorer.mode_name f.mode)
+    (match f.survival_seed with Some s -> string_of_int s | None -> "-")
+    f.detail
+
+let parity_tests =
+  let sweep w mode jobs =
+    let cfg =
+      { quick_cfg with Crashtest.Explorer.snapshot_mode = mode; jobs }
+    in
+    Crashtest.Explorer.explore ~cfg w
+  in
+  let check_matches name (reference : Crashtest.Explorer.result)
+      (r : Crashtest.Explorer.result) =
+    Alcotest.(check int)
+      (name ^ ": same points tested")
+      reference.Crashtest.Explorer.points_tested
+      r.Crashtest.Explorer.points_tested;
+    Alcotest.(check int)
+      (name ^ ": same crashes sampled")
+      reference.Crashtest.Explorer.crashes_sampled
+      r.Crashtest.Explorer.crashes_sampled;
+    Alcotest.(check (list string))
+      (name ^ ": identical failures at identical crash points")
+      (List.map failure_key reference.Crashtest.Explorer.failures)
+      (List.map failure_key r.Crashtest.Explorer.failures)
+  in
+  List.map
+    (fun name ->
+      Alcotest.test_case
+        (name ^ ": journaled and parallel sweeps match full-copy") `Quick
+        (fun () ->
+          (* the negative-control guard: every violation the slow
+             reference path finds, the fast paths must find at the same
+             crash point with the same detail -- and vice versa *)
+          let w = Crashtest.Workload.build name ~ops:6 in
+          let reference = sweep w Pmem.Region.Full_copy 1 in
+          Alcotest.(check bool)
+            "reference catches the defect" false
+            (Crashtest.Explorer.ok reference);
+          check_matches "journaled" reference (sweep w Pmem.Region.Journal 1);
+          check_matches "parallel (3 workers)" reference
+            (sweep w Pmem.Region.Journal 3)))
+    Crashtest.Workload.negative_names
+  @ [
+      Alcotest.test_case "clean workload agrees across all paths" `Quick
+        (fun () ->
+          let w = Crashtest.Workload.build "vec" ~ops:4 in
+          let full = sweep w Pmem.Region.Full_copy 1 in
+          let par = sweep w Pmem.Region.Journal 2 in
+          Alcotest.(check bool) "full ok" true (Crashtest.Explorer.ok full);
+          Alcotest.(check bool) "parallel ok" true (Crashtest.Explorer.ok par);
+          Alcotest.(check int)
+            "same point set"
+            full.Crashtest.Explorer.points_tested
+            par.Crashtest.Explorer.points_tested;
+          Alcotest.(check int)
+            "same samples"
+            full.Crashtest.Explorer.crashes_sampled
+            par.Crashtest.Explorer.crashes_sampled);
+      Alcotest.test_case "sweeps report wall-clock throughput" `Quick
+        (fun () ->
+          let w = Crashtest.Workload.build "map" ~ops:3 in
+          let r = Crashtest.Explorer.explore ~cfg:quick_cfg w in
+          Alcotest.(check bool)
+            "wall clock measured" true
+            (r.Crashtest.Explorer.wall_seconds > 0.0);
+          Alcotest.(check bool)
+            "throughput derived" true
+            (Crashtest.Explorer.points_per_sec r > 0.0));
+    ]
+
 (* -- seeded crash/recover reporting ------------------------------------------ *)
 
 let seed_tests =
@@ -274,5 +349,6 @@ let () =
       ("consistency-order", consistency_tests);
       ("sweep", sweep_tests);
       ("negative", negative_tests);
+      ("parity", parity_tests);
       ("seed", seed_tests);
     ]

@@ -317,6 +317,173 @@ let trace_tests =
         Alcotest.(check int) "all kept" 5001 (Trace.length t));
   ]
 
+let snapshot_tests =
+  let open Pmem in
+  let both_modes = [ Region.Full_copy; Region.Journal ] in
+  (* Apply one random PM operation identically to both regions.  Crash
+     seeds are drawn from the test rng so the two regions cannot diverge
+     through their internal survival rngs. *)
+  let apply_op rng rj rf =
+    let cap = Region.capacity_words rj in
+    match Random.State.int rng 100 with
+    | n when n < 55 ->
+        let off = Random.State.int rng cap in
+        let v = Word.of_int (Random.State.int rng 1_000_000) in
+        Region.store rj off v;
+        Region.store rf off v
+    | n when n < 75 ->
+        let off = Random.State.int rng cap in
+        Region.clwb rj off;
+        Region.clwb rf off
+    | n when n < 88 ->
+        Region.sfence rj;
+        Region.sfence rf
+    | n when n < 96 ->
+        let mode =
+          match Random.State.int rng 3 with
+          | 0 -> Region.Drop_inflight
+          | 1 -> Region.Keep_inflight
+          | _ -> Region.Randomize
+        in
+        let seed = Random.State.int rng 1_000_000 in
+        Region.crash ~mode ~seed rj;
+        Region.crash ~mode ~seed rf
+    | _ ->
+        let grow =
+          cap + (Config.words_per_line * (1 + Random.State.int rng 4))
+        in
+        Region.ensure_capacity rj grow;
+        Region.ensure_capacity rf grow
+  in
+  [
+    Alcotest.test_case "journaled restore == full-copy restore (randomized)"
+      `Quick (fun () ->
+        (* differential property: a journaled region and a full-copy
+           region fed identical store/clwb/sfence/crash/grow sequences
+           have bit-identical images after every (possibly stacked)
+           snapshot/restore *)
+        let rng = Random.State.make [| 0xC0FFEE |] in
+        for _trial = 1 to 40 do
+          let rj = Region.create ~capacity_words:256 ~seed:7 () in
+          let rf = Region.create ~capacity_words:256 ~seed:7 () in
+          Region.set_snapshot_mode rj Region.Journal;
+          let steps () =
+            for _ = 1 to 25 do
+              apply_op rng rj rf
+            done
+          in
+          steps ();
+          let sj = Region.snapshot rj and sf = Region.snapshot rf in
+          steps ();
+          (if Random.State.bool rng then begin
+             (* stacked: restore an inner snapshot before the outer one *)
+             let ij = Region.snapshot rj and inf = Region.snapshot rf in
+             steps ();
+             Region.restore rj ij;
+             Region.restore rf inf;
+             Alcotest.(check bool)
+               "images equal after inner restore" true
+               (Region.images_equal rj rf)
+           end);
+          Region.restore rj sj;
+          Region.restore rf sf;
+          Alcotest.(check bool)
+            "images equal after restore" true
+            (Region.images_equal rj rf);
+          Alcotest.(check (float 1e-9))
+            "sim clocks agree" (Region.stats rf).Stats.now_ns
+            (Region.stats rj).Stats.now_ns
+        done);
+    Alcotest.test_case "restore after growth rewinds capacity, zeroes tail"
+      `Quick (fun () ->
+        List.iter
+          (fun mode ->
+            let r = Region.create ~capacity_words:256 () in
+            Region.set_snapshot_mode r mode;
+            Region.store r 10 (Word.of_int 5);
+            Region.clwb r 10;
+            Region.sfence r;
+            let snap = Region.snapshot r in
+            let cap0 = Region.capacity_words r in
+            Region.ensure_capacity r 1024;
+            Region.store r 900 (Word.of_int 77);
+            Region.clwb r 900;
+            Region.sfence r;
+            Region.restore r snap;
+            Alcotest.(check int)
+              "capacity rewound" cap0
+              (Region.capacity_words r);
+            Alcotest.(check int)
+              "pre-growth data intact" 5
+              (Word.to_int (Region.peek_current r 10));
+            (* growing again must expose zeroed words, not stale ones *)
+            Region.ensure_capacity r 1024;
+            Alcotest.(check int)
+              "grown tail zeroed (current)" 0
+              (Word.bits (Region.peek_current r 900));
+            Alcotest.(check int)
+              "grown tail zeroed (durable)" 0
+              (Word.bits (Region.peek_durable r 900)))
+          both_modes);
+    Alcotest.test_case "restore pins stats across crash sampling" `Quick
+      (fun () ->
+        (* the Stats.t fix: sweep timing used to drift because restore
+           left the clock and counters where the sampled crash pushed
+           them *)
+        List.iter
+          (fun mode ->
+            let r = Region.create ~capacity_words:256 () in
+            Region.set_snapshot_mode r mode;
+            Region.store r 0 (Word.of_int 1);
+            Region.clwb r 0;
+            Region.sfence r;
+            let s = Region.stats r in
+            let ns0 = s.Stats.now_ns in
+            let fences0 = s.Stats.fences in
+            let snap = Region.snapshot r in
+            Region.store r 8 (Word.of_int 2);
+            Region.clwb r 8;
+            Region.sfence r;
+            Region.crash r;
+            Alcotest.(check bool)
+              "clock advanced before restore" true
+              ((Region.stats r).Stats.now_ns > ns0);
+            Region.restore r snap;
+            Alcotest.(check (float 1e-9))
+              "now_ns rewound" ns0 (Region.stats r).Stats.now_ns;
+            Alcotest.(check int)
+              "fences rewound" fences0 (Region.stats r).Stats.fences)
+          both_modes);
+    Alcotest.test_case "journal records first touch per line only" `Quick
+      (fun () ->
+        let r = Region.create ~capacity_words:256 () in
+        Region.set_snapshot_mode r Region.Journal;
+        let _snap = Region.snapshot r in
+        Alcotest.(check int) "empty journal" 0 (Region.journal_entries r);
+        Region.store r 0 (Word.of_int 1);
+        Region.store r 1 (Word.of_int 2);
+        Region.store r 2 (Word.of_int 3);
+        Alcotest.(check int)
+          "same line journaled once" 1
+          (Region.journal_entries r);
+        Region.store r Config.words_per_line (Word.of_int 4);
+        Alcotest.(check int)
+          "second line adds one entry" 2
+          (Region.journal_entries r));
+    Alcotest.test_case "restoring a stale journal token raises" `Quick
+      (fun () ->
+        let r = Region.create ~capacity_words:256 () in
+        Region.set_snapshot_mode r Region.Journal;
+        let outer = Region.snapshot r in
+        Region.store r 0 (Word.of_int 1);
+        let inner = Region.snapshot r in
+        Region.restore r outer;
+        Alcotest.check_raises "stale token"
+          (Invalid_argument
+             "Region.restore: stale journaled snapshot (journal truncated \
+              below it)") (fun () -> Region.restore r inner));
+  ]
+
 let () =
   Alcotest.run "pmem"
     [
@@ -327,4 +494,5 @@ let () =
       ("hierarchy", hierarchy_tests);
       ("stats", stats_tests);
       ("trace", trace_tests);
+      ("snapshot", snapshot_tests);
     ]

@@ -17,8 +17,9 @@ let default_scale = 10_000
 
 let usage () =
   print_endline
-    "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations bechamel all";
-  print_endline "options: --scale N | --full | --json FILE";
+    "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations batch \
+     bechamel all";
+  print_endline "options: --scale N | --full | --json FILE | --baseline FILE";
   exit 1
 
 (* Machine-readable counterpart of a Runner sweep entry (BENCH_*.json). *)
@@ -29,6 +30,8 @@ let runner_json (r : Runner.result) =
         ("workload", String r.Runner.workload);
         ("backend", String (Backend.kind_name r.Runner.backend));
         ("ops", Int r.Runner.ops);
+        ("batch", Int r.Runner.batch);
+        ("commits", Int r.Runner.commits);
         ("sim_ns_total", Float r.Runner.ns_total);
         ("sim_ns_flush", Float r.Runner.ns_flush);
         ("sim_ns_log", Float r.Runner.ns_log);
@@ -358,6 +361,170 @@ let ablations ~scale =
          groups))
 
 (* ------------------------------------------------------------------ *)
+(* Group commit: simulated cost vs batch size (the --batch knob)       *)
+(* ------------------------------------------------------------------ *)
+
+let batch_sizes = [ 1; 2; 4; 8; 16; 32 ]
+
+(* One N-op group is one FASE: N staged shadows, one ordering point.
+   The sweep shows simulated ns/op strictly decreasing as the fence cost
+   amortizes, and fences/commit -> 1 on MOD; the optional baseline check
+   (--baseline) turns the shape into a regression gate. *)
+let batch_section ~scale ~baseline () =
+  Report.section
+    "Group commit: simulated cost vs batch size (micro map workload)";
+  Printf.printf
+    "MOD stages N pure updates into one Mod_core.Batch and retires them\n\
+     under a single fence (Commit.single); the PMDK backends group the\n\
+     same N operations in one PM-STM transaction (Tx.run_grouped).\n\n";
+  (* Common-case FASE shape first: one 8-insert group is exactly one
+     ordering point and one commit. *)
+  let profile =
+    let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 18) () in
+    let m = Micro.Mod_map.open_or_create heap ~slot:0 in
+    let (), p =
+      Mod_core.Fase.run heap (fun () ->
+          Micro.Mod_map.insert_many m (List.init 8 (fun i -> (i, i))))
+    in
+    Printf.printf "one 8-insert MOD batch: %s\n\n"
+      (Format.asprintf "%a" Mod_core.Fase.pp_profile p);
+    p
+  in
+  let mod_runs =
+    List.map
+      (fun b -> (b, Runner.run_one ~batch:b "map" Backend.Mod ~scale))
+      batch_sizes
+  in
+  let pmdk_runs =
+    List.map
+      (fun b -> (b, Runner.run_one ~batch:b "map" Backend.Pmdk15 ~scale))
+      batch_sizes
+  in
+  Report.row_r
+    [ "backend"; "batch"; "sim ns/op"; "fences/op"; "fences/commit";
+      "flushes/op" ]
+    [ 9; 6; 10; 10; 14; 11 ];
+  let show backend runs =
+    List.iter
+      (fun (b, r) ->
+        Report.row_r
+          [
+            backend;
+            string_of_int b;
+            Printf.sprintf "%.1f" (Runner.ns_per_op r);
+            Report.f2 (Runner.fences_per_op r);
+            Report.f2 (Runner.fences_per_commit r);
+            Report.f2 (Runner.flushes_per_op r);
+          ]
+          [ 9; 6; 10; 10; 14; 11 ])
+      runs
+  in
+  show "MOD" mod_runs;
+  print_newline ();
+  show "PMDK-1.5" pmdk_runs;
+  let ns b runs = Runner.ns_per_op (List.assoc b runs) in
+  Printf.printf
+    "\nheadline: MOD ns/op drops %.2fx from batch=1 to batch=32; fences/op\n\
+     falls from %.2f to %.2f (1/N amortization of the single ordering\n\
+     point).\n"
+    (ns 1 mod_runs /. ns 32 mod_runs)
+    (Runner.fences_per_op (List.assoc 1 mod_runs))
+    (Runner.fences_per_op (List.assoc 32 mod_runs));
+  (* regression gate *)
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  check
+    (profile.Mod_core.Fase.fences = 1 && profile.Mod_core.Fase.commits = 1)
+    (Printf.sprintf
+       "FASE profile: an 8-insert batch used %d fences / %d commits \
+        (expected 1 / 1)"
+       profile.Mod_core.Fase.fences profile.Mod_core.Fase.commits);
+  let rec strictly_decreasing = function
+    | (b1, r1) :: ((b2, r2) :: _ as rest) ->
+        check
+          (Runner.ns_per_op r2 < Runner.ns_per_op r1)
+          (Printf.sprintf
+             "MOD ns/op did not decrease from batch=%d (%.1f) to batch=%d \
+              (%.1f)"
+             b1 (Runner.ns_per_op r1) b2 (Runner.ns_per_op r2));
+        strictly_decreasing rest
+    | _ -> ()
+  in
+  strictly_decreasing mod_runs;
+  (match baseline with
+  | None -> ()
+  | Some path -> (
+      let open Report.Json in
+      match Option.bind (member "batch" (of_file path)) (member "mod_map") with
+      | exception Sys_error e ->
+          check false (Printf.sprintf "baseline %s unreadable: %s" path e)
+      | exception Parse_error e ->
+          check false (Printf.sprintf "baseline %s: bad JSON: %s" path e)
+      | None ->
+          check false (Printf.sprintf "baseline %s has no batch.mod_map" path)
+      | Some base ->
+          let bound key =
+            match Option.bind (member key base) to_number_opt with
+            | Some v -> v
+            | None ->
+                check false
+                  (Printf.sprintf "baseline batch.mod_map has no %s" key);
+                nan
+          in
+          let max_f32 = bound "max_fences_per_op_at_32" in
+          let min_speedup = bound "min_speedup_1_to_32" in
+          let f32 = Runner.fences_per_op (List.assoc 32 mod_runs) in
+          let speedup = ns 1 mod_runs /. ns 32 mod_runs in
+          check
+            (Float.is_nan max_f32 || f32 <= max_f32)
+            (Printf.sprintf
+               "fences/op at batch=32 is %.3f, above the baseline bound %.3f"
+               f32 max_f32);
+          check
+            (Float.is_nan min_speedup || speedup >= min_speedup)
+            (Printf.sprintf
+               "batch=1 -> batch=32 speedup is %.2fx, below the baseline \
+                bound %.2fx"
+               speedup min_speedup)));
+  (match List.rev !failures with
+  | [] -> print_endline "\nbatch regression gate: ok"
+  | fs ->
+      List.iter (fun m -> Printf.eprintf "BATCH REGRESSION: %s\n" m) fs;
+      exit 1);
+  let runs_json backend runs =
+    Report.Json.(
+      List
+        (List.map
+           (fun (b, r) ->
+             Obj
+               [
+                 ("backend", String backend);
+                 ("batch", Int b);
+                 ("sim_ns_per_op", Float (Runner.ns_per_op r));
+                 ("fences_per_op", Float (Runner.fences_per_op r));
+                 ("fences_per_commit", Float (Runner.fences_per_commit r));
+                 ("flushes_per_op", Float (Runner.flushes_per_op r));
+                 ("sim_ns_total", Float r.Runner.ns_total);
+                 ("fences", Int r.Runner.fences);
+                 ("commits", Int r.Runner.commits);
+               ])
+           runs))
+  in
+  Report.Json.(
+    Obj
+      [
+        ( "fase_profile_8_insert_batch",
+          Obj
+            [
+              ("fences", Int profile.Mod_core.Fase.fences);
+              ("flushes", Int profile.Mod_core.Fase.flushes);
+              ("commits", Int profile.Mod_core.Fase.commits);
+            ] );
+        ("mod", runs_json "mod" mod_runs);
+        ("pmdk15", runs_json "pmdk15" pmdk_runs);
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Section 6.1 baseline choice: WHISPER hashmap vs ctree on PMDK       *)
 (* ------------------------------------------------------------------ *)
 
@@ -491,6 +658,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref default_scale in
   let json_out = ref None in
+  let baseline = ref None in
   let sections = ref [] in
   let rec parse = function
     | [] -> ()
@@ -502,6 +670,9 @@ let () =
         parse rest
     | "--json" :: file :: rest ->
         json_out := Some file;
+        parse rest
+    | "--baseline" :: file :: rest ->
+        baseline := Some file;
         parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | s :: rest ->
@@ -536,6 +707,8 @@ let () =
   run "fig11" (wants "fig11")
     (unit_section (fun () -> fig11 (Lazy.force results)));
   run "table3" (wants "table3") (fun () -> table3 ~scale);
+  run "batch" (wants "batch")
+    (batch_section ~scale:(min scale 20_000) ~baseline:!baseline);
   run "ctree" (wants "ctree") (fun () -> ctree ~scale);
   run "ablations" (wants "ablations") (fun () -> ablations ~scale);
   run "bechamel" (wants "bechamel") (fun () -> bechamel ());

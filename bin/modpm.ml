@@ -45,21 +45,34 @@ let check_workload name =
 
 (* -- run -------------------------------------------------------------- *)
 
+let batch_arg =
+  let doc =
+    "Group-commit size: retire updates in batches of $(docv) under one \
+     ordering point (MOD: one Batch commit per group; PMDK: one transaction \
+     per group). 1 = one FASE/transaction per operation."
+  in
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+
 let run_cmd =
-  let run name backend scale =
+  let run name backend scale batch =
     check_workload name;
-    let r = Workloads.Runner.run_one name backend ~scale in
+    if batch < 1 then begin
+      Printf.eprintf "--batch must be >= 1\n";
+      exit 2
+    end;
+    let r = Workloads.Runner.run_one ~batch name backend ~scale in
     Printf.printf "workload    %s\n" r.Workloads.Runner.workload;
     Printf.printf "backend     %s\n" (Workloads.Backend.kind_name r.backend);
-    Printf.printf "operations  %d\n" r.ops;
+    Printf.printf "operations  %d (batch %d)\n" r.ops r.batch;
     Printf.printf "sim time    %.3f ms\n" (r.ns_total /. 1e6);
     Printf.printf "  flushing  %.3f ms (%.1f%%)\n" (r.ns_flush /. 1e6)
       (100.0 *. Workloads.Runner.flush_fraction r);
     Printf.printf "  logging   %.3f ms (%.1f%%)\n" (r.ns_log /. 1e6)
       (100.0 *. Workloads.Runner.log_fraction r);
     Printf.printf "  other     %.3f ms\n" (r.ns_other /. 1e6);
-    Printf.printf "fences      %d (%.2f/op)\n" r.fences
-      (Workloads.Runner.fences_per_op r);
+    Printf.printf "fences      %d (%.2f/op, %.2f/commit)\n" r.fences
+      (Workloads.Runner.fences_per_op r)
+      (Workloads.Runner.fences_per_commit r);
     Printf.printf "flushes     %d (%.2f/op)\n" r.flushes
       (Workloads.Runner.flushes_per_op r);
     Printf.printf "L1D misses  %.2f%%\n" (100.0 *. r.miss_ratio);
@@ -68,7 +81,7 @@ let run_cmd =
   in
   let doc = "Run one Table 2 workload on one backend." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ workload_arg $ backend_arg $ scale_arg)
+    Term.(const run $ workload_arg $ backend_arg $ scale_arg $ batch_arg)
 
 (* -- crash-test -------------------------------------------------------- *)
 
@@ -326,8 +339,8 @@ let crashtest_cmd =
       & info [ "workload"; "w" ]
           ~doc:
             (Printf.sprintf
-               "Workload to explore: all, mod (the six MOD structures), or \
-                one of %s."
+               "Workload to explore: all, mod (every MOD-shadowed workload, \
+                including the batched and composition sweeps), or one of %s."
                (String.concat ", " Crashtest.Workload.names)))
   in
   let ops =

@@ -1,0 +1,57 @@
+(** Group-commit batching: accumulate N pure updates across one or more
+    MOD datastructures, retire them under a single FASE whose commit
+    point (CommitSingle / CommitSiblings / CommitUnrelated, Figure 8) is
+    auto-selected from the shape of the staged work.  Fence cost per
+    logical update drops from 1 to 1/N in the common case. *)
+
+type t
+
+type commit_point = Empty | Single | Siblings | Unrelated
+
+val commit_point_name : commit_point -> string
+
+val create : ?tx:Pmstm.Tx.t -> Pmalloc.Heap.t -> t
+(** A fresh, empty batch.  [tx] is used if the commit point turns out to
+    be [Unrelated]; absent, a V1_5 transaction is created lazily (at its
+    usual one-off WAL-setup cost) on the first unrelated commit. *)
+
+val heap : t -> Pmalloc.Heap.t
+
+val staged_ops : t -> int
+(** Logical updates staged since the last commit (no-op stages excluded). *)
+
+val is_empty : t -> bool
+val slots : t -> int list
+
+val pending : t -> slot:int -> Pmem.Word.t
+(** Read-your-writes: the staged shadow for [slot] if any, else the
+    installed durable version. *)
+
+val pending_field : t -> slot:int -> field:int -> Pmem.Word.t
+(** Same, for a sibling field of the parent object in [slot].  Raises
+    [Invalid_argument] if the slot holds no parent object. *)
+
+val stage : t -> slot:int -> (Pmem.Word.t -> Pmem.Word.t) -> unit
+(** [stage b ~slot f] applies the pure update [f] to the pending version
+    of [slot] and stages the resulting shadow.  [f] returning its input
+    unchanged stages nothing (e.g. removing an absent key).  Raises
+    [Invalid_argument] if [slot] already carries staged sibling fields. *)
+
+val stage_field : t -> slot:int -> field:int -> (Pmem.Word.t -> Pmem.Word.t) -> unit
+(** Stage a pure update against one sibling field of the parent object
+    in [slot]; the fresh parent is built once at commit.  Raises
+    [Invalid_argument] if [slot] already carries a whole-version shadow. *)
+
+val commit_point : t -> commit_point
+(** The commit point {!commit} would select for the current contents. *)
+
+val commit : t -> commit_point
+(** Retire everything staged under one FASE and reset the batch for
+    reuse.  [Empty] batches touch no PM (zero fences); [Single] and
+    [Siblings] cost exactly one fence; [Unrelated] costs one shadow
+    fence plus the embedded PM-STM root-swing transaction.  Superseded
+    in-batch shadows are reclaimed, as in any multi-update FASE. *)
+
+val discard : t -> unit
+(** Drop all staged shadows without committing; durable state is
+    untouched because nothing was ever installed. *)

@@ -29,6 +29,8 @@ let mark_commit heap fn =
   Pmem.Trace.emit trace Pmem.Trace.Commit_begin;
   let result = fn () in
   Pmem.Trace.emit trace Pmem.Trace.Commit_end;
+  let stats = Pmalloc.Heap.stats heap in
+  stats.Pmem.Stats.commits <- stats.Pmem.Stats.commits + 1;
   result
 
 (* CommitSingle (Figure 8b).  [intermediates] are the superseded shadows
@@ -46,14 +48,26 @@ let single ?(intermediates = []) ?(reclaim = true) heap ~slot latest =
     List.iter (release_version heap) intermediates
   end
 
-(* CommitSiblings (Figure 8c).  The root slot holds a parent object whose
-   fields point at MOD datastructures; [fields] gives (field index, owned
-   shadow) replacements.  The fresh parent is itself a shadow: built,
-   flushed, then installed after the single fence. *)
-let siblings heap ~slot fields =
+(* The Update half of CommitSiblings: build and flush a fresh parent that
+   points at the [fields] shadows and shares every other field of the old
+   parent.  Returns the owned fresh-parent word; no fence here, so batched
+   commits can fold several parents under one ordering point. *)
+let sibling_shadow heap ~slot fields =
   let old_parent_w = Pmalloc.Heap.root_get heap slot in
+  if Pmem.Word.is_null old_parent_w || not (Pmem.Word.is_ptr old_parent_w) then
+    invalid_arg
+      (Printf.sprintf
+         "Commit.siblings: root slot %d holds no parent object (%s)" slot
+         (if Pmem.Word.is_null old_parent_w then "null" else "scalar word"));
   let old_parent = Pmem.Word.to_ptr old_parent_w in
   let used = Pmalloc.Allocator.used_of (Pmalloc.Heap.allocator heap) old_parent in
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= used then
+        invalid_arg
+          (Printf.sprintf
+             "Commit.siblings: field %d outside the %d-word parent" i used))
+    fields;
   let fresh = Pfds.Node.alloc heap ~words:used in
   for i = 0 to used - 1 do
     match List.assoc_opt i fields with
@@ -61,10 +75,18 @@ let siblings heap ~slot fields =
     | None -> Pfds.Node.set_shared heap fresh i (Pfds.Node.get heap old_parent i)
   done;
   Pfds.Node.finish heap fresh;
+  Pmem.Word.of_ptr fresh
+
+(* CommitSiblings (Figure 8c).  The root slot holds a parent object whose
+   fields point at MOD datastructures; [fields] gives (field index, owned
+   shadow) replacements.  The fresh parent is itself a shadow: built,
+   flushed, then installed after the single fence. *)
+let siblings heap ~slot fields =
+  let old_parent_w = Pmalloc.Heap.root_get heap slot in
+  let fresh = sibling_shadow heap ~slot fields in
   Pmalloc.Heap.sfence heap;
   (* the one ordering point *)
-  mark_commit heap (fun () ->
-      Pmalloc.Heap.root_set heap slot (Pmem.Word.of_ptr fresh));
+  mark_commit heap (fun () -> Pmalloc.Heap.root_set heap slot fresh);
   release_version heap old_parent_w
 
 (* CommitUnrelated (Figure 8d).  [updates] pairs each root slot with its

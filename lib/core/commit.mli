@@ -22,7 +22,18 @@ val siblings : Pmalloc.Heap.t -> slot:int -> (int * Pmem.Word.t) list -> unit
 (** CommitSiblings (Figure 8c): several datastructures under one parent
     object held in [slot].  [(field, shadow)] pairs replace parent fields;
     unlisted fields are shared.  A fresh parent is built and flushed, then
-    installed after the single fence with one atomic write. *)
+    installed after the single fence with one atomic write.  Raises
+    [Invalid_argument] if the slot is empty (null) or holds a scalar
+    rather than a parent pointer, or if a field index falls outside the
+    parent object. *)
+
+val sibling_shadow :
+  Pmalloc.Heap.t -> slot:int -> (int * Pmem.Word.t) list -> Pmem.Word.t
+(** The Update half of {!siblings}: build and flush (no fence) a fresh
+    parent for [slot] with the given field replacements, sharing the
+    rest.  Returns the owned parent shadow, ready for any Commit flavor;
+    {!Batch} uses it to fold several sibling groups under one fence.
+    Same [Invalid_argument] guards as {!siblings}. *)
 
 val unrelated :
   Pmalloc.Heap.t -> Pmstm.Tx.t -> (int * Pmem.Word.t) list -> unit

@@ -47,6 +47,21 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
     if removed then Handle.commit t shadow;
     removed
 
+  (* -- Group commit: N updates, one one-fence FASE ----------------------- *)
+
+  let insert_many t kvs =
+    match kvs with
+    | [] -> ()
+    | _ ->
+        let heap = Handle.heap t in
+        let b = Batch.create heap in
+        List.iter
+          (fun (k, v) ->
+            Batch.stage b ~slot:(Handle.slot t) (fun version ->
+                insert_pure heap version k v))
+          kvs;
+        ignore (Batch.commit b : Batch.commit_point)
+
   let find t key = find_in (Handle.heap t) (Handle.current t) key
   let mem t key = mem_in (Handle.heap t) (Handle.current t) key
 

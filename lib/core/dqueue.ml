@@ -25,6 +25,20 @@ let dequeue t =
       Handle.commit t shadow;
       Some v
 
+(* Group commit: enqueue N elements in one one-fence FASE. *)
+let enqueue_many t ws =
+  match ws with
+  | [] -> ()
+  | _ ->
+      let heap = Handle.heap t in
+      let b = Batch.create heap in
+      List.iter
+        (fun w ->
+          Batch.stage b ~slot:(Handle.slot t) (fun version ->
+              Pfds.Pqueue.enqueue heap version w))
+        ws;
+      ignore (Batch.commit b : Batch.commit_point)
+
 let is_empty t = Pfds.Pqueue.is_empty (Handle.heap t) (Handle.current t)
 let length t = Pfds.Pqueue.length (Handle.heap t) (Handle.current t)
 let iter t fn = Pfds.Pqueue.iter (Handle.heap t) (Handle.current t) fn

@@ -12,6 +12,7 @@ module Make (K : Pfds.Kv.CODEC) = struct
   let remove_pure = M.remove_pure
   let mem_in = M.mem_in
   let add t key = M.insert t key ()
+  let add_many t ks = M.insert_many t (List.map (fun k -> (k, ())) ks)
   let remove = M.remove
   let mem = M.mem
   let cardinal = M.cardinal

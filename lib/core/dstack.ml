@@ -30,6 +30,20 @@ let pop t =
       Handle.commit t shadow;
       Some v
 
+(* Group commit: push N elements in one one-fence FASE. *)
+let push_many t ws =
+  match ws with
+  | [] -> ()
+  | _ ->
+      let heap = Handle.heap t in
+      let b = Batch.create heap in
+      List.iter
+        (fun w ->
+          Batch.stage b ~slot:(Handle.slot t) (fun version ->
+              Pfds.Pstack.push heap version w))
+        ws;
+      ignore (Batch.commit b : Batch.commit_point)
+
 let peek t = Pfds.Pstack.peek (Handle.heap t) (Handle.current t)
 let is_empty t = Pfds.Pstack.is_empty (Handle.current t)
 let length t = Pfds.Pstack.length (Handle.heap t) (Handle.current t)

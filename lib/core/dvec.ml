@@ -49,6 +49,21 @@ let swap t i j =
   let shadow_shadow = Pfds.Pvec.set heap shadow j vi in
   Handle.commit ~intermediates:[ shadow ] t shadow_shadow
 
+(* Group commit: push N elements in one one-fence FASE, intermediate
+   shadows reclaimed at the commit (the batched form of Figure 7b). *)
+let push_back_many t ws =
+  match ws with
+  | [] -> ()
+  | _ ->
+      let heap = Handle.heap t in
+      let b = Batch.create heap in
+      List.iter
+        (fun w ->
+          Batch.stage b ~slot:(Handle.slot t) (fun version ->
+              Pfds.Pvec.push_back heap version w))
+        ws;
+      ignore (Batch.commit b : Batch.commit_point)
+
 let get t i = Pfds.Pvec.get (Handle.heap t) (Handle.current t) i
 let size t = Pfds.Pvec.size (Handle.heap t) (Handle.current t)
 let is_empty t = size t = 0

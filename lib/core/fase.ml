@@ -8,6 +8,7 @@
 type profile = {
   fences : int;
   flushes : int;
+  commits : int;
   ns : float;
   ns_flush : float;
   ns_log : float;
@@ -23,11 +24,13 @@ let run heap fn =
     {
       fences = d.Pmem.Stats.s_fences;
       flushes = d.Pmem.Stats.s_clwbs;
+      commits = d.Pmem.Stats.s_commits;
       ns = d.Pmem.Stats.s_now_ns;
       ns_flush = d.Pmem.Stats.s_ns_flush;
       ns_log = d.Pmem.Stats.s_ns_log;
     } )
 
 let pp_profile ppf p =
-  Format.fprintf ppf "%d fences, %d flushes, %.0f ns (flush %.0f, log %.0f)"
-    p.fences p.flushes p.ns p.ns_flush p.ns_log
+  Format.fprintf ppf
+    "%d fences, %d flushes, %d commits, %.0f ns (flush %.0f, log %.0f)"
+    p.fences p.flushes p.commits p.ns p.ns_flush p.ns_log

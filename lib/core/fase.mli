@@ -8,6 +8,7 @@
 type profile = {
   fences : int;
   flushes : int;
+  commits : int;
   ns : float;
   ns_flush : float;
   ns_log : float;

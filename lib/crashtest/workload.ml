@@ -429,6 +429,202 @@ let pqueue_workload ~ops =
         });
   }
 
+(* -- group-commit batching (Batch / CommitSiblings / CommitUnrelated) ----- *)
+
+(* Each logical operation is a group of [batch_group] map sub-operations
+   staged into one {!Mod_core.Batch} and retired by a single
+   CommitSingle: a crash inside the group must recover to either the
+   state before the whole group or after it, never in between. *)
+let batch_group = 3
+
+let batched_workload ~ops =
+  let script =
+    map_script ~ops:(ops * batch_group) (seed_of "batched" ~ops)
+  in
+  let groups =
+    Array.init ops (fun i ->
+        Array.init batch_group (fun j ->
+            List.nth script ((i * batch_group) + j)))
+  in
+  let model =
+    Array.map
+      (fun m -> render_pairs (IntMap.bindings m))
+      (prefix_states ~init:IntMap.empty
+         ~apply:(fun m group ->
+           Array.fold_left
+             (fun m -> function
+               | Minsert (k, v) -> IntMap.add k v m
+               | Mremove k -> IntMap.remove k m)
+             m group)
+         (Array.to_list groups))
+  in
+  {
+    name = "batched";
+    ops;
+    negative = false;
+    check_trace = true;
+    model;
+    make =
+      (fun heap ->
+        let b = Mod_core.Batch.create heap in
+        {
+          init = (fun () -> ());
+          run_op =
+            (fun i ->
+              Array.iter
+                (function
+                  | Minsert (k, v) ->
+                      Mod_core.Batch.stage b ~slot:0 (fun version ->
+                          Imap.insert_pure heap version k v)
+                  | Mremove k ->
+                      Mod_core.Batch.stage b ~slot:0 (fun version ->
+                          fst (Imap.remove_pure heap version k)))
+                groups.(i);
+              ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point));
+          dump = (fun () -> dump_map heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+(* CommitSiblings under crash: one parent object at slot 0 whose two
+   fields are independent stacks; every op updates both fields through
+   {!Mod_core.Batch.stage_field} and retires them with one fresh parent
+   and one fence.  Recovery must see both stacks move together. *)
+let siblings_workload ~ops =
+  let script = sq_script "siblings" ~ops in
+  let arr = Array.of_list script in
+  let render (a, b) = render_ints a ^ "|" ^ render_ints b in
+  let model =
+    Array.map render
+      (prefix_states ~init:([], [])
+         ~apply:(fun (a, b) -> function
+           | Push v -> (v :: a, (v + 500) :: b)
+           | Pop -> (
+               match (a, b) with
+               | _ :: ta, _ :: tb -> (ta, tb)
+               | _ -> (a, b)))
+         script)
+  in
+  let dump heap =
+    let root = Pmalloc.Heap.root_get heap 0 in
+    if Pmem.Word.is_null root then model.(0)
+    else
+      let parent = Pmem.Word.to_ptr root in
+      let stack f =
+        List.map Pmem.Word.to_int
+          (Pfds.Pstack.to_list heap (Pfds.Node.get heap parent f))
+      in
+      render_ints (stack 0) ^ "|" ^ render_ints (stack 1)
+  in
+  {
+    name = "siblings";
+    ops;
+    negative = false;
+    check_trace = true;
+    model;
+    make =
+      (fun heap ->
+        let b = Mod_core.Batch.create heap in
+        {
+          init =
+            (fun () ->
+              (* one FASE: build the two-field parent, install it *)
+              let parent = Pfds.Node.alloc heap ~words:2 in
+              Pfds.Node.set heap parent 0 Pfds.Pstack.empty;
+              Pfds.Node.set heap parent 1 Pfds.Pstack.empty;
+              Pfds.Node.finish heap parent;
+              Mod_core.Commit.single heap ~slot:0 (Pmem.Word.of_ptr parent));
+          run_op =
+            (fun i ->
+              let stage_stack field f =
+                Mod_core.Batch.stage_field b ~slot:0 ~field f
+              in
+              (match arr.(i) with
+              | Push v ->
+                  stage_stack 0 (fun w ->
+                      Pfds.Pstack.push heap w (Pmem.Word.of_int v));
+                  stage_stack 1 (fun w ->
+                      Pfds.Pstack.push heap w (Pmem.Word.of_int (v + 500)))
+              | Pop ->
+                  let pop w =
+                    match Pfds.Pstack.pop heap w with
+                    | None -> w
+                    | Some (_, shadow) -> shadow
+                  in
+                  stage_stack 0 pop;
+                  stage_stack 1 pop);
+              ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point));
+          dump = (fun () -> dump heap);
+          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+        });
+  }
+
+(* CommitUnrelated under crash: two maps at unrelated root slots 0 and 1,
+   both updated in one batch, retired by the shadow fence plus the
+   embedded PM-STM root-swing transaction.  A crash inside that
+   transaction must roll back both root swings together (the WAL is the
+   atomicity mechanism, exactly Figure 8d). *)
+let unrelated_workload ~ops =
+  let rng = Random.State.make [| seed_of "unrelated" ~ops |] in
+  let script =
+    List.init ops (fun _ ->
+        let k = Random.State.int rng 24 in
+        let v = Random.State.int rng 1000 in
+        (k, v, Random.State.int rng 3 < 2))
+  in
+  let arr = Array.of_list script in
+  let render (m0, m1) =
+    render_pairs (IntMap.bindings m0) ^ "|" ^ render_pairs (IntMap.bindings m1)
+  in
+  let model =
+    Array.map render
+      (prefix_states
+         ~init:(IntMap.empty, IntMap.empty)
+         ~apply:(fun (m0, m1) (k, v, add1) ->
+           ( IntMap.add k v m0,
+             if add1 then IntMap.add k (v + 1) m1 else IntMap.remove k m1 ))
+         script)
+  in
+  let dump heap =
+    dump_map heap ^ "|"
+    ^
+    let h = Mod_core.Handle.make heap ~slot:1 in
+    render_pairs (IntMap.bindings (Imap.fold h IntMap.add IntMap.empty))
+  in
+  {
+    name = "unrelated";
+    ops;
+    negative = false;
+    (* the embedded PM-STM transaction writes in place by design, so the
+       Section 5.4 MOD trace invariant does not apply *)
+    check_trace = false;
+    model;
+    make =
+      (fun heap ->
+        let tx = ref None in
+        let batch = ref None in
+        {
+          init =
+            (fun () ->
+              let t = Pmstm.Tx.create heap ~version:Pmstm.Tx.V1_5 in
+              tx := Some t;
+              batch := Some (Mod_core.Batch.create ~tx:t heap));
+          run_op =
+            (fun i ->
+              let b = Option.get !batch in
+              let k, v, add1 = arr.(i) in
+              Mod_core.Batch.stage b ~slot:0 (fun version ->
+                  Imap.insert_pure heap version k v);
+              Mod_core.Batch.stage b ~slot:1 (fun version ->
+                  if add1 then Imap.insert_pure heap version k (v + 1)
+                  else fst (Imap.remove_pure heap version k));
+              ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point));
+          dump = (fun () -> dump heap);
+          recover =
+            (fun () -> ignore (Mod_core.Recovery.recover ?stm:!tx heap));
+        });
+  }
+
 (* -- PM-STM baselines ----------------------------------------------------- *)
 
 (* An 8-cell counter array updated in place under PMDK-style transactions.
@@ -511,7 +707,12 @@ let stm_workload name version ~broken ~ops =
 
 (* -- registry ------------------------------------------------------------- *)
 
-let mod_names = [ "map"; "queue"; "stack"; "vec"; "set"; "pqueue"; "seq" ]
+let mod_names =
+  [
+    "map"; "queue"; "stack"; "vec"; "set"; "pqueue"; "seq"; "batched";
+    "siblings"; "unrelated";
+  ]
+
 let stm_names = [ "stm14"; "stm15" ]
 let negative_names = [ "stm-broken"; "map-nofence" ]
 let names = mod_names @ stm_names @ negative_names
@@ -525,6 +726,9 @@ let build name ~ops =
   | "set" -> set_workload ~ops
   | "pqueue" -> pqueue_workload ~ops
   | "seq" -> seq_workload ~ops
+  | "batched" -> batched_workload ~ops
+  | "siblings" -> siblings_workload ~ops
+  | "unrelated" -> unrelated_workload ~ops
   | "stm14" -> stm_workload "stm14" Pmstm.Tx.V1_4 ~broken:false ~ops
   | "stm15" -> stm_workload "stm15" Pmstm.Tx.V1_5 ~broken:false ~ops
   | "stm-broken" -> stm_workload "stm-broken" Pmstm.Tx.V1_4 ~broken:true ~ops

@@ -24,6 +24,10 @@ type t = {
   mutable fences : int;
   mutable lines_drained : int;
   mutable log_writes : int;
+  mutable commits : int;
+      (* commit points retired: MOD root swings and PM-STM transaction
+         commits both count one, so fences/commit compares the backends'
+         ordering cost per retired atomic update group *)
   mutable cur_phase : phase;
   (* histogram: number of fences that drained exactly [n] in-flight lines *)
   drain_histogram : (int, int) Hashtbl.t;
@@ -43,6 +47,7 @@ let create () =
     fences = 0;
     lines_drained = 0;
     log_writes = 0;
+    commits = 0;
     cur_phase = Other;
     drain_histogram = Hashtbl.create 16;
   }
@@ -60,6 +65,7 @@ let reset t =
   t.fences <- 0;
   t.lines_drained <- 0;
   t.log_writes <- 0;
+  t.commits <- 0;
   t.cur_phase <- Other;
   Hashtbl.reset t.drain_histogram
 
@@ -81,6 +87,7 @@ let assign ~into src =
   into.fences <- src.fences;
   into.lines_drained <- src.lines_drained;
   into.log_writes <- src.log_writes;
+  into.commits <- src.commits;
   into.cur_phase <- src.cur_phase;
   Hashtbl.reset into.drain_histogram;
   Hashtbl.iter (Hashtbl.replace into.drain_histogram) src.drain_histogram
@@ -130,6 +137,7 @@ type snapshot = {
   s_clwbs : int;
   s_fences : int;
   s_lines_drained : int;
+  s_commits : int;
 }
 
 let snapshot t =
@@ -145,6 +153,7 @@ let snapshot t =
     s_clwbs = t.clwbs;
     s_fences = t.fences;
     s_lines_drained = t.lines_drained;
+    s_commits = t.commits;
   }
 
 let diff ~before ~after =
@@ -160,6 +169,7 @@ let diff ~before ~after =
     s_clwbs = after.s_clwbs - before.s_clwbs;
     s_fences = after.s_fences - before.s_fences;
     s_lines_drained = after.s_lines_drained - before.s_lines_drained;
+    s_commits = after.s_commits - before.s_commits;
   }
 
 let snapshot_miss_ratio s =

@@ -169,7 +169,8 @@ let commit t =
     t.fresh <- [];
     t.added <- [];
     Hashtbl.reset t.dirty_lines;
-    t.depth <- 0
+    t.depth <- 0;
+    stats.Pmem.Stats.commits <- stats.Pmem.Stats.commits + 1
   end
 
 let abort t =
@@ -194,6 +195,17 @@ let run t f =
       (* flattened nesting: any exception aborts the outermost tx *)
       abort t;
       raise e
+
+(* Group commit, the PM-STM counterpart of [Mod_core.Batch]: one
+   transaction covering [n] logical operations amortizes the snapshot
+   and commit-path ordering points across the group.  Nested [run]
+   calls inside [f] flatten into this transaction, so existing per-op
+   entry points batch unchanged. *)
+let run_grouped t ~n f =
+  run t (fun () ->
+      for i = 0 to n - 1 do
+        f i
+      done)
 
 (* Crash recovery: roll back an interrupted transaction from the durable
    log, then let the caller run heap-level leak recovery. *)

@@ -44,7 +44,7 @@ let pick_key rng ~keyspace =
   in
   Printf.sprintf "k%015d" i
 
-let run ctx ~ops ~keyspace =
+let run ?(batch = 1) ctx ~ops ~keyspace =
   let inst = setup ctx ~expected:keyspace in
   let rng = Backend.rng ctx in
   (* warm the cache *)
@@ -52,9 +52,39 @@ let run ctx ~ops ~keyspace =
     set ctx inst (pick_key rng ~keyspace) (Codecs.value512 rng)
   done;
   Backend.start_measuring ctx;
-  for _ = 1 to ops do
-    Backend.op_pause ctx;
-    let k = pick_key rng ~keyspace in
-    if Random.State.int rng 100 < 95 then set ctx inst k (Codecs.value512 rng)
-    else get ctx inst k
-  done
+  (* --batch N: retire sets in groups, the group-commit request loop of
+     the ISSUE -- gets still read the staged (pending) version so the
+     cache stays read-your-writes consistent within a group. *)
+  match inst with
+  | Mkv _ when batch > 1 ->
+      let heap = Backend.heap ctx in
+      Micro.batched_mod_loop ctx ~ops ~batch (fun b ->
+          let k = pick_key rng ~keyspace in
+          if Random.State.int rng 100 < 95 then begin
+            let v = Codecs.value512 rng in
+            Mod_core.Batch.stage b ~slot:Micro.ds_slot (fun version ->
+                Mod_kv.insert_pure heap version k v);
+            true
+          end
+          else begin
+            ignore
+              (Mod_kv.find_in heap
+                 (Mod_core.Batch.pending b ~slot:Micro.ds_slot)
+                 k
+                : string option);
+            false
+          end)
+  | Pkv _ when batch > 1 ->
+      Micro.batched_stm_loop ctx ~ops ~batch (fun () ->
+          let k = pick_key rng ~keyspace in
+          if Random.State.int rng 100 < 95 then
+            set ctx inst k (Codecs.value512 rng)
+          else get ctx inst k)
+  | _ ->
+      for _ = 1 to ops do
+        Backend.op_pause ctx;
+        let k = pick_key rng ~keyspace in
+        if Random.State.int rng 100 < 95 then
+          set ctx inst k (Codecs.value512 rng)
+        else get ctx inst k
+      done

@@ -15,6 +15,44 @@ module Pm_set = Pmstm.Pm_hashmap.Make (Pfds.Kv.Int) (Pfds.Kv.Unit)
 
 let ds_slot = 0
 
+(* -- group-commit batching ------------------------------------------------- *)
+
+(* Run [ops] iterations of [op], retiring updates in groups of [batch]
+   (the --batch knob).  On MOD, [op] stages pure updates into one
+   [Mod_core.Batch] and [flush] issues the group's single ordering
+   point; on the PMDK backends the window runs inside one PM-STM
+   transaction ([Tx.run_grouped]), so the per-op entry points (whose
+   nested [Tx.run] calls flatten) amortize their commit fences the same
+   way.  [batch <= 1] degenerates to the classic one-FASE-per-op loop. *)
+let batched_mod_loop ctx ~ops ~batch op =
+  let heap = Backend.heap ctx in
+  let b = Mod_core.Batch.create heap in
+  let staged = ref 0 in
+  let flush () =
+    if not (Mod_core.Batch.is_empty b) then
+      ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point);
+    staged := 0
+  in
+  for _ = 1 to ops do
+    Backend.op_pause ctx;
+    if op b then begin
+      incr staged;
+      if !staged >= batch then flush ()
+    end
+  done;
+  flush ()
+
+let batched_stm_loop ctx ~ops ~batch op =
+  let tx = Backend.tx ctx in
+  let remaining = ref ops in
+  while !remaining > 0 do
+    let n = min batch !remaining in
+    Pmstm.Tx.run_grouped tx ~n (fun _ ->
+        Backend.op_pause ctx;
+        op ());
+    remaining := !remaining - n
+  done
+
 (* -- map ------------------------------------------------------------------ *)
 
 type map_instance =
@@ -44,20 +82,47 @@ let map_lookup ctx inst k =
   | Mmap m -> ignore (Mod_map.find m k : int option)
   | Pmap desc -> ignore (Pm_map.find (Backend.heap ctx) desc k : int option)
 
-let map_run ctx ~ops ~size =
+let map_run ?(batch = 1) ctx ~ops ~size =
   let inst = map_setup ctx ~size in
   let rng = Backend.rng ctx in
   for _ = 1 to size / 2 do
     map_insert ctx inst (Random.State.int rng size) (Random.State.int rng 1000000)
   done;
   Backend.start_measuring ctx;
-  for _ = 1 to ops do
-    Backend.op_pause ctx;
-    let k = Random.State.int rng size in
-    if Random.State.bool rng then
-      map_insert ctx inst k (Random.State.int rng 1000000)
-    else map_lookup ctx inst k
-  done
+  match inst with
+  | Mmap _ when batch > 1 ->
+      let heap = Backend.heap ctx in
+      batched_mod_loop ctx ~ops ~batch (fun b ->
+          let k = Random.State.int rng size in
+          if Random.State.bool rng then begin
+            let v = Random.State.int rng 1000000 in
+            Mod_core.Batch.stage b ~slot:ds_slot (fun version ->
+                Mod_map.insert_pure heap version k v);
+            true
+          end
+          else begin
+            (* read-your-writes: lookups see the staged (pending) version *)
+            ignore
+              (Mod_map.find_in heap
+                 (Mod_core.Batch.pending b ~slot:ds_slot)
+                 k
+                : int option);
+            false
+          end)
+  | Pmap _ when batch > 1 ->
+      batched_stm_loop ctx ~ops ~batch (fun () ->
+          let k = Random.State.int rng size in
+          if Random.State.bool rng then
+            map_insert ctx inst k (Random.State.int rng 1000000)
+          else map_lookup ctx inst k)
+  | _ ->
+      for _ = 1 to ops do
+        Backend.op_pause ctx;
+        let k = Random.State.int rng size in
+        if Random.State.bool rng then
+          map_insert ctx inst k (Random.State.int rng 1000000)
+        else map_lookup ctx inst k
+      done
 
 (* -- set ------------------------------------------------------------------ *)
 
@@ -86,18 +151,41 @@ let set_member ctx inst k =
   | Mset s -> ignore (Mod_set.mem s k : bool)
   | Pset desc -> ignore (Pm_set.mem (Backend.heap ctx) desc k : bool)
 
-let set_run ctx ~ops ~size =
+let set_run ?(batch = 1) ctx ~ops ~size =
   let inst = set_setup ctx ~size in
   let rng = Backend.rng ctx in
   for _ = 1 to size / 2 do
     set_add ctx inst (Random.State.int rng size)
   done;
   Backend.start_measuring ctx;
-  for _ = 1 to ops do
-    Backend.op_pause ctx;
-    let k = Random.State.int rng size in
-    if Random.State.bool rng then set_add ctx inst k else set_member ctx inst k
-  done
+  match inst with
+  | Mset _ when batch > 1 ->
+      let heap = Backend.heap ctx in
+      batched_mod_loop ctx ~ops ~batch (fun b ->
+          let k = Random.State.int rng size in
+          if Random.State.bool rng then begin
+            Mod_core.Batch.stage b ~slot:ds_slot (fun version ->
+                Mod_set.add_pure heap version k);
+            true
+          end
+          else begin
+            ignore
+              (Mod_set.mem_in heap (Mod_core.Batch.pending b ~slot:ds_slot) k
+                : bool);
+            false
+          end)
+  | Pset _ when batch > 1 ->
+      batched_stm_loop ctx ~ops ~batch (fun () ->
+          let k = Random.State.int rng size in
+          if Random.State.bool rng then set_add ctx inst k
+          else set_member ctx inst k)
+  | _ ->
+      for _ = 1 to ops do
+        Backend.op_pause ctx;
+        let k = Random.State.int rng size in
+        if Random.State.bool rng then set_add ctx inst k
+        else set_member ctx inst k
+      done
 
 (* -- stack ---------------------------------------------------------------- *)
 
@@ -136,19 +224,40 @@ let stack_is_empty ctx inst =
   | Mstack s -> Mod_core.Dstack.is_empty s
   | Pstack desc -> Pmstm.Pm_stack.is_empty (Backend.heap ctx) desc
 
-let stack_run ctx ~ops ~size =
+let stack_run ?(batch = 1) ctx ~ops ~size =
   let inst = stack_setup ctx in
   let rng = Backend.rng ctx in
   for i = 1 to size / 2 do
     stack_push ctx inst i
   done;
   Backend.start_measuring ctx;
-  for _ = 1 to ops do
-    Backend.op_pause ctx;
-    if stack_is_empty ctx inst || Random.State.bool rng then
-      stack_push ctx inst (Random.State.int rng 1000000)
-    else stack_pop ctx inst
-  done
+  match inst with
+  | Mstack _ when batch > 1 ->
+      let heap = Backend.heap ctx in
+      batched_mod_loop ctx ~ops ~batch (fun b ->
+          let pending = Mod_core.Batch.pending b ~slot:ds_slot in
+          (if Pfds.Pstack.is_empty pending || Random.State.bool rng then
+             let v = Pmem.Word.of_int (Random.State.int rng 1000000) in
+             Mod_core.Batch.stage b ~slot:ds_slot (fun version ->
+                 Pfds.Pstack.push heap version v)
+           else
+             Mod_core.Batch.stage b ~slot:ds_slot (fun version ->
+                 match Pfds.Pstack.pop heap version with
+                 | None -> version
+                 | Some (_, shadow) -> shadow));
+          true)
+  | Pstack _ when batch > 1 ->
+      batched_stm_loop ctx ~ops ~batch (fun () ->
+          if stack_is_empty ctx inst || Random.State.bool rng then
+            stack_push ctx inst (Random.State.int rng 1000000)
+          else stack_pop ctx inst)
+  | _ ->
+      for _ = 1 to ops do
+        Backend.op_pause ctx;
+        if stack_is_empty ctx inst || Random.State.bool rng then
+          stack_push ctx inst (Random.State.int rng 1000000)
+        else stack_pop ctx inst
+      done
 
 (* -- queue ---------------------------------------------------------------- *)
 
@@ -187,19 +296,40 @@ let queue_is_empty ctx inst =
   | Mqueue q -> Mod_core.Dqueue.is_empty q
   | Pqueue desc -> Pmstm.Pm_queue.is_empty (Backend.heap ctx) desc
 
-let queue_run ctx ~ops ~size =
+let queue_run ?(batch = 1) ctx ~ops ~size =
   let inst = queue_setup ctx in
   let rng = Backend.rng ctx in
   for i = 1 to size / 2 do
     queue_push ctx inst i
   done;
   Backend.start_measuring ctx;
-  for _ = 1 to ops do
-    Backend.op_pause ctx;
-    if queue_is_empty ctx inst || Random.State.bool rng then
-      queue_push ctx inst (Random.State.int rng 1000000)
-    else queue_pop ctx inst
-  done
+  match inst with
+  | Mqueue _ when batch > 1 ->
+      let heap = Backend.heap ctx in
+      batched_mod_loop ctx ~ops ~batch (fun b ->
+          let pending = Mod_core.Batch.pending b ~slot:ds_slot in
+          (if Pfds.Pqueue.is_empty heap pending || Random.State.bool rng then
+             let v = Pmem.Word.of_int (Random.State.int rng 1000000) in
+             Mod_core.Batch.stage b ~slot:ds_slot (fun version ->
+                 Pfds.Pqueue.enqueue heap version v)
+           else
+             Mod_core.Batch.stage b ~slot:ds_slot (fun version ->
+                 match Pfds.Pqueue.dequeue heap version with
+                 | None -> version
+                 | Some (_, shadow) -> shadow));
+          true)
+  | Pqueue _ when batch > 1 ->
+      batched_stm_loop ctx ~ops ~batch (fun () ->
+          if queue_is_empty ctx inst || Random.State.bool rng then
+            queue_push ctx inst (Random.State.int rng 1000000)
+          else queue_pop ctx inst)
+  | _ ->
+      for _ = 1 to ops do
+        Backend.op_pause ctx;
+        if queue_is_empty ctx inst || Random.State.bool rng then
+          queue_push ctx inst (Random.State.int rng 1000000)
+        else queue_pop ctx inst
+      done
 
 (* -- vector --------------------------------------------------------------- *)
 
@@ -248,17 +378,41 @@ let vector_swap ctx inst i j =
       let tx = Backend.tx ctx in
       Pmstm.Tx.run tx (fun () -> Pmstm.Pm_array.swap tx desc i j)
 
-let vector_run ctx ~ops ~size =
+let vector_run ?(batch = 1) ctx ~ops ~size =
   let inst = vector_setup ctx ~size in
   let rng = Backend.rng ctx in
   Backend.start_measuring ctx;
-  for _ = 1 to ops do
-    Backend.op_pause ctx;
-    let i = Random.State.int rng size in
-    if Random.State.bool rng then
-      vector_write ctx inst i (Random.State.int rng 1000000)
-    else vector_read ctx inst i
-  done
+  match inst with
+  | Mvec _ when batch > 1 ->
+      let heap = Backend.heap ctx in
+      batched_mod_loop ctx ~ops ~batch (fun b ->
+          let i = Random.State.int rng size in
+          if Random.State.bool rng then begin
+            let v = Pmem.Word.of_int (Random.State.int rng 1000000) in
+            Mod_core.Batch.stage b ~slot:ds_slot (fun version ->
+                Pfds.Pvec.set heap version i v);
+            true
+          end
+          else begin
+            ignore
+              (Pfds.Pvec.get heap (Mod_core.Batch.pending b ~slot:ds_slot) i
+                : Pmem.Word.t);
+            false
+          end)
+  | Pvec _ when batch > 1 ->
+      batched_stm_loop ctx ~ops ~batch (fun () ->
+          let i = Random.State.int rng size in
+          if Random.State.bool rng then
+            vector_write ctx inst i (Random.State.int rng 1000000)
+          else vector_read ctx inst i)
+  | _ ->
+      for _ = 1 to ops do
+        Backend.op_pause ctx;
+        let i = Random.State.int rng size in
+        if Random.State.bool rng then
+          vector_write ctx inst i (Random.State.int rng 1000000)
+        else vector_read ctx inst i
+      done
 
 let vec_swap_run ctx ~ops ~size =
   let inst = vector_setup ctx ~size in

@@ -5,12 +5,14 @@ type result = {
   workload : string;
   backend : Backend.kind;
   ops : int;
+  batch : int; (* group-commit size; 1 = one FASE / transaction per op *)
   ns_total : float;
   ns_flush : float;
   ns_log : float;
   ns_other : float;
   fences : int;
   flushes : int;
+  commits : int;
   loads : int;
   stores : int;
   miss_ratio : float;
@@ -25,14 +27,14 @@ let names =
 (* Scale knobs per workload: the paper runs 1M iterations of each; [scale]
    sets the iteration count here, with per-workload adjustments for the
    heavier applications. *)
-let dispatch name ~scale ctx =
+let dispatch ?(batch = 1) name ~scale ctx =
   let ops = scale in
   match name with
-  | "map" -> (Micro.map_run ctx ~ops ~size:scale, ops)
-  | "set" -> (Micro.set_run ctx ~ops ~size:scale, ops)
-  | "queue" -> (Micro.queue_run ctx ~ops ~size:scale, ops)
-  | "stack" -> (Micro.stack_run ctx ~ops ~size:scale, ops)
-  | "vector" -> (Micro.vector_run ctx ~ops ~size:scale, ops)
+  | "map" -> (Micro.map_run ~batch ctx ~ops ~size:scale, ops)
+  | "set" -> (Micro.set_run ~batch ctx ~ops ~size:scale, ops)
+  | "queue" -> (Micro.queue_run ~batch ctx ~ops ~size:scale, ops)
+  | "stack" -> (Micro.stack_run ~batch ctx ~ops ~size:scale, ops)
+  | "vector" -> (Micro.vector_run ~batch ctx ~ops ~size:scale, ops)
   | "vec-swap" -> (Micro.vec_swap_run ctx ~ops ~size:scale, ops)
   | "bfs" ->
       let nodes = max 64 (scale / 12) in
@@ -43,24 +45,27 @@ let dispatch name ~scale ctx =
   | "memcached" ->
       let ops = max 1 (scale / 5) in
       let keyspace = max 64 (scale / 5) in
-      (Memcached.run ctx ~ops ~keyspace, ops)
+      (Memcached.run ~batch ctx ~ops ~keyspace, ops)
   | other -> invalid_arg (Printf.sprintf "Runner: unknown workload %S" other)
 
-let run_one ?(capacity_words = 1 lsl 21) ?(trace = false) name backend ~scale =
+let run_one ?(capacity_words = 1 lsl 21) ?(trace = false) ?(batch = 1) name
+    backend ~scale =
   let ctx = Backend.create ~capacity_words ~trace backend in
-  let (), ops = dispatch name ~scale ctx in
+  let (), ops = dispatch ~batch name ~scale ctx in
   let s = Backend.stats ctx in
   let allocator = Pmalloc.Heap.allocator (Backend.heap ctx) in
   {
     workload = name;
     backend;
     ops;
+    batch;
     ns_total = s.Pmem.Stats.now_ns;
     ns_flush = s.Pmem.Stats.ns_flush;
     ns_log = s.Pmem.Stats.ns_log;
     ns_other = s.Pmem.Stats.ns_other;
     fences = s.Pmem.Stats.fences;
     flushes = s.Pmem.Stats.clwbs;
+    commits = s.Pmem.Stats.commits;
     loads = s.Pmem.Stats.loads;
     stores = s.Pmem.Stats.stores;
     miss_ratio = Pmem.Stats.miss_ratio s;
@@ -79,3 +84,5 @@ let log_fraction r = if r.ns_total = 0.0 then 0.0 else r.ns_log /. r.ns_total
 
 let fences_per_op r = float_of_int r.fences /. float_of_int (max 1 r.ops)
 let flushes_per_op r = float_of_int r.flushes /. float_of_int (max 1 r.ops)
+let ns_per_op r = r.ns_total /. float_of_int (max 1 r.ops)
+let fences_per_commit r = float_of_int r.fences /. float_of_int (max 1 r.commits)

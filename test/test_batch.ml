@@ -1,0 +1,371 @@
+(* Group-commit batching (Mod_core.Batch): commit-point auto-selection,
+   the one-fence-per-batch FASE profile, differential equivalence against
+   sequential single commits, discard semantics, and the hardened
+   Commit.siblings null-root guard. *)
+
+module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int)
+module IntMap = Map.Make (Int)
+
+let w = Pmem.Word.of_int
+let uw = Pmem.Word.to_int
+let fresh_heap () = Pmalloc.Heap.create ~capacity_words:(1 lsl 20) ()
+
+let dump_map m = Imap.fold m IntMap.add IntMap.empty
+
+let point = Alcotest.testable
+    (Fmt.of_to_string Mod_core.Batch.commit_point_name)
+    ( = )
+
+(* -- commit-point auto-selection ------------------------------------------ *)
+
+let selection_tests =
+  [
+    Alcotest.test_case "empty batch commits nothing" `Quick (fun () ->
+        let heap = fresh_heap () in
+        let b = Mod_core.Batch.create heap in
+        Alcotest.check point "empty" Mod_core.Batch.Empty
+          (Mod_core.Batch.commit b);
+        (* a no-op stage (removing an absent key) stays Empty too *)
+        Mod_core.Batch.stage b ~slot:0 (fun v ->
+            fst (Imap.remove_pure heap v 42));
+        Alcotest.check point "no-op stage" Mod_core.Batch.Empty
+          (Mod_core.Batch.commit b));
+    Alcotest.test_case "one slot -> Single" `Quick (fun () ->
+        let heap = fresh_heap () in
+        let b = Mod_core.Batch.create heap in
+        Mod_core.Batch.stage b ~slot:0 (fun v -> Imap.insert_pure heap v 1 10);
+        Mod_core.Batch.stage b ~slot:0 (fun v -> Imap.insert_pure heap v 2 20);
+        Alcotest.check point "single" Mod_core.Batch.Single
+          (Mod_core.Batch.commit b);
+        let m = Imap.open_or_create heap ~slot:0 in
+        Alcotest.(check (option int)) "k1" (Some 10) (Imap.find m 1);
+        Alcotest.(check (option int)) "k2" (Some 20) (Imap.find m 2));
+    Alcotest.test_case "one parent slot, fields -> Siblings" `Quick (fun () ->
+        let heap = fresh_heap () in
+        let parent = Pfds.Node.alloc heap ~words:2 in
+        Pfds.Node.set heap parent 0 Pfds.Pstack.empty;
+        Pfds.Node.set heap parent 1 Pfds.Pstack.empty;
+        Pfds.Node.finish heap parent;
+        Mod_core.Commit.single heap ~slot:0 (Pmem.Word.of_ptr parent);
+        let b = Mod_core.Batch.create heap in
+        Mod_core.Batch.stage_field b ~slot:0 ~field:0 (fun s ->
+            Pfds.Pstack.push heap s (w 1));
+        Mod_core.Batch.stage_field b ~slot:0 ~field:1 (fun s ->
+            Pfds.Pstack.push heap s (w 2));
+        Alcotest.check point "siblings" Mod_core.Batch.Siblings
+          (Mod_core.Batch.commit b);
+        let field f =
+          let p = Pmem.Word.to_ptr (Pmalloc.Heap.root_get heap 0) in
+          Pfds.Node.get heap p f
+        in
+        Alcotest.(check (list int)) "field 0" [ 1 ]
+          (List.map uw (Pfds.Pstack.to_list heap (field 0)));
+        Alcotest.(check (list int)) "field 1" [ 2 ]
+          (List.map uw (Pfds.Pstack.to_list heap (field 1))));
+    Alcotest.test_case "two slots -> Unrelated" `Quick (fun () ->
+        let heap = fresh_heap () in
+        let b = Mod_core.Batch.create heap in
+        Mod_core.Batch.stage b ~slot:0 (fun v -> Imap.insert_pure heap v 1 10);
+        Mod_core.Batch.stage b ~slot:1 (fun v -> Imap.insert_pure heap v 1 11);
+        Alcotest.check point "unrelated" Mod_core.Batch.Unrelated
+          (Mod_core.Batch.commit b);
+        let m0 = Imap.open_or_create heap ~slot:0 in
+        let m1 = Imap.open_or_create heap ~slot:1 in
+        Alcotest.(check (option int)) "map0" (Some 10) (Imap.find m0 1);
+        Alcotest.(check (option int)) "map1" (Some 11) (Imap.find m1 1));
+    Alcotest.test_case "mixing stage and stage_field on one slot raises"
+      `Quick (fun () ->
+        let heap = fresh_heap () in
+        let b = Mod_core.Batch.create heap in
+        Mod_core.Batch.stage b ~slot:0 (fun v -> Imap.insert_pure heap v 1 1);
+        Alcotest.check_raises "stage_field after stage"
+          (Invalid_argument
+             "Batch.stage_field: slot 0 already has a whole-version shadow")
+          (fun () ->
+            Mod_core.Batch.stage_field b ~slot:0 ~field:0 (fun x -> x)));
+    Alcotest.test_case "read-your-writes through pending" `Quick (fun () ->
+        let heap = fresh_heap () in
+        let b = Mod_core.Batch.create heap in
+        Mod_core.Batch.stage b ~slot:0 (fun v -> Imap.insert_pure heap v 7 70);
+        Alcotest.(check (option int))
+          "staged insert visible before commit" (Some 70)
+          (Imap.find_in heap (Mod_core.Batch.pending b ~slot:0) 7);
+        Alcotest.(check bool) "durable root still empty" true
+          (Pmem.Word.is_null (Pmalloc.Heap.root_get heap 0));
+        ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point));
+  ]
+
+(* -- FASE profile: one fence, one commit per batch ------------------------- *)
+
+let profile_tests =
+  [
+    Alcotest.test_case "N-op Single batch is one fence, one commit" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        let m = Imap.open_or_create heap ~slot:0 in
+        Imap.insert m 0 0;
+        (* warm *)
+        List.iter
+          (fun n ->
+            let b = Mod_core.Batch.create heap in
+            let (), p =
+              Mod_core.Fase.run heap (fun () ->
+                  for i = 1 to n do
+                    Mod_core.Batch.stage b ~slot:0 (fun v ->
+                        Imap.insert_pure heap v i (i * 2))
+                  done;
+                  ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point))
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "fences for %d-op batch" n)
+              1 p.Mod_core.Fase.fences;
+            Alcotest.(check int)
+              (Printf.sprintf "commits for %d-op batch" n)
+              1 p.Mod_core.Fase.commits)
+          [ 1; 2; 8; 32 ]);
+    Alcotest.test_case "Siblings batch is one fence, one commit" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        let parent = Pfds.Node.alloc heap ~words:2 in
+        Pfds.Node.set heap parent 0 Pfds.Pstack.empty;
+        Pfds.Node.set heap parent 1 Pfds.Pstack.empty;
+        Pfds.Node.finish heap parent;
+        Mod_core.Commit.single heap ~slot:0 (Pmem.Word.of_ptr parent);
+        let b = Mod_core.Batch.create heap in
+        let (), p =
+          Mod_core.Fase.run heap (fun () ->
+              for i = 1 to 6 do
+                Mod_core.Batch.stage_field b ~slot:0 ~field:(i mod 2)
+                  (fun s -> Pfds.Pstack.push heap s (w i))
+              done;
+              ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point))
+        in
+        Alcotest.(check int) "fences" 1 p.Mod_core.Fase.fences;
+        Alcotest.(check int) "commits" 1 p.Mod_core.Fase.commits);
+    Alcotest.test_case "empty commit is zero fences, zero commits" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        let b = Mod_core.Batch.create heap in
+        let (), p =
+          Mod_core.Fase.run heap (fun () ->
+              ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point))
+        in
+        Alcotest.(check int) "fences" 0 p.Mod_core.Fase.fences;
+        Alcotest.(check int) "commits" 0 p.Mod_core.Fase.commits);
+    Alcotest.test_case "insert_many profile: 1 fence regardless of N" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        let m = Imap.open_or_create heap ~slot:0 in
+        let (), p =
+          Mod_core.Fase.run heap (fun () ->
+              Imap.insert_many m (List.init 16 (fun i -> (i, i))))
+        in
+        Alcotest.(check int) "fences" 1 p.Mod_core.Fase.fences;
+        Alcotest.(check int) "cardinal" 16 (Imap.cardinal m));
+  ]
+
+(* -- differential: one N-op batch == N sequential single commits ----------- *)
+
+type script_op = Ins of int * int | Rem of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun k v -> Ins (k, v)) (int_range 0 30) (int_range 0 999));
+        (1, map (fun k -> Rem k) (int_range 0 30));
+      ])
+
+let script_gen = QCheck.Gen.(list_size (int_range 1 40) op_gen)
+
+let print_script ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Ins (k, v) -> Printf.sprintf "i%d=%d" k v
+         | Rem k -> Printf.sprintf "r%d" k)
+       ops)
+
+let apply_batched heap ops =
+  let b = Mod_core.Batch.create heap in
+  List.iter
+    (fun op ->
+      Mod_core.Batch.stage b ~slot:0 (fun v ->
+          match op with
+          | Ins (k, value) -> Imap.insert_pure heap v k value
+          | Rem k -> fst (Imap.remove_pure heap v k)))
+    ops;
+  ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point)
+
+let apply_sequential heap ops =
+  let m = Imap.open_or_create heap ~slot:0 in
+  List.iter
+    (function
+      | Ins (k, v) -> Imap.insert m k v
+      | Rem k -> ignore (Imap.remove m k : bool))
+    ops
+
+let batch_differential =
+  QCheck.Test.make ~name:"one N-op batch == N sequential commits (qcheck)"
+    ~count:100
+    (QCheck.make ~print:print_script script_gen)
+    (fun ops ->
+      let h1 = fresh_heap () and h2 = fresh_heap () in
+      apply_batched h1 ops;
+      apply_sequential h2 ops;
+      let d1 = dump_map (Imap.open_or_create h1 ~slot:0) in
+      let d2 = dump_map (Imap.open_or_create h2 ~slot:0) in
+      IntMap.equal Int.equal d1 d2)
+
+(* Splitting one script into several consecutive batches is also
+   equivalent -- the grouping is invisible to the final state. *)
+let batch_split_differential =
+  QCheck.Test.make
+    ~name:"script split into batches == sequential commits (qcheck)"
+    ~count:100
+    (QCheck.make
+       ~print:(fun (n, ops) ->
+         Printf.sprintf "batch=%d %s" n (print_script ops))
+       QCheck.Gen.(pair (int_range 1 7) script_gen))
+    (fun (n, ops) ->
+      let h1 = fresh_heap () and h2 = fresh_heap () in
+      let b = Mod_core.Batch.create h1 in
+      List.iteri
+        (fun i op ->
+          Mod_core.Batch.stage b ~slot:0 (fun v ->
+              match op with
+              | Ins (k, value) -> Imap.insert_pure h1 v k value
+              | Rem k -> fst (Imap.remove_pure h1 v k));
+          if (i + 1) mod n = 0 then
+            ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point))
+        ops;
+      ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point);
+      apply_sequential h2 ops;
+      let d1 = dump_map (Imap.open_or_create h1 ~slot:0) in
+      let d2 = dump_map (Imap.open_or_create h2 ~slot:0) in
+      IntMap.equal Int.equal d1 d2)
+
+(* -- discard and reclamation ----------------------------------------------- *)
+
+let discard_tests =
+  [
+    Alcotest.test_case "discard drops staged work and leaks nothing" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        let m = Imap.open_or_create heap ~slot:0 in
+        for k = 0 to 9 do
+          Imap.insert m k k
+        done;
+        Pmalloc.Heap.sfence heap;
+        let allocator = Pmalloc.Heap.allocator heap in
+        let live_before = Pmalloc.Allocator.live_words allocator in
+        let b = Mod_core.Batch.create heap in
+        for k = 10 to 19 do
+          Mod_core.Batch.stage b ~slot:0 (fun v ->
+              Imap.insert_pure heap v k k)
+        done;
+        Mod_core.Batch.discard b;
+        Alcotest.(check bool) "batch empty after discard" true
+          (Mod_core.Batch.is_empty b);
+        Pmalloc.Heap.sfence heap;
+        (* releases are epoch-deferred to the next fence *)
+        Alcotest.(check int) "live words back to pre-batch level" live_before
+          (Pmalloc.Allocator.live_words allocator);
+        Alcotest.(check int) "durable state untouched" 10 (Imap.cardinal m));
+    Alcotest.test_case "batch intermediates reclaimed at commit" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        let m = Imap.open_or_create heap ~slot:0 in
+        for k = 0 to 9 do
+          Imap.insert m k k
+        done;
+        Pmalloc.Heap.sfence heap;
+        let allocator = Pmalloc.Heap.allocator heap in
+        let live_before = Pmalloc.Allocator.live_words allocator in
+        (* overwrite the same keys: steady-state size, so every shadow the
+           batch chained through must be reclaimed *)
+        let b = Mod_core.Batch.create heap in
+        for k = 0 to 9 do
+          Mod_core.Batch.stage b ~slot:0 (fun v ->
+              Imap.insert_pure heap v k (k * 7))
+        done;
+        ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point);
+        Pmalloc.Heap.sfence heap;
+        (* CHAMP node sizes depend on the update path taken (a same-key copy
+           keeps the node width, a fresh insert widens it), so identical map
+           contents may differ by a few live words between histories.  What
+           must hold: every intermediate shadow the batch chained through is
+           released (live stays near the steady-state footprint rather than
+           growing by ~3 words per staged op), and nothing unreachable
+           survives (recovery's reachability GC reclaims zero words). *)
+        let live_after = Pmalloc.Allocator.live_words allocator in
+        Alcotest.(check bool) "intermediate shadows released"
+          true
+          (live_after - live_before < 10);
+        ignore (Mod_core.Recovery.recover heap);
+        Pmalloc.Heap.sfence heap;
+        Alcotest.(check int) "no unreachable shadow survives" live_after
+          (Pmalloc.Allocator.live_words allocator);
+        Alcotest.(check (option int)) "new value" (Some 21) (Imap.find m 3));
+  ]
+
+(* -- Commit.siblings null-root hardening ----------------------------------- *)
+
+let siblings_guard_tests =
+  [
+    Alcotest.test_case "siblings on a null root slot raises" `Quick (fun () ->
+        let heap = fresh_heap () in
+        Alcotest.check_raises "null parent"
+          (Invalid_argument
+             "Commit.siblings: root slot 0 holds no parent object (null)")
+          (fun () ->
+            Mod_core.Commit.siblings heap ~slot:0 [ (0, Pfds.Pstack.empty) ]));
+    Alcotest.test_case "siblings on a scalar root slot raises" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        Pmalloc.Heap.root_set heap 0 (Pmem.Word.of_int 17);
+        Pmalloc.Heap.sfence heap;
+        Alcotest.check_raises "scalar parent"
+          (Invalid_argument
+             "Commit.siblings: root slot 0 holds no parent object (scalar \
+              word)")
+          (fun () ->
+            Mod_core.Commit.siblings heap ~slot:0 [ (0, Pfds.Pstack.empty) ]));
+    Alcotest.test_case "siblings field out of parent range raises" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        let parent = Pfds.Node.alloc heap ~words:2 in
+        Pfds.Node.set heap parent 0 Pfds.Pstack.empty;
+        Pfds.Node.set heap parent 1 Pfds.Pstack.empty;
+        Pfds.Node.finish heap parent;
+        Mod_core.Commit.single heap ~slot:0 (Pmem.Word.of_ptr parent);
+        Alcotest.check_raises "field 5 of a 2-word parent"
+          (Invalid_argument
+             "Commit.siblings: field 5 outside the 2-word parent")
+          (fun () ->
+            Mod_core.Commit.siblings heap ~slot:0 [ (5, Pfds.Pstack.empty) ]));
+    Alcotest.test_case "Batch.pending_field on a null parent raises" `Quick
+      (fun () ->
+        let heap = fresh_heap () in
+        let b = Mod_core.Batch.create heap in
+        Alcotest.check_raises "null parent"
+          (Invalid_argument "Batch.pending_field: root slot 0 holds no parent")
+          (fun () ->
+            ignore
+              (Mod_core.Batch.pending_field b ~slot:0 ~field:0
+                : Pmem.Word.t)));
+  ]
+
+let () =
+  Alcotest.run "batch"
+    [
+      ("selection", selection_tests);
+      ("profile", profile_tests);
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest batch_differential;
+          QCheck_alcotest.to_alcotest batch_split_differential;
+        ] );
+      ("reclamation", discard_tests);
+      ("siblings-guard", siblings_guard_tests);
+    ]

@@ -278,7 +278,33 @@ let explorer_crash_tests =
               (List.length r.Crashtest.Explorer.failures)
               (Format.asprintf "%a" Crashtest.Explorer.pp_failure
                  (List.hd r.Crashtest.Explorer.failures))))
-    [ "vec"; "set"; "pqueue"; "seq" ]
+    [
+      "vec"; "set"; "pqueue"; "seq"; "stack"; "queue"; "batched"; "siblings";
+      "unrelated";
+    ]
+
+(* Negative-control parity: under the exact explorer configuration the
+   positive sweeps run with, the deliberately ordering-broken workloads
+   must still trip the oracle -- otherwise a passing sweep proves
+   nothing. *)
+let negative_parity_tests =
+  List.map
+    (fun name ->
+      Alcotest.test_case
+        (Printf.sprintf "%s: oracle still catches it under sweep cfg" name)
+        `Quick
+        (fun () ->
+          let w = Crashtest.Workload.build name ~ops:6 in
+          let cfg =
+            { Crashtest.Explorer.default with randomize_samples = 2 }
+          in
+          let r = Crashtest.Explorer.explore ~cfg w in
+          Alcotest.(check bool) "workload is a negative control" true
+            w.Crashtest.Workload.negative;
+          if r.Crashtest.Explorer.failures = [] then
+            Alcotest.failf
+              "%s: negative control reported no oracle violations" name))
+    Crashtest.Workload.negative_names
 
 let () =
   Alcotest.run "crash"
@@ -288,4 +314,5 @@ let () =
       ("composition", composition_crash_tests);
       ("boundary-sweep", boundary_sweep_tests);
       ("explorer", explorer_crash_tests);
+      ("negative-parity", negative_parity_tests);
     ]

@@ -18,7 +18,7 @@ let default_scale = 10_000
 let usage () =
   print_endline
     "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations batch \
-     bechamel all";
+     telemetry bechamel all";
   print_endline "options: --scale N | --full | --json FILE | --baseline FILE";
   exit 1
 
@@ -525,6 +525,146 @@ let batch_section ~scale ~baseline () =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: per-op histograms, attribution identity, sink overhead   *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_section ~scale ~baseline () =
+  Report.section
+    "Telemetry: per-(structure x op) histograms and fence-stall attribution";
+  Printf.printf
+    "A Memory-sink run of the micro map workload, its attribution identity\n\
+     (sum of per-op stalls + unattributed = global Pmem.Stats stall), and\n\
+     the wall-clock overhead of an installed-but-Null collector.\n\n";
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  (* -- Memory-sink run: histograms + attribution ------------------- *)
+  let r =
+    Runner.run_one ~metrics:Telemetry.Sink.Memory "map" Backend.Mod ~scale
+  in
+  let rep =
+    match r.Runner.telemetry with
+    | Some rep -> rep
+    | None -> failwith "telemetry: Memory-sink run returned no report"
+  in
+  Format.printf "%a@." Telemetry.pp_report rep;
+  let attr_gap =
+    Float.abs
+      (rep.Telemetry.attributed_fence_stall_ns
+      +. rep.Telemetry.unattributed_fence_stall_ns
+      -. rep.Telemetry.total_fence_stall_ns)
+  in
+  let tol = 1e-6 +. (1e-9 *. Float.abs rep.Telemetry.total_fence_stall_ns) in
+  check (rep.Telemetry.rows <> [])
+    "telemetry: Memory-sink run produced no per-op rows";
+  check (attr_gap <= tol)
+    (Printf.sprintf
+       "telemetry: attribution does not sum to the global stall counter \
+        (%.3f + %.3f vs %.3f, gap %.3g)"
+       rep.Telemetry.attributed_fence_stall_ns
+       rep.Telemetry.unattributed_fence_stall_ns
+       rep.Telemetry.total_fence_stall_ns attr_gap);
+  List.iter
+    (fun row ->
+      let h = row.Telemetry.r_lat in
+      check
+        (Telemetry.Histogram.count h = row.Telemetry.r_spans)
+        (Printf.sprintf "telemetry: row %s/%s histogram holds %d samples, \
+                         expected %d spans"
+           row.Telemetry.r_structure row.Telemetry.r_op
+           (Telemetry.Histogram.count h) row.Telemetry.r_spans))
+    rep.Telemetry.rows;
+  (* -- Null-sink overhead: interleaved min-of-trials --------------- *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let trials = 5 in
+  let best_off = ref infinity and best_null = ref infinity in
+  (* one untimed warmup each, then interleave so drift hits both arms *)
+  ignore (Runner.run_one "map" Backend.Mod ~scale);
+  ignore (Runner.run_one ~metrics:Telemetry.Sink.Null "map" Backend.Mod ~scale);
+  for _ = 1 to trials do
+    best_off :=
+      Float.min !best_off (time (fun () -> Runner.run_one "map" Backend.Mod ~scale));
+    best_null :=
+      Float.min !best_null
+        (time (fun () ->
+             Runner.run_one ~metrics:Telemetry.Sink.Null "map" Backend.Mod
+               ~scale))
+  done;
+  let overhead_pct =
+    if !best_off <= 0.0 then 0.0
+    else Float.max 0.0 (((!best_null /. !best_off) -. 1.0) *. 100.0)
+  in
+  Printf.printf
+    "null-sink overhead: off %.1f ms, null %.1f ms -> %.2f%% (min of %d \
+     interleaved trials)\n"
+    (!best_off *. 1e3) (!best_null *. 1e3) overhead_pct trials;
+  (match baseline with
+  | None -> ()
+  | Some path -> (
+      let open Report.Json in
+      match member "telemetry" (of_file path) with
+      | exception Sys_error e ->
+          check false (Printf.sprintf "baseline %s unreadable: %s" path e)
+      | exception Parse_error e ->
+          check false (Printf.sprintf "baseline %s: bad JSON: %s" path e)
+      | None ->
+          check false (Printf.sprintf "baseline %s has no telemetry block" path)
+      | Some base ->
+          let bound =
+            match
+              Option.bind (member "max_null_sink_overhead_pct" base)
+                to_number_opt
+            with
+            | Some v -> v
+            | None ->
+                check false
+                  "baseline telemetry block has no max_null_sink_overhead_pct";
+                nan
+          in
+          check
+            (Float.is_nan bound || overhead_pct <= bound)
+            (Printf.sprintf
+               "null-sink overhead %.2f%% exceeds the baseline bound %.2f%%"
+               overhead_pct bound)));
+  (match List.rev !failures with
+  | [] -> print_endline "\ntelemetry regression gate: ok"
+  | fs ->
+      List.iter (fun m -> Printf.eprintf "TELEMETRY REGRESSION: %s\n" m) fs;
+      exit 1);
+  let row_json row =
+    let h = row.Telemetry.r_lat in
+    Report.Json.(
+      Obj
+        [
+          ("structure", String row.Telemetry.r_structure);
+          ("op", String row.Telemetry.r_op);
+          ("spans", Int row.Telemetry.r_spans);
+          ("ops", Int row.Telemetry.r_ops);
+          ("p50_ns", Float (Telemetry.Histogram.percentile h 0.50));
+          ("p99_ns", Float (Telemetry.Histogram.percentile h 0.99));
+          ("fence_stall_ns", Float row.Telemetry.r_fence_stall_ns);
+        ])
+  in
+  Report.Json.(
+    Obj
+      [
+        ("workload", String "map");
+        ("backend", String "mod");
+        ("null_sink_overhead_pct", Float overhead_pct);
+        ("attribution_gap_ns", Float attr_gap);
+        ( "total_fence_stall_ns",
+          Float rep.Telemetry.total_fence_stall_ns );
+        ( "attributed_fence_stall_ns",
+          Float rep.Telemetry.attributed_fence_stall_ns );
+        ( "unattributed_fence_stall_ns",
+          Float rep.Telemetry.unattributed_fence_stall_ns );
+        ("rows", List (List.map row_json rep.Telemetry.rows));
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Section 6.1 baseline choice: WHISPER hashmap vs ctree on PMDK       *)
 (* ------------------------------------------------------------------ *)
 
@@ -709,6 +849,8 @@ let () =
   run "table3" (wants "table3") (fun () -> table3 ~scale);
   run "batch" (wants "batch")
     (batch_section ~scale:(min scale 20_000) ~baseline:!baseline);
+  run "telemetry" (wants "telemetry")
+    (telemetry_section ~scale:(min scale 10_000) ~baseline:!baseline);
   run "ctree" (wants "ctree") (fun () -> ctree ~scale);
   run "ablations" (wants "ablations") (fun () -> ablations ~scale);
   run "bechamel" (wants "bechamel") (fun () -> bechamel ());

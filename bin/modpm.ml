@@ -53,14 +53,62 @@ let batch_arg =
   in
   Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
 
+(* Render a telemetry report in one of the supported --metrics formats. *)
+let render_metrics format report =
+  match format with
+  | "json" -> Telemetry.Export.to_json report
+  | "prom" | "prometheus" -> Telemetry.Export.to_prometheus report
+  | "text" -> Format.asprintf "%a" Telemetry.pp_report report
+  | other ->
+      Printf.eprintf "unknown --metrics format %S (json|prom|text)\n" other;
+      exit 2
+
+let emit_metrics ~out format report =
+  let payload = render_metrics format report in
+  match out with
+  | None ->
+      print_newline ();
+      print_string payload;
+      if String.length payload > 0 && payload.[String.length payload - 1] <> '\n'
+      then print_newline ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc payload;
+      if String.length payload > 0 && payload.[String.length payload - 1] <> '\n'
+      then output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+let metrics_arg =
+  let doc =
+    "Collect per-(structure x op) telemetry -- latency histograms in sim-ns \
+     with p50/p90/p99/max and fence-stall attribution -- and emit it as \
+     $(docv): json, prom (Prometheus text) or text."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the $(b,--metrics) payload to $(docv) instead of stdout." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run name backend scale batch =
+  let run name backend scale batch metrics metrics_out =
     check_workload name;
     if batch < 1 then begin
       Printf.eprintf "--batch must be >= 1\n";
       exit 2
     end;
-    let r = Workloads.Runner.run_one ~batch name backend ~scale in
+    (match metrics with
+    | Some f when f <> "json" && f <> "prom" && f <> "prometheus" && f <> "text"
+      ->
+        Printf.eprintf "unknown --metrics format %S (json|prom|text)\n" f;
+        exit 2
+    | _ -> ());
+    let sink = Option.map (fun _ -> Telemetry.Sink.Memory) metrics in
+    let r = Workloads.Runner.run_one ~batch ?metrics:sink name backend ~scale in
     Printf.printf "workload    %s\n" r.Workloads.Runner.workload;
     Printf.printf "backend     %s\n" (Workloads.Backend.kind_name r.backend);
     Printf.printf "operations  %d (batch %d)\n" r.ops r.batch;
@@ -77,11 +125,16 @@ let run_cmd =
       (Workloads.Runner.flushes_per_op r);
     Printf.printf "L1D misses  %.2f%%\n" (100.0 *. r.miss_ratio);
     Printf.printf "live words  %d (high water %d)\n" r.live_words
-      r.high_water_words
+      r.high_water_words;
+    match (metrics, r.telemetry) with
+    | Some format, Some report -> emit_metrics ~out:metrics_out format report
+    | _ -> ()
   in
   let doc = "Run one Table 2 workload on one backend." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ workload_arg $ backend_arg $ scale_arg $ batch_arg)
+    Term.(
+      const run $ workload_arg $ backend_arg $ scale_arg $ batch_arg
+      $ metrics_arg $ metrics_out_arg)
 
 (* -- crash-test -------------------------------------------------------- *)
 
@@ -100,7 +153,7 @@ let crash_cmd =
         if Random.State.bool rng then Imap.insert m k k
         else ignore (Imap.remove m k : bool)
       done;
-      let report = Mod_core.Recovery.crash_and_recover heap in
+      let report = Mod_core.Recovery.crash_and_recover_exn heap in
       let m' = Imap.open_or_create heap ~slot:0 in
       let after = Imap.cardinal m' in
       incr survived;
@@ -464,6 +517,191 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ workload_arg $ backend_arg $ scale_arg)
 
+(* -- stats --------------------------------------------------------------- *)
+
+(* Check a --metrics json payload: schema tag, per-row histogram
+   consistency, and the acceptance-criterion identity -- the per-op
+   fence-stall sum plus the unattributed remainder must equal the global
+   Pmem.Stats stall counter. *)
+let validate_metrics path =
+  let open Workloads.Report.Json in
+  let doc =
+    try of_file path with
+    | Sys_error e ->
+        Printf.eprintf "%s unreadable: %s\n" path e;
+        exit 2
+    | Parse_error e ->
+        Printf.eprintf "%s: bad JSON: %s\n" path e;
+        exit 2
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "INVALID %s: %s\n" path msg;
+        exit 1)
+      fmt
+  in
+  let get what o key = match member key o with
+    | Some v -> v
+    | None -> fail "%s has no %S" what key
+  in
+  let num what o key =
+    match to_number_opt (get what o key) with
+    | Some v -> v
+    | None -> fail "%s.%s is not a number" what key
+  in
+  (match Option.bind (member "schema" doc) to_string_opt with
+  | Some "modpm-telemetry-v1" -> ()
+  | Some other -> fail "schema is %S, want modpm-telemetry-v1" other
+  | None -> fail "no schema tag");
+  let totals = get "document" doc "totals" in
+  let total_stall = num "totals" totals "fence_stall_ns" in
+  let attributed = num "totals" totals "attributed_fence_stall_ns" in
+  let unattributed = num "totals" totals "unattributed_fence_stall_ns" in
+  let rows =
+    match to_list_opt (get "document" doc "rows") with
+    | Some l -> l
+    | None -> fail "rows is not a list"
+  in
+  let row_sum = ref 0.0 in
+  List.iteri
+    (fun i row ->
+      let what = Printf.sprintf "rows[%d]" i in
+      row_sum := !row_sum +. num what row "fence_stall_ns";
+      let lat = get what row "latency" in
+      ignore (num what lat "p50_ns");
+      ignore (num what lat "p99_ns");
+      let count = int_of_float (num what lat "count") in
+      let buckets =
+        match to_list_opt (get what lat "buckets") with
+        | Some l -> l
+        | None -> fail "%s.latency.buckets is not a list" what
+      in
+      let bucket_sum =
+        List.fold_left
+          (fun acc b -> acc + int_of_float (num what b "count"))
+          0 buckets
+      in
+      if bucket_sum <> count then
+        fail "%s: bucket counts sum to %d, latency.count is %d" what bucket_sum
+          count)
+    rows;
+  let tol = 1e-3 +. (1e-9 *. Float.abs total_stall) in
+  if Float.abs (attributed +. unattributed -. total_stall) > tol then
+    fail "attributed %.3f + unattributed %.3f != total stall %.3f" attributed
+      unattributed total_stall;
+  if Float.abs (!row_sum -. attributed) > tol then
+    fail "per-row stall sum %.3f != attributed total %.3f" !row_sum attributed;
+  Printf.printf
+    "%s: valid (%d rows; attribution sums to the global stall counter: \
+     %.1f + %.1f = %.1f ns)\n"
+    path (List.length rows) attributed unattributed total_stall
+
+(* A small all-structures demo so `modpm stats` shows live telemetry
+   without any arguments: a few hundred ops across the seven structures,
+   batched and unbatched, on one heap. *)
+let stats_demo () =
+  let module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int) in
+  let module Iset = Mod_core.Dset.Make (Pfds.Kv.Int) in
+  let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 20) () in
+  let allocator = Pmalloc.Heap.allocator heap in
+  let gauges () =
+    {
+      Telemetry.g_live_words = Pmalloc.Allocator.live_words allocator;
+      g_free_words = Pmalloc.Allocator.free_words allocator;
+      g_deferred_words = Pmalloc.Allocator.deferred_words allocator;
+      g_high_water_words = Pmalloc.Allocator.high_water_words allocator;
+      g_alloc_words_total = Pmalloc.Allocator.alloc_words_total allocator;
+    }
+  in
+  let c =
+    Telemetry.install ~sink:Telemetry.Sink.Memory ~gauges
+      (Pmalloc.Heap.stats heap)
+  in
+  let n = 200 in
+  let m = Imap.open_or_create heap ~slot:0 in
+  for i = 1 to n do
+    Imap.insert m i (i * i)
+  done;
+  Imap.insert_many m (List.init 32 (fun i -> (n + i, i)));
+  for i = 1 to n / 2 do
+    ignore (Imap.find m i)
+  done;
+  let s = Iset.open_or_create heap ~slot:1 in
+  for i = 1 to n do
+    Iset.add s (i mod 64)
+  done;
+  let v = Mod_core.Dvec.open_or_create heap ~slot:2 in
+  for i = 1 to n do
+    Mod_core.Dvec.push_back v (Pmem.Word.of_int i)
+  done;
+  Mod_core.Dvec.push_back_many v
+    (List.init 32 (fun i -> Pmem.Word.of_int i));
+  let st = Mod_core.Dstack.open_or_create heap ~slot:3 in
+  for i = 1 to n do
+    Mod_core.Dstack.push st (Pmem.Word.of_int i)
+  done;
+  for _ = 1 to n / 2 do
+    ignore (Mod_core.Dstack.pop st)
+  done;
+  let q = Mod_core.Dqueue.open_or_create heap ~slot:4 in
+  for i = 1 to n do
+    Mod_core.Dqueue.enqueue q (Pmem.Word.of_int i)
+  done;
+  for _ = 1 to n / 2 do
+    ignore (Mod_core.Dqueue.dequeue q)
+  done;
+  let pq = Mod_core.Dpqueue.open_or_create heap ~slot:5 in
+  for i = 1 to n do
+    Mod_core.Dpqueue.insert pq (n - i)
+  done;
+  Mod_core.Dpqueue.insert_many pq (List.init 32 (fun i -> i));
+  for _ = 1 to n / 2 do
+    ignore (Mod_core.Dpqueue.delete_min pq)
+  done;
+  let sq = Mod_core.Dseq.open_or_create heap ~slot:6 in
+  for i = 1 to n do
+    Mod_core.Dseq.push_back sq (Pmem.Word.of_int i)
+  done;
+  Mod_core.Dseq.push_back_many sq (List.init 32 (fun i -> Pmem.Word.of_int i));
+  Telemetry.uninstall ();
+  Telemetry.report c
+
+let stats_cmd =
+  let run validate format out =
+    match validate with
+    | Some path -> validate_metrics path
+    | None -> emit_metrics ~out format (stats_demo ())
+  in
+  let validate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Validate a $(b,--metrics json) payload: JSON parses, histograms \
+             are self-consistent, and fence-stall attribution sums back to \
+             the global counter.  Exits non-zero otherwise.")
+  in
+  let format =
+    Arg.(
+      value & opt string "text"
+      & info [ "format"; "f" ] ~docv:"FORMAT"
+          ~doc:"Output format for the demo report: json, prom or text.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report to $(docv).")
+  in
+  let doc =
+    "Telemetry utilities: with no arguments, run a small all-structures demo \
+     and print its per-(structure x op) latency histograms and fence-stall \
+     attribution; with $(b,--validate), check an exported JSON payload."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ validate $ format $ out)
+
 (* -- fig4 / machine ------------------------------------------------------ *)
 
 let fig4_cmd =
@@ -507,4 +745,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; crash_cmd; crashtest_cmd; check_cmd; fig4_cmd; machine_cmd ]))
+          [
+            run_cmd; crash_cmd; crashtest_cmd; check_cmd; stats_cmd; fig4_cmd;
+            machine_cmd;
+          ]))

@@ -30,7 +30,7 @@ let () =
   in
   ignore (doomed_shadow : Pmem.Word.t);
   (* ... power failure before Commit *)
-  let report = Mod_core.Recovery.crash_and_recover heap in
+  let report = Mod_core.Recovery.crash_and_recover_exn heap in
   Format.printf "2. interrupted FASE: %a@." Mod_core.Recovery.pp_report report;
   let m = Imap.open_or_create heap ~slot:0 in
   Printf.printf "   key 777 absent: %b; map still has %d entries\n"
@@ -47,7 +47,7 @@ let () =
   let v0', _ = Imap.remove_pure heap v0 1 in
   let v1' = Imap.insert_pure heap v1 1 value in
   Mod_core.Commit.unrelated heap tx [ (0, v0'); (1, v1') ];
-  let report = Mod_core.Recovery.crash_and_recover ~stm:tx heap in
+  let report = Mod_core.Recovery.crash_and_recover_exn ~stm:tx heap in
   Format.printf "3. cross-map move + crash: %a@." Mod_core.Recovery.pp_report
     report;
   let m = Imap.open_or_create heap ~slot:0 in

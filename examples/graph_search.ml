@@ -41,7 +41,7 @@ let () =
      done
    with Exit ->
      crashed := true;
-     ignore (Mod_core.Recovery.crash_and_recover heap));
+     ignore (Mod_core.Recovery.crash_and_recover_exn heap));
   assert !crashed;
   let frontier = Mod_core.Dqueue.open_or_create heap ~slot:0 in
   Printf.printf "power failure after %d steps; frontier recovered with %d nodes\n"

@@ -37,7 +37,7 @@ let () =
   (* kill the power mid-run; the cache survives (fence first so even the
      newest write's root update is past its epoch boundary) *)
   Pmalloc.Heap.sfence heap;
-  let _ = Mod_core.Recovery.crash_and_recover heap in
+  let _ = Mod_core.Recovery.crash_and_recover_exn heap in
   let store = open_store heap in
   Printf.printf "after crash, entries: %d, user:0042 -> %s\n"
     (Kv.cardinal store.map)

@@ -45,12 +45,32 @@ let () =
      current epoch; without it, the very last update's root write may
      still be in flight and legitimately roll back one operation.) *)
   Pmalloc.Heap.sfence heap;
-  let report = Mod_core.Recovery.crash_and_recover heap in
+  let report = Mod_core.Recovery.crash_and_recover_exn heap in
   Format.printf "after crash: %a@." Mod_core.Recovery.pp_report report;
 
-  let inventory = Imap.open_or_create heap ~slot:0 in
+  (* Reopening after a restart is the moment things can be wrong (stale
+     slot number, a different structure's root): [open_result] validates
+     and returns a typed error instead of trusting the slot. *)
+  let inventory =
+    match Imap.open_result heap ~slot:0 with
+    | Ok m -> m
+    | Error e -> failwith (Mod_core.Error.to_string e)
+  in
   Printf.printf "recovered inventory size: %d\n" (Imap.cardinal inventory);
   Printf.printf "recovered backlog length: %d\n"
     (Mod_core.Dqueue.length (Mod_core.Dqueue.open_or_create heap ~slot:1));
   Printf.printf "recovered history length: %d\n"
-    (Mod_core.Dstack.length (Mod_core.Dstack.open_or_create heap ~slot:2))
+    (Mod_core.Dstack.length (Mod_core.Dstack.open_or_create heap ~slot:2));
+
+  (* Metrics: install a telemetry collector and every Basic-interface
+     call reports itself -- per-(structure x op) latency histograms and
+     a fence-stall attribution that sums back to the global counter.
+     The CLI equivalents: `modpm run map --metrics json` and
+     `modpm stats`. *)
+  let collector = Telemetry.install (Pmalloc.Heap.stats heap) in
+  for i = 0 to 199 do
+    Imap.insert inventory (2000 + i) i
+  done;
+  Imap.insert_many inventory (List.init 32 (fun i -> (3000 + i, i)));
+  Telemetry.uninstall ();
+  Format.printf "@.%a@." Telemetry.pp_report (Telemetry.report collector)

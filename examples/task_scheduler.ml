@@ -39,7 +39,7 @@ let () =
 
   (* power failure *)
   Pmalloc.Heap.sfence heap;
-  let report = Mod_core.Recovery.crash_and_recover heap in
+  let report = Mod_core.Recovery.crash_and_recover_exn heap in
   Format.printf "crash: %a@." Mod_core.Recovery.pp_report report;
   let pq = Mod_core.Dpqueue.open_or_create heap ~slot:0 in
   Printf.printf "after recovery: %d jobs still queued, earliest at minute %d\n"

@@ -75,7 +75,7 @@ let () =
     !refused;
 
   (* crash in the middle of the day; the books still balance *)
-  let _ = Mod_core.Recovery.crash_and_recover heap in
+  let _ = Mod_core.Recovery.crash_and_recover_exn heap in
   let stock_sum f =
     let v = field heap f in
     let total = ref 0 in

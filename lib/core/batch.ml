@@ -155,7 +155,7 @@ let commit_point t =
   | [ _ ] -> Siblings
   | _ -> Unrelated
 
-let commit t =
+let commit_now t =
   let touched =
     List.filter (fun e -> e.staged <> None || e.fields <> []) t.entries
     |> List.rev (* first-touched order *)
@@ -193,3 +193,15 @@ let commit t =
         entries);
   reset t;
   point
+
+(* The span label carries the commit point the batch is about to select
+   and the number of staged logical ops, so exported histograms show the
+   per-FASE cost of each ordering strategy directly. *)
+let commit t =
+  let ops = max 1 t.staged_ops in
+  Telemetry.span
+    (Pmalloc.Heap.stats t.heap)
+    ~structure:"batch"
+    ~op:(commit_point_name (commit_point t))
+    ~ops
+    (fun () -> commit_now t)

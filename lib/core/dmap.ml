@@ -12,6 +12,15 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
   module T = Pfds.Champ.Make (K) (V)
 
   type t = Handle.t
+  type elt = K.t * V.t
+
+  let structure = "dmap"
+
+  let span t op f =
+    Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+
+  let span_n t op n f =
+    Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
   (* A null version is a valid (empty) map, so opening just binds the
      slot; the first insert installs the first node. *)
@@ -19,6 +28,11 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
     ignore heap;
     Handle.make heap ~slot
 
+  let open_result heap ~slot =
+    Handle.open_slot heap ~slot
+      ~validate:(Handle.expect_shape ~expected:"CHAMP node (scanned block)")
+
+  let handle t = t
   let empty_version _heap = T.empty
 
   (* -- Composition interface: pure updates on versions ------------------ *)
@@ -34,18 +48,22 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
   let find_in heap version key = T.find heap version key
   let mem_in heap version key = T.mem heap version key
   let card_of heap version = T.cardinal heap version
+  let add_pure heap version (key, value) = insert_pure heap version key value
+  let size_in = card_of
 
   (* -- Basic interface: each operation is a one-fence FASE -------------- *)
 
   let insert t key value =
-    let heap = Handle.heap t in
-    Handle.commit t (insert_pure heap (Handle.current t) key value)
+    span t "insert" (fun () ->
+        let heap = Handle.heap t in
+        Handle.commit t (insert_pure heap (Handle.current t) key value))
 
   let remove t key =
-    let heap = Handle.heap t in
-    let shadow, removed = remove_pure heap (Handle.current t) key in
-    if removed then Handle.commit t shadow;
-    removed
+    span t "remove" (fun () ->
+        let heap = Handle.heap t in
+        let shadow, removed = remove_pure heap (Handle.current t) key in
+        if removed then Handle.commit t shadow;
+        removed)
 
   (* -- Group commit: N updates, one one-fence FASE ----------------------- *)
 
@@ -53,21 +71,33 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
     match kvs with
     | [] -> ()
     | _ ->
-        let heap = Handle.heap t in
-        let b = Batch.create heap in
-        List.iter
-          (fun (k, v) ->
-            Batch.stage b ~slot:(Handle.slot t) (fun version ->
-                insert_pure heap version k v))
-          kvs;
-        ignore (Batch.commit b : Batch.commit_point)
+        span_n t "insert_many" (List.length kvs) (fun () ->
+            let heap = Handle.heap t in
+            let b = Batch.create heap in
+            List.iter
+              (fun (k, v) ->
+                Batch.stage b ~slot:(Handle.slot t) (fun version ->
+                    insert_pure heap version k v))
+              kvs;
+            ignore (Batch.commit b : Batch.commit_point))
 
-  let find t key = find_in (Handle.heap t) (Handle.current t) key
-  let mem t key = mem_in (Handle.heap t) (Handle.current t) key
+  let find t key =
+    span t "find" (fun () -> find_in (Handle.heap t) (Handle.current t) key)
+
+  let mem t key =
+    span t "mem" (fun () -> mem_in (Handle.heap t) (Handle.current t) key)
 
   (* O(n): cardinality is not materialized in the versioned state. *)
   let cardinal t = card_of (Handle.heap t) (Handle.current t)
 
   let iter t fn = T.iter (Handle.heap t) (Handle.current t) fn
   let fold t fn acc = T.fold (Handle.heap t) (Handle.current t) fn acc
+
+  (* -- Unified interface ({!Intf.DURABLE}) ------------------------------- *)
+
+  let add t (key, value) = insert t key value
+  let add_many = insert_many
+  let size = cardinal
+  let is_empty t = Pmem.Word.is_null (Handle.current t)
+  let iter_elts t fn = iter t (fun k v -> fn (k, v))
 end

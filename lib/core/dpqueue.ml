@@ -6,27 +6,75 @@
     the paper ships. *)
 
 type t = Handle.t
+type elt = int
+
+let structure = "dpqueue"
+
+let span t op f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+
+let span_n t op n f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
 (* A null version is a valid (empty) heap. *)
 let open_or_create heap ~slot = Handle.make heap ~slot
 
-let empty_version = Pfds.Pheap.empty
+let open_result heap ~slot =
+  Handle.open_slot heap ~slot
+    ~validate:
+      (Handle.expect_shape ~expected:"leftist-heap node (4 scanned words)"
+         ~words:4)
+
+let handle t = t
+let empty_version _heap = Pfds.Pheap.empty
 let insert_pure = Pfds.Pheap.insert
 let delete_min_pure = Pfds.Pheap.delete_min
+let add_pure = insert_pure
 
 let insert t p =
-  let heap = Handle.heap t in
-  Handle.commit t (Pfds.Pheap.insert heap (Handle.current t) p)
+  span t "insert" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t (Pfds.Pheap.insert heap (Handle.current t) p))
 
-let find_min t = Pfds.Pheap.find_min (Handle.heap t) (Handle.current t)
+let find_min t =
+  span t "find_min" (fun () ->
+      Pfds.Pheap.find_min (Handle.heap t) (Handle.current t))
 
 let delete_min t =
-  let heap = Handle.heap t in
-  match Pfds.Pheap.delete_min heap (Handle.current t) with
-  | None -> None
-  | Some (p, shadow) ->
-      Handle.commit t shadow;
-      Some p
+  span t "delete_min" (fun () ->
+      let heap = Handle.heap t in
+      match Pfds.Pheap.delete_min heap (Handle.current t) with
+      | None -> None
+      | Some (p, shadow) ->
+          Handle.commit t shadow;
+          Some p)
+
+(* Group commit: insert N priorities in one one-fence FASE. *)
+let insert_many t ps =
+  match ps with
+  | [] -> ()
+  | _ ->
+      span_n t "insert_many" (List.length ps) (fun () ->
+          let heap = Handle.heap t in
+          let b = Batch.create heap in
+          List.iter
+            (fun p ->
+              Batch.stage b ~slot:(Handle.slot t) (fun version ->
+                  Pfds.Pheap.insert heap version p))
+            ps;
+          ignore (Batch.commit b : Batch.commit_point))
 
 let is_empty t = Pfds.Pheap.is_empty (Handle.current t)
 let cardinal t = Pfds.Pheap.cardinal (Handle.heap t) (Handle.current t)
+let fold t fn acc = Pfds.Pheap.fold (Handle.heap t) (Handle.current t) fn acc
+
+(* -- Unified interface ({!Intf.DURABLE}) ---------------------------------- *)
+
+let add = insert
+let add_many = insert_many
+let size = cardinal
+let size_in heap version = Pfds.Pheap.cardinal heap version
+
+(* Unordered: the leftist heap has no cheap in-order traversal short of
+   draining it. *)
+let iter_elts t fn = fold t (fun p () -> fn p) ()

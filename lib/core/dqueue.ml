@@ -2,6 +2,15 @@
     Functional Shadowing. *)
 
 type t = Handle.t
+type elt = Pmem.Word.t
+
+let structure = "dqueue"
+
+let span t op f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+
+let span_n t op n f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
 let open_or_create heap ~slot =
   let h = Handle.make heap ~slot in
@@ -9,37 +18,63 @@ let open_or_create heap ~slot =
     Handle.initialize h (Pfds.Pqueue.create heap);
   h
 
+let open_result heap ~slot =
+  match
+    Handle.open_slot heap ~slot
+      ~validate:
+        (Handle.expect_shape ~expected:"queue descriptor (2 scanned words)"
+           ~words:2)
+  with
+  | Error _ as e -> e
+  | Ok h ->
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Pqueue.create heap);
+      Ok h
+
+let handle t = t
 let empty_version heap = Pfds.Pqueue.create heap
 let enqueue_pure = Pfds.Pqueue.enqueue
 let dequeue_pure = Pfds.Pqueue.dequeue
+let add_pure = enqueue_pure
 
 let enqueue t w =
-  let heap = Handle.heap t in
-  Handle.commit t (Pfds.Pqueue.enqueue heap (Handle.current t) w)
+  span t "enqueue" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t (Pfds.Pqueue.enqueue heap (Handle.current t) w))
 
 let dequeue t =
-  let heap = Handle.heap t in
-  match Pfds.Pqueue.dequeue heap (Handle.current t) with
-  | None -> None
-  | Some (v, shadow) ->
-      Handle.commit t shadow;
-      Some v
+  span t "dequeue" (fun () ->
+      let heap = Handle.heap t in
+      match Pfds.Pqueue.dequeue heap (Handle.current t) with
+      | None -> None
+      | Some (v, shadow) ->
+          Handle.commit t shadow;
+          Some v)
 
 (* Group commit: enqueue N elements in one one-fence FASE. *)
 let enqueue_many t ws =
   match ws with
   | [] -> ()
   | _ ->
-      let heap = Handle.heap t in
-      let b = Batch.create heap in
-      List.iter
-        (fun w ->
-          Batch.stage b ~slot:(Handle.slot t) (fun version ->
-              Pfds.Pqueue.enqueue heap version w))
-        ws;
-      ignore (Batch.commit b : Batch.commit_point)
+      span_n t "enqueue_many" (List.length ws) (fun () ->
+          let heap = Handle.heap t in
+          let b = Batch.create heap in
+          List.iter
+            (fun w ->
+              Batch.stage b ~slot:(Handle.slot t) (fun version ->
+                  Pfds.Pqueue.enqueue heap version w))
+            ws;
+          ignore (Batch.commit b : Batch.commit_point))
 
 let is_empty t = Pfds.Pqueue.is_empty (Handle.heap t) (Handle.current t)
 let length t = Pfds.Pqueue.length (Handle.heap t) (Handle.current t)
 let iter t fn = Pfds.Pqueue.iter (Handle.heap t) (Handle.current t) fn
 let to_list t = Pfds.Pqueue.to_list (Handle.heap t) (Handle.current t)
+
+(* -- Unified interface ({!Intf.DURABLE}) ---------------------------------- *)
+
+let add = enqueue
+let add_many = enqueue_many
+let size = length
+let size_in heap version = Pfds.Pqueue.length heap version
+let iter_elts = iter

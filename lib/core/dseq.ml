@@ -5,11 +5,35 @@
     buffer makes push_back cheaper; [Dseq] is the general sequence. *)
 
 type t = Handle.t
+type elt = Pmem.Word.t
+
+let structure = "dseq"
+
+let span t op f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+
+let span_n t op n f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
 let open_or_create heap ~slot =
   let h = Handle.make heap ~slot in
   if not (Handle.is_initialized h) then Handle.initialize h (Pfds.Rrb.create heap);
   h
+
+let open_result heap ~slot =
+  match
+    Handle.open_slot heap ~slot
+      ~validate:
+        (Handle.expect_shape ~expected:"RRB descriptor (3 scanned words)"
+           ~words:3)
+  with
+  | Error _ as e -> e
+  | Ok h ->
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Rrb.create heap);
+      Ok h
+
+let handle t = t
 
 (* -- Composition interface ------------------------------------------------ *)
 
@@ -20,30 +44,58 @@ let concat_pure = Pfds.Rrb.concat
 let slice_pure = Pfds.Rrb.slice
 let get_in = Pfds.Rrb.get
 let size_in = Pfds.Rrb.size
+let add_pure heap version w = Pfds.Rrb.push_back heap version w
 
 (* -- Basic interface ------------------------------------------------------ *)
 
 let push_back t w =
-  let heap = Handle.heap t in
-  Handle.commit t (Pfds.Rrb.push_back heap (Handle.current t) w)
+  span t "push_back" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t (Pfds.Rrb.push_back heap (Handle.current t) w))
 
 let set t i w =
-  let heap = Handle.heap t in
-  Handle.commit t (Pfds.Rrb.set heap (Handle.current t) i w)
+  span t "set" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t (Pfds.Rrb.set heap (Handle.current t) i w))
 
 (* Append another durable sequence's current contents, failure-atomically. *)
 let append t other =
-  let heap = Handle.heap t in
-  Handle.commit t
-    (Pfds.Rrb.concat heap (Handle.current t) (Handle.current other))
+  span t "append" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t
+        (Pfds.Rrb.concat heap (Handle.current t) (Handle.current other)))
 
 (* Keep only [pos, pos+len), failure-atomically. *)
 let restrict t ~pos ~len =
-  let heap = Handle.heap t in
-  Handle.commit t (Pfds.Rrb.slice heap (Handle.current t) ~pos ~len)
+  span t "restrict" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t (Pfds.Rrb.slice heap (Handle.current t) ~pos ~len))
 
-let get t i = Pfds.Rrb.get (Handle.heap t) (Handle.current t) i
+(* Group commit: push N elements in one one-fence FASE. *)
+let push_back_many t ws =
+  match ws with
+  | [] -> ()
+  | _ ->
+      span_n t "push_back_many" (List.length ws) (fun () ->
+          let heap = Handle.heap t in
+          let b = Batch.create heap in
+          List.iter
+            (fun w ->
+              Batch.stage b ~slot:(Handle.slot t) (fun version ->
+                  Pfds.Rrb.push_back heap version w))
+            ws;
+          ignore (Batch.commit b : Batch.commit_point))
+
+let get t i =
+  span t "get" (fun () -> Pfds.Rrb.get (Handle.heap t) (Handle.current t) i)
+
 let size t = Pfds.Rrb.size (Handle.heap t) (Handle.current t)
 let is_empty t = size t = 0
 let iter t fn = Pfds.Rrb.iter (Handle.heap t) (Handle.current t) fn
 let to_list t = Pfds.Rrb.to_list (Handle.heap t) (Handle.current t)
+
+(* -- Unified interface ({!Intf.DURABLE}) ---------------------------------- *)
+
+let add = push_back
+let add_many = push_back_many
+let iter_elts = iter

@@ -5,17 +5,39 @@ module Make (K : Pfds.Kv.CODEC) = struct
   module M = Dmap.Make (K) (Pfds.Kv.Unit)
 
   type t = M.t
+  type elt = K.t
+
+  let structure = "dset"
+
+  (* Spans here, not just in [M]: the outermost span owns the delta, so
+     set traffic is attributed to "dset", never double counted as
+     "dmap". *)
+  let span t op f =
+    Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+
+  let span_n t op n f =
+    Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
   let open_or_create = M.open_or_create
+  let open_result = M.open_result
+  let handle t = t
   let empty_version = M.empty_version
   let add_pure heap version key = M.insert_pure heap version key ()
   let remove_pure = M.remove_pure
   let mem_in = M.mem_in
-  let add t key = M.insert t key ()
-  let add_many t ks = M.insert_many t (List.map (fun k -> (k, ())) ks)
-  let remove = M.remove
-  let mem = M.mem
+  let size_in = M.size_in
+  let add t key = span t "add" (fun () -> M.insert t key ())
+
+  let add_many t ks =
+    span_n t "add_many" (List.length ks) (fun () ->
+        M.insert_many t (List.map (fun k -> (k, ())) ks))
+
+  let remove t key = span t "remove" (fun () -> M.remove t key)
+  let mem t key = span t "mem" (fun () -> M.mem t key)
   let cardinal = M.cardinal
   let iter t fn = M.iter t (fun k () -> fn k)
   let fold t fn acc = M.fold t (fun k () acc -> fn k acc) acc
+  let size = cardinal
+  let is_empty = M.is_empty
+  let iter_elts = iter
 end

@@ -5,47 +5,78 @@
     one-fence FASE. *)
 
 type t = Handle.t
+type elt = Pmem.Word.t
+
+let structure = "dstack"
+
+let span t op f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+
+let span_n t op n f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
 (* A null version is a valid (empty) stack, so opening just binds the
    slot; the first push installs the first node. *)
 let open_or_create heap ~slot = Handle.make heap ~slot
 
-let empty_version = Pfds.Pstack.empty
+let open_result heap ~slot =
+  Handle.open_slot heap ~slot
+    ~validate:
+      (Handle.expect_shape ~expected:"stack cons cell (2 scanned words)"
+         ~words:2)
+
+let handle t = t
+let empty_version _heap = Pfds.Pstack.empty
 let push_pure = Pfds.Pstack.push
 let pop_pure = Pfds.Pstack.pop
+let add_pure = push_pure
 
 let push t w =
-  let heap = Handle.heap t in
-  Handle.commit t (Pfds.Pstack.push heap (Handle.current t) w)
+  span t "push" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t (Pfds.Pstack.push heap (Handle.current t) w))
 
 (* Pop returns the value word of the popped element; for inline scalars
    this is the value itself.  For blob-valued stacks, read the payload via
    [peek] before popping: the commit inside [pop] releases the old version
    and with it the last reference to the popped blob. *)
 let pop t =
-  let heap = Handle.heap t in
-  match Pfds.Pstack.pop heap (Handle.current t) with
-  | None -> None
-  | Some (v, shadow) ->
-      Handle.commit t shadow;
-      Some v
+  span t "pop" (fun () ->
+      let heap = Handle.heap t in
+      match Pfds.Pstack.pop heap (Handle.current t) with
+      | None -> None
+      | Some (v, shadow) ->
+          Handle.commit t shadow;
+          Some v)
 
 (* Group commit: push N elements in one one-fence FASE. *)
 let push_many t ws =
   match ws with
   | [] -> ()
   | _ ->
-      let heap = Handle.heap t in
-      let b = Batch.create heap in
-      List.iter
-        (fun w ->
-          Batch.stage b ~slot:(Handle.slot t) (fun version ->
-              Pfds.Pstack.push heap version w))
-        ws;
-      ignore (Batch.commit b : Batch.commit_point)
+      span_n t "push_many" (List.length ws) (fun () ->
+          let heap = Handle.heap t in
+          let b = Batch.create heap in
+          List.iter
+            (fun w ->
+              Batch.stage b ~slot:(Handle.slot t) (fun version ->
+                  Pfds.Pstack.push heap version w))
+            ws;
+          ignore (Batch.commit b : Batch.commit_point))
 
-let peek t = Pfds.Pstack.peek (Handle.heap t) (Handle.current t)
+let peek t =
+  span t "peek" (fun () ->
+      Pfds.Pstack.peek (Handle.heap t) (Handle.current t))
+
 let is_empty t = Pfds.Pstack.is_empty (Handle.current t)
 let length t = Pfds.Pstack.length (Handle.heap t) (Handle.current t)
 let iter t fn = Pfds.Pstack.iter (Handle.heap t) (Handle.current t) fn
 let to_list t = Pfds.Pstack.to_list (Handle.heap t) (Handle.current t)
+
+(* -- Unified interface ({!Intf.DURABLE}) ---------------------------------- *)
+
+let add = push
+let add_many = push_many
+let size = length
+let size_in heap version = Pfds.Pstack.length heap version
+let iter_elts = iter

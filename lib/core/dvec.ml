@@ -5,12 +5,36 @@
     intermediate shadow, one CommitSingle. *)
 
 type t = Handle.t
+type elt = Pmem.Word.t
+
+let structure = "dvec"
+
+let span t op f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+
+let span_n t op n f =
+  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
 let open_or_create heap ~slot =
   let h = Handle.make heap ~slot in
   if not (Handle.is_initialized h) then
     Handle.initialize h (Pfds.Pvec.create heap);
   h
+
+let open_result heap ~slot =
+  match
+    Handle.open_slot heap ~slot
+      ~validate:
+        (Handle.expect_shape ~expected:"vector descriptor (4 scanned words)"
+           ~words:4)
+  with
+  | Error _ as e -> e
+  | Ok h ->
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Pvec.create heap);
+      Ok h
+
+let handle t = t
 
 (* -- Composition interface ------------------------------------------------ *)
 
@@ -20,34 +44,39 @@ let set_pure = Pfds.Pvec.set
 let pop_back_pure = Pfds.Pvec.pop_back
 let get_in = Pfds.Pvec.get
 let size_in = Pfds.Pvec.size
+let add_pure = push_back_pure
 
 (* -- Basic interface ------------------------------------------------------ *)
 
 let push_back t w =
-  let heap = Handle.heap t in
-  Handle.commit t (Pfds.Pvec.push_back heap (Handle.current t) w)
+  span t "push_back" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t (Pfds.Pvec.push_back heap (Handle.current t) w))
 
 let set t i w =
-  let heap = Handle.heap t in
-  Handle.commit t (Pfds.Pvec.set heap (Handle.current t) i w)
+  span t "set" (fun () ->
+      let heap = Handle.heap t in
+      Handle.commit t (Pfds.Pvec.set heap (Handle.current t) i w))
 
 let pop_back t =
-  let heap = Handle.heap t in
-  let v, shadow = Pfds.Pvec.pop_back heap (Handle.current t) in
-  Handle.commit t shadow;
-  v
+  span t "pop_back" (fun () ->
+      let heap = Handle.heap t in
+      let v, shadow = Pfds.Pvec.pop_back heap (Handle.current t) in
+      Handle.commit t shadow;
+      v)
 
 (* Swap two elements failure-atomically: Figure 7b.  The first update
    produces VectorPtrShadow, the second VectorPtrShadowShadow; Commit
    installs the latter and reclaims the intermediate. *)
 let swap t i j =
-  let heap = Handle.heap t in
-  let v = Handle.current t in
-  let vi = Pfds.Pvec.get heap v i in
-  let vj = Pfds.Pvec.get heap v j in
-  let shadow = Pfds.Pvec.set heap v i vj in
-  let shadow_shadow = Pfds.Pvec.set heap shadow j vi in
-  Handle.commit ~intermediates:[ shadow ] t shadow_shadow
+  span t "swap" (fun () ->
+      let heap = Handle.heap t in
+      let v = Handle.current t in
+      let vi = Pfds.Pvec.get heap v i in
+      let vj = Pfds.Pvec.get heap v j in
+      let shadow = Pfds.Pvec.set heap v i vj in
+      let shadow_shadow = Pfds.Pvec.set heap shadow j vi in
+      Handle.commit ~intermediates:[ shadow ] t shadow_shadow)
 
 (* Group commit: push N elements in one one-fence FASE, intermediate
    shadows reclaimed at the commit (the batched form of Figure 7b). *)
@@ -55,17 +84,26 @@ let push_back_many t ws =
   match ws with
   | [] -> ()
   | _ ->
-      let heap = Handle.heap t in
-      let b = Batch.create heap in
-      List.iter
-        (fun w ->
-          Batch.stage b ~slot:(Handle.slot t) (fun version ->
-              Pfds.Pvec.push_back heap version w))
-        ws;
-      ignore (Batch.commit b : Batch.commit_point)
+      span_n t "push_back_many" (List.length ws) (fun () ->
+          let heap = Handle.heap t in
+          let b = Batch.create heap in
+          List.iter
+            (fun w ->
+              Batch.stage b ~slot:(Handle.slot t) (fun version ->
+                  Pfds.Pvec.push_back heap version w))
+            ws;
+          ignore (Batch.commit b : Batch.commit_point))
 
-let get t i = Pfds.Pvec.get (Handle.heap t) (Handle.current t) i
+let get t i =
+  span t "get" (fun () -> Pfds.Pvec.get (Handle.heap t) (Handle.current t) i)
+
 let size t = Pfds.Pvec.size (Handle.heap t) (Handle.current t)
 let is_empty t = size t = 0
 let iter t fn = Pfds.Pvec.iter (Handle.heap t) (Handle.current t) fn
 let to_list t = Pfds.Pvec.to_list (Handle.heap t) (Handle.current t)
+
+(* -- Unified interface ({!Intf.DURABLE}) ---------------------------------- *)
+
+let add = push_back
+let add_many = push_back_many
+let iter_elts = iter

@@ -1,0 +1,40 @@
+(** Typed errors for the durable-structure open paths.
+
+    Opening a root slot can fail three ways: the slot index is outside
+    the root directory, the slot's word is not a plausible version
+    pointer, or it points at a block whose shape does not match the
+    structure being opened (a vector handle aimed at a CHAMP root, say).
+    The [result]-returning open paths report these as values; the [_exn]
+    wrappers raise {!Error}. *)
+
+type t =
+  | Corrupt_root of { slot : int; detail : string }
+      (** The slot's word cannot be a version of anything: a scalar
+          where a pointer should be, a dangling pointer, or (for
+          recovery, which is heap-wide) [slot = -1]. *)
+  | Slot_out_of_range of { slot : int; limit : int }
+  | Codec_mismatch of { slot : int; expected : string; found : string }
+      (** The root block's shape disagrees with the structure's
+          descriptor layout. *)
+
+exception Error of t
+
+let to_string = function
+  | Corrupt_root { slot; detail } ->
+      if slot < 0 then Printf.sprintf "corrupt heap: %s" detail
+      else Printf.sprintf "corrupt root in slot %d: %s" slot detail
+  | Slot_out_of_range { slot; limit } ->
+      Printf.sprintf "root slot %d out of range (root directory has %d slots)"
+        slot limit
+  | Codec_mismatch { slot; expected; found } ->
+      Printf.sprintf "slot %d codec mismatch: expected %s, found %s" slot
+        expected found
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Mod_core.Error.Error(%s)" (to_string e))
+    | _ -> None)
+
+let get_ok = function Ok v -> v | Error e -> raise (Error e)

@@ -1,0 +1,20 @@
+(** Typed errors for the durable-structure open paths. *)
+
+type t =
+  | Corrupt_root of { slot : int; detail : string }
+      (** The slot's word cannot be a version: a scalar where a pointer
+          should be, or a dangling pointer.  Heap-wide failures (from
+          {!Recovery}) use [slot = -1]. *)
+  | Slot_out_of_range of { slot : int; limit : int }
+  | Codec_mismatch of { slot : int; expected : string; found : string }
+      (** The root block's shape disagrees with the structure's
+          descriptor layout. *)
+
+exception Error of t
+(** Raised by the [_exn] wrappers; carries the same typed error. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val get_ok : ('a, t) result -> 'a
+(** [Ok v -> v]; [Error e] raises {!Error}[ e]. *)

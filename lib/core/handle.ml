@@ -22,3 +22,61 @@ let initialize t version =
 
 let commit ?intermediates t version =
   Commit.single ?intermediates t.heap ~slot:t.slot version
+
+(* -- Validated open path ------------------------------------------------- *)
+
+let describe_root t =
+  let alloc = Pmalloc.Heap.allocator t.heap in
+  let body = Pmem.Word.to_ptr (current t) in
+  Printf.sprintf "%s block, %d words"
+    (match Pmalloc.Allocator.kind_of alloc body with
+    | Pmalloc.Block.Scanned -> "scanned"
+    | Pmalloc.Block.Raw -> "raw")
+    (Pmalloc.Allocator.used_of alloc body)
+
+(* Best-effort shape check for a non-null root known to point at an
+   allocated block: every MOD version root is a Scanned block, and the
+   descriptor-rooted structures have a fixed descriptor word count. *)
+let expect_shape ~expected ?words t =
+  let alloc = Pmalloc.Heap.allocator t.heap in
+  let body = Pmem.Word.to_ptr (current t) in
+  let kind_ok = Pmalloc.Allocator.kind_of alloc body = Pmalloc.Block.Scanned in
+  let words_ok =
+    match words with
+    | None -> true
+    | Some n -> Pmalloc.Allocator.used_of alloc body = n
+  in
+  if kind_ok && words_ok then Ok t
+  else
+    Error
+      (Error.Codec_mismatch { slot = t.slot; expected; found = describe_root t })
+
+let open_slot ?validate heap ~slot =
+  let limit = Pmalloc.Heap.root_slots in
+  if slot < 0 || slot >= limit then
+    Error (Error.Slot_out_of_range { slot; limit })
+  else
+    let t = { heap; slot } in
+    let w = current t in
+    if Pmem.Word.is_null w then Ok t
+    else if not (Pmem.Word.is_ptr w) then
+      Error
+        (Error.Corrupt_root
+           { slot; detail = "root slot holds a scalar, not a version pointer" })
+    else if
+      not
+        (Pmalloc.Allocator.is_allocated (Pmalloc.Heap.allocator heap)
+           (Pmem.Word.to_ptr w))
+    then
+      Error
+        (Error.Corrupt_root
+           {
+             slot;
+             detail =
+               Printf.sprintf "root points at unallocated offset %d"
+                 (Pmem.Word.to_ptr w);
+           })
+    else match validate with None -> Ok t | Some f -> f t
+
+let open_slot_exn ?validate heap ~slot =
+  Error.get_ok (open_slot ?validate heap ~slot)

@@ -23,3 +23,26 @@ val initialize : t -> Pmem.Word.t -> unit
 
 val commit : ?intermediates:Pmem.Word.t list -> t -> Pmem.Word.t -> unit
 (** CommitSingle against this handle's slot. *)
+
+(** {1 Validated open path}
+
+    [make] trusts the slot; [open_slot] checks it: in-range, and either
+    null (a valid empty state) or a pointer into allocated space.
+    Structures pass [validate] to add a shape check of the root block
+    against their own layout. *)
+
+val open_slot :
+  ?validate:(t -> (t, Error.t) result) ->
+  Pmalloc.Heap.t ->
+  slot:int ->
+  (t, Error.t) result
+
+val open_slot_exn :
+  ?validate:(t -> (t, Error.t) result) -> Pmalloc.Heap.t -> slot:int -> t
+(** {!open_slot}, raising {!Error.Error} on failure. *)
+
+val expect_shape :
+  expected:string -> ?words:int -> t -> (t, Error.t) result
+(** Shape validator for a non-null root: the block must be [Scanned]
+    and, when [words] is given, have exactly that initialized size.
+    Returns [Codec_mismatch] describing what was found otherwise. *)

@@ -19,17 +19,32 @@ type report = {
   crash_seed : int option;
 }
 
-let recover ?stm heap =
+let recover_exn ?stm heap =
   let stm_rolled_back =
     match stm with Some tx -> Pmstm.Tx.recover tx | None -> false
   in
   let gc = Pmalloc.Recovery_gc.recover heap in
   { stm_rolled_back; gc; crash_seed = None }
 
-let crash_and_recover ?mode ?seed ?stm heap =
+(* Recovery failures are heap-wide, not slot-scoped: surface whatever the
+   reachability analysis or the undo-log rollback tripped over as a
+   [Corrupt_root] with [slot = -1]. *)
+let wrap_corruption f =
+  match f () with
+  | r -> Ok r
+  | exception Error.Error e -> Error e
+  | exception (Invalid_argument detail | Failure detail) ->
+      Error (Error.Corrupt_root { slot = -1; detail })
+
+let recover ?stm heap = wrap_corruption (fun () -> recover_exn ?stm heap)
+
+let crash_and_recover_exn ?mode ?seed ?stm heap =
   Pmalloc.Heap.crash ?mode ?seed heap;
   let crash_seed = Pmem.Region.last_crash_seed (Pmalloc.Heap.region heap) in
-  { (recover ?stm heap) with crash_seed }
+  { (recover_exn ?stm heap) with crash_seed }
+
+let crash_and_recover ?mode ?seed ?stm heap =
+  wrap_corruption (fun () -> crash_and_recover_exn ?mode ?seed ?stm heap)
 
 let pp_report ppf r =
   Format.fprintf ppf "%a%s%s" Pmalloc.Recovery_gc.pp_report r.gc

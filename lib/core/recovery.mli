@@ -15,16 +15,30 @@ type report = {
           injected by {!crash_and_recover}; replay it with [?seed] *)
 }
 
-val recover : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
-(** Recovery against the current durable image (call after a crash). *)
+val recover : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> (report, Error.t) result
+(** Recovery against the current durable image (call after a crash).
+    A durable image recovery cannot make sense of -- an unreadable undo
+    log, an unscannable block graph -- comes back as
+    [Error (Corrupt_root { slot = -1; _ })] rather than an exception. *)
 
 val crash_and_recover :
   ?mode:Pmem.Region.crash_mode ->
   ?seed:int ->
   ?stm:Pmstm.Tx.t ->
   Pmalloc.Heap.t ->
-  report
+  (report, Error.t) result
 (** Inject a power failure, then recover.  [seed] pins the [Randomize]
     survival outcomes; the seed actually used is in the report. *)
+
+val recover_exn : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
+(** {!recover}, raising {!Error.Error} on corruption.  The crash-test
+    oracle uses this form: an unrecoverable image must fail loudly. *)
+
+val crash_and_recover_exn :
+  ?mode:Pmem.Region.crash_mode ->
+  ?seed:int ->
+  ?stm:Pmstm.Tx.t ->
+  Pmalloc.Heap.t ->
+  report
 
 val pp_report : Format.formatter -> report -> unit

@@ -106,7 +106,7 @@ let map_workload ~ops =
               | Minsert (k, v) -> Imap.insert h k v
               | Mremove k -> ignore (Imap.remove h k : bool));
           dump = (fun () -> dump_map heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -145,7 +145,7 @@ let map_nofence_workload ~ops =
                   let shadow, removed = Imap.remove_pure heap v k in
                   if removed then broken_commit heap shadow);
           dump = (fun () -> dump_map heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -194,7 +194,7 @@ let set_workload ~ops =
               | Sadd k -> Iset.add h k
               | Sremove k -> ignore (Iset.remove h k : bool));
           dump = (fun () -> dump heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -244,7 +244,7 @@ let stack_workload ~ops =
               | Push v -> Mod_core.Dstack.push h (Pmem.Word.of_int v)
               | Pop -> ignore (Mod_core.Dstack.pop h));
           dump = (fun () -> dump heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -284,7 +284,7 @@ let queue_workload ~ops =
               | Push v -> Mod_core.Dqueue.enqueue h (Pmem.Word.of_int v)
               | Pop -> ignore (Mod_core.Dqueue.dequeue h));
           dump = (fun () -> dump heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -344,7 +344,7 @@ let vec_workload ~ops =
               | Vset (j, v) -> Mod_core.Dvec.set h j (Pmem.Word.of_int v)
               | Vpop -> ignore (Mod_core.Dvec.pop_back h));
           dump = (fun () -> dump heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -377,7 +377,7 @@ let seq_workload ~ops =
                   let size = Mod_core.Dseq.size h in
                   Mod_core.Dseq.restrict h ~pos:0 ~len:(size - 1));
           dump = (fun () -> dump heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -425,7 +425,7 @@ let pqueue_workload ~ops =
               | Pinsert p -> Mod_core.Dpqueue.insert h p
               | Pdelete_min -> ignore (Mod_core.Dpqueue.delete_min h));
           dump = (fun () -> dump heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -482,7 +482,7 @@ let batched_workload ~ops =
                 groups.(i);
               ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point));
           dump = (fun () -> dump_map heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -555,7 +555,7 @@ let siblings_workload ~ops =
                   stage_stack 1 pop);
               ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point));
           dump = (fun () -> dump heap);
-          recover = (fun () -> ignore (Mod_core.Recovery.recover heap));
+          recover = (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
         });
   }
 
@@ -621,7 +621,7 @@ let unrelated_workload ~ops =
               ignore (Mod_core.Batch.commit b : Mod_core.Batch.commit_point));
           dump = (fun () -> dump heap);
           recover =
-            (fun () -> ignore (Mod_core.Recovery.recover ?stm:!tx heap));
+            (fun () -> ignore (Mod_core.Recovery.recover_exn ?stm:!tx heap));
         });
   }
 
@@ -701,7 +701,7 @@ let stm_workload name version ~broken ~ops =
           dump = (fun () -> dump heap);
           recover =
             (fun () ->
-              ignore (Mod_core.Recovery.recover ?stm:!tx heap));
+              ignore (Mod_core.Recovery.recover_exn ?stm:!tx heap));
         });
   }
 

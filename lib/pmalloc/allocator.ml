@@ -36,6 +36,9 @@ type t = {
   mutable high_water_words : int;
   mutable allocations : int;
   mutable frees : int;
+  mutable alloc_words_total : int;
+      (* monotone: words ever handed out; telemetry spans diff it to
+         attribute shadow-allocation volume per operation *)
 }
 
 let create region ~heap_start =
@@ -50,6 +53,7 @@ let create region ~heap_start =
     high_water_words = 0;
     allocations = 0;
     frees = 0;
+    alloc_words_total = 0;
   }
 
 let region t = t.region
@@ -60,11 +64,13 @@ let high_water_words t = t.high_water_words
 let allocations t = t.allocations
 let frees t = t.frees
 let free_words t = Freelist.free_words t.freelist
+let alloc_words_total t = t.alloc_words_total
 
 let account_alloc t capacity =
   t.live_words <- t.live_words + capacity;
   if t.live_words > t.high_water_words then t.high_water_words <- t.live_words;
-  t.allocations <- t.allocations + 1
+  t.allocations <- t.allocations + 1;
+  t.alloc_words_total <- t.alloc_words_total + capacity
 
 (* Write the header of a fresh block.  Plain stores: the block's lines get
    durable when the owning FASE flushes them and fences. *)
@@ -215,6 +221,7 @@ let reset_fresh t =
   t.high_water_words <- 0;
   t.allocations <- 0;
   t.frees <- 0;
+  t.alloc_words_total <- 0;
   t.frontier <- t.heap_start
 
 (* Recovery support: wipe all volatile allocator state and reinstall it

@@ -63,6 +63,10 @@ val allocations : t -> int
 val frees : t -> int
 val free_words : t -> int
 
+val alloc_words_total : t -> int
+(** Monotone count of words ever allocated (never decremented by frees);
+    diffing it across a span measures that span's shadow allocations. *)
+
 val reset_fresh : t -> unit
 (** Return all volatile state (free lists, refcounts, deferral list,
     counters, frontier) to the just-created state.  Pairs with rewinding

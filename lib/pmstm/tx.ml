@@ -185,7 +185,7 @@ let abort t =
   t.pending_drain <- false;
   t.depth <- 0
 
-let run t f =
+let run_now t f =
   begin_ t;
   match f () with
   | result ->
@@ -195,6 +195,15 @@ let run t f =
       (* flattened nesting: any exception aborts the outermost tx *)
       abort t;
       raise e
+
+(* The telemetry depth guard keeps nested [run]s (and [run]s embedded in
+   a structure-level span, e.g. CommitUnrelated inside a batch) from
+   recording twice: only the outermost span owns the stats delta. *)
+let run t f =
+  Telemetry.span
+    (Pmalloc.Heap.stats t.heap)
+    ~structure:"tx" ~op:"run"
+    (fun () -> run_now t f)
 
 (* Group commit, the PM-STM counterpart of [Mod_core.Batch]: one
    transaction covering [n] logical operations amortizes the snapshot

@@ -1,0 +1,115 @@
+(* Power-of-two log-bucketed histogram.  64 buckets cover every float a
+   simulated-nanosecond clock can produce; index computation is a shift
+   loop on the integer part, so [add] costs a handful of instructions. *)
+
+let nbuckets = 64
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable max_v : float;
+  mutable min_v : float; (* meaningful only when count > 0 *)
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; count = 0; sum = 0.0; max_v = 0.0; min_v = 0.0 }
+
+let clear t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.max_v <- 0.0;
+  t.min_v <- 0.0
+
+(* Smallest [i] with [v <= 2^i] (0 for v <= 1). *)
+let bucket_of v =
+  if v <= 1.0 then 0
+  else begin
+    let i = ref 0 and bound = ref 1.0 in
+    while !bound < v && !i < nbuckets - 1 do
+      incr i;
+      bound := !bound *. 2.0
+    done;
+    !i
+  end
+
+let upper_bound i = if i = 0 then 1.0 else ldexp 1.0 i
+let lower_bound i = if i = 0 then 0.0 else ldexp 1.0 (i - 1)
+
+let add t ns =
+  let ns = if ns < 0.0 then 0.0 else ns in
+  let i = bucket_of ns in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sum <- t.sum +. ns;
+  if t.count = 0 then begin
+    t.max_v <- ns;
+    t.min_v <- ns
+  end
+  else begin
+    if ns > t.max_v then t.max_v <- ns;
+    if ns < t.min_v then t.min_v <- ns
+  end;
+  t.count <- t.count + 1
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let max_value t = t.max_v
+let min_value t = t.min_v
+
+let percentile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let target = q *. float_of_int t.count in
+    let target = if target < 1.0 then 1.0 else target in
+    let cum = ref 0 and result = ref t.max_v and found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i < nbuckets do
+      let c = t.counts.(!i) in
+      if c > 0 then begin
+        let prev = float_of_int !cum in
+        cum := !cum + c;
+        if float_of_int !cum >= target then begin
+          (* interpolate within the winning octave *)
+          let lo = lower_bound !i and hi = upper_bound !i in
+          let frac = (target -. prev) /. float_of_int c in
+          result := lo +. (frac *. (hi -. lo));
+          found := true
+        end
+      end;
+      incr i
+    done;
+    let v = !result in
+    let v = if v > t.max_v then t.max_v else v in
+    if v < t.min_v then t.min_v else v
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (upper_bound i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let merge ~into src =
+  if src.count > 0 then begin
+    for i = 0 to nbuckets - 1 do
+      into.counts.(i) <- into.counts.(i) + src.counts.(i)
+    done;
+    if into.count = 0 then begin
+      into.max_v <- src.max_v;
+      into.min_v <- src.min_v
+    end
+    else begin
+      if src.max_v > into.max_v then into.max_v <- src.max_v;
+      if src.min_v < into.min_v then into.min_v <- src.min_v
+    end;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>n=%d p50=%.0f p90=%.0f p99=%.0f max=%.0f@]" t.count
+    (percentile t 0.50) (percentile t 0.90) (percentile t 0.99) t.max_v

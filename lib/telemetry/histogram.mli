@@ -1,0 +1,37 @@
+(** Log-bucketed latency histogram over simulated nanoseconds.
+
+    Buckets are powers of two: bucket [i] covers [(2^(i-1), 2^i]] sim-ns
+    (bucket 0 covers [[0, 1]]).  Recording is O(1), percentiles are read
+    back with linear interpolation inside the winning bucket, so p50/p99
+    are accurate to within one octave -- exactly the resolution needed to
+    tell a 353 ns fence stall from a microsecond-class one. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+(** [add t ns] records one observation of [ns] simulated nanoseconds.
+    Negative values clamp to zero. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+
+(** Largest / smallest exact values recorded; [0.] when empty. *)
+val max_value : t -> float
+
+val min_value : t -> float
+
+(** [percentile t q] for [q] in [0, 1]; interpolated within the bucket,
+    clamped to [[min_value, max_value]].  [0.] when empty. *)
+val percentile : t -> float -> float
+
+(** Non-empty buckets as [(inclusive_upper_bound_ns, count)], ascending. *)
+val buckets : t -> (float * int) list
+
+(** [merge ~into src] adds every observation of [src] into [into]. *)
+val merge : into:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -18,6 +18,9 @@ type result = {
   miss_ratio : float;
   live_words : int;
   high_water_words : int;
+  telemetry : Telemetry.report option;
+      (* per-(structure x op) histograms + fence-stall attribution, when
+         the run was started with ?metrics *)
 }
 
 let names =
@@ -48,10 +51,21 @@ let dispatch ?(batch = 1) name ~scale ctx =
       (Memcached.run ~batch ctx ~ops ~keyspace, ops)
   | other -> invalid_arg (Printf.sprintf "Runner: unknown workload %S" other)
 
-let run_one ?(capacity_words = 1 lsl 21) ?(trace = false) ?(batch = 1) name
-    backend ~scale =
+let run_one ?(capacity_words = 1 lsl 21) ?(trace = false) ?(batch = 1) ?metrics
+    name backend ~scale =
   let ctx = Backend.create ~capacity_words ~trace backend in
-  let (), ops = dispatch ~batch name ~scale ctx in
+  let collector =
+    Option.map
+      (fun sink ->
+        Telemetry.install ~sink ~gauges:(Backend.gauges ctx) (Backend.stats ctx))
+      metrics
+  in
+  let (), ops =
+    Fun.protect
+      ~finally:(fun () -> if collector <> None then Telemetry.uninstall ())
+      (fun () -> dispatch ~batch name ~scale ctx)
+  in
+  let telemetry = Option.map Telemetry.report collector in
   let s = Backend.stats ctx in
   let allocator = Pmalloc.Heap.allocator (Backend.heap ctx) in
   {
@@ -71,6 +85,7 @@ let run_one ?(capacity_words = 1 lsl 21) ?(trace = false) ?(batch = 1) name
     miss_ratio = Pmem.Stats.miss_ratio s;
     live_words = Pmalloc.Allocator.live_words allocator;
     high_water_words = Pmalloc.Allocator.high_water_words allocator;
+    telemetry;
   }
 
 (* Same run, but also return the trace for consistency checking. *)

@@ -302,7 +302,7 @@ let discard_tests =
         Alcotest.(check bool) "intermediate shadows released"
           true
           (live_after - live_before < 10);
-        ignore (Mod_core.Recovery.recover heap);
+        ignore (Mod_core.Recovery.recover_exn heap);
         Pmalloc.Heap.sfence heap;
         Alcotest.(check int) "no unreachable shadow survives" live_after
           (Pmalloc.Allocator.live_words allocator);

@@ -42,7 +42,7 @@ let crash_recover_map_rounds ~seed ~rounds =
       end
     done;
     let mode = List.nth modes (Random.State.int rng 3) in
-    ignore (Mod_core.Recovery.crash_and_recover ~mode heap);
+    ignore (Mod_core.Recovery.crash_and_recover_exn ~mode heap);
     let m' = Imap.open_or_create heap ~slot:0 in
     let actual = dump m' in
     let matches reference = IntMap.equal Int.equal actual reference in
@@ -76,7 +76,7 @@ let map_crash_tests =
               Imap.insert_pure heap (Mod_core.Handle.current m) 999 1
             in
             ignore (shadow : Pmem.Word.t);
-            ignore (Mod_core.Recovery.crash_and_recover ~mode heap);
+            ignore (Mod_core.Recovery.crash_and_recover_exn ~mode heap);
             let m' = Imap.open_or_create heap ~slot:0 in
             Alcotest.(check int) "all 30 keys" 30 (Imap.cardinal m');
             Alcotest.(check (option int)) "no phantom key" None
@@ -91,7 +91,7 @@ let map_crash_tests =
             Imap.insert m (round * 100 + k) k
           done;
           Pmalloc.Heap.sfence heap;
-          ignore (Mod_core.Recovery.crash_and_recover heap)
+          ignore (Mod_core.Recovery.crash_and_recover_exn heap)
         done;
         let m = Imap.open_or_create heap ~slot:0 in
         Alcotest.(check int) "all rounds' keys survive" 100 (Imap.cardinal m));
@@ -114,7 +114,7 @@ let queue_crash_tests =
               ignore (Mod_core.Dqueue.dequeue q)
             done;
             (* state now: 21..50; last FASE (dequeue of 20) may be lost *)
-            ignore (Mod_core.Recovery.crash_and_recover ~mode heap);
+            ignore (Mod_core.Recovery.crash_and_recover_exn ~mode heap);
             let q' = Mod_core.Dqueue.open_or_create heap ~slot:0 in
             let contents = List.map uw (Mod_core.Dqueue.to_list q') in
             let expect_post = List.init 30 (fun i -> i + 21) in
@@ -150,7 +150,7 @@ let composition_crash_tests =
               let v2' = Imap.insert_pure heap v2 k value in
               Mod_core.Commit.unrelated heap tx [ (0, v1'); (1, v2') ]
             done;
-            ignore (Mod_core.Recovery.crash_and_recover ~stm:tx ~mode heap);
+            ignore (Mod_core.Recovery.crash_and_recover_exn ~stm:tx ~mode heap);
             let m1' = Imap.open_or_create heap ~slot:0 in
             let m2' = Imap.open_or_create heap ~slot:1 in
             (* every key must exist in exactly one map *)
@@ -186,7 +186,7 @@ let composition_crash_tests =
               let orders' = Imap.insert_pure heap (field 1) o 1 in
               Mod_core.Commit.siblings heap ~slot:0 [ (0, inv'); (1, orders') ]
             done;
-            ignore (Mod_core.Recovery.crash_and_recover ~mode heap);
+            ignore (Mod_core.Recovery.crash_and_recover_exn ~mode heap);
             (* conservation: remaining stock + orders placed = 10, exactly,
                in every crash mode -- the two map updates of a reservation
                are atomic because they share one parent swap *)
@@ -214,7 +214,7 @@ let boundary_sweep_tests =
             Imap.insert m i (i * 10)
           done;
           ignore
-            (Mod_core.Recovery.crash_and_recover
+            (Mod_core.Recovery.crash_and_recover_exn
                ~mode:Pmem.Region.Drop_inflight heap);
           let m' = Imap.open_or_create heap ~slot:0 in
           let n = Imap.cardinal m' in
@@ -237,7 +237,7 @@ let boundary_sweep_tests =
             Mod_core.Dstack.push s (w i)
           done;
           ignore
-            (Mod_core.Recovery.crash_and_recover
+            (Mod_core.Recovery.crash_and_recover_exn
                ~mode:Pmem.Region.Keep_inflight heap);
           let s' = Mod_core.Dstack.open_or_create heap ~slot:0 in
           (* keep-inflight: the last root write's flush completes *)

@@ -327,14 +327,14 @@ let seed_tests =
       (fun () ->
         let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 16) () in
         let report =
-          Mod_core.Recovery.crash_and_recover ~mode:Pmem.Region.Randomize
+          Mod_core.Recovery.crash_and_recover_exn ~mode:Pmem.Region.Randomize
             ~seed:123 heap
         in
         Alcotest.(check (option int)) "explicit seed surfaces" (Some 123)
           report.Mod_core.Recovery.crash_seed;
         (* unseeded Randomize crashes still report the seed they drew *)
         let report2 =
-          Mod_core.Recovery.crash_and_recover ~mode:Pmem.Region.Randomize heap
+          Mod_core.Recovery.crash_and_recover_exn ~mode:Pmem.Region.Randomize heap
         in
         Alcotest.(check bool) "drawn seed surfaces" true
           (report2.Mod_core.Recovery.crash_seed <> None));

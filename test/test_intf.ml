@@ -1,0 +1,165 @@
+(* Signature-conformance tests for the unified {!Mod_core.Intf.DURABLE}
+   interface: one functor exercised over all seven durable structures,
+   plus the typed open-path errors ({!Mod_core.Error.t}). *)
+
+let mk_heap ?(capacity = 1 lsl 18) () =
+  Pmalloc.Heap.create ~capacity_words:capacity ()
+
+module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int)
+module Iset = Mod_core.Dset.Make (Pfds.Kv.Int)
+
+(* The conformance suite itself: everything here is written against
+   DURABLE alone, so it compiles once and runs for each structure. *)
+module Conf (D : Mod_core.Intf.DURABLE) (E : sig
+  val mk : int -> D.elt
+end) =
+struct
+  let run () =
+    let heap = mk_heap () in
+    let t =
+      match D.open_result heap ~slot:0 with
+      | Ok t -> t
+      | Error e ->
+          Alcotest.failf "%s: open_result on fresh slot: %s" D.structure
+            (Mod_core.Error.to_string e)
+    in
+    Alcotest.(check bool) "fresh is_empty" true (D.is_empty t);
+    Alcotest.(check int) "fresh size" 0 (D.size t);
+    D.add t (E.mk 1);
+    D.add_many t (List.map E.mk [ 2; 3; 4 ]);
+    Alcotest.(check int) "size after add + add_many" 4 (D.size t);
+    Alcotest.(check bool) "non-empty" false (D.is_empty t);
+    let seen = ref 0 in
+    D.iter_elts t (fun _ -> incr seen);
+    Alcotest.(check int) "iter_elts visits size elements" 4 !seen;
+    (* a populated root must re-validate *)
+    (match D.open_result heap ~slot:0 with
+    | Ok t2 -> Alcotest.(check int) "reopen size" 4 (D.size t2)
+    | Error e ->
+        Alcotest.failf "%s: reopen: %s" D.structure
+          (Mod_core.Error.to_string e));
+    (* Composition interface: pure insertion into a fresh empty version *)
+    let v = D.add_pure heap (D.empty_version heap) (E.mk 42) in
+    Alcotest.(check int) "size_in of pure singleton" 1 (D.size_in heap v);
+    (* handle projection exists and is bound to the slot *)
+    Alcotest.(check bool)
+      "handle is non-null after inserts" false
+      (Pmem.Word.is_null (Mod_core.Handle.current (D.handle t)));
+    (* out-of-range slot is a typed error, not an exception *)
+    match D.open_result heap ~slot:Pmalloc.Heap.root_slots with
+    | Error (Mod_core.Error.Slot_out_of_range _) -> ()
+    | Ok _ -> Alcotest.failf "%s: out-of-range slot opened" D.structure
+    | Error e ->
+        Alcotest.failf "%s: out-of-range slot: wrong error %s" D.structure
+          (Mod_core.Error.to_string e)
+end
+
+module Conf_map =
+  Conf
+    (Imap)
+    (struct
+      let mk i = (i, i * 10)
+    end)
+
+module Conf_set =
+  Conf
+    (Iset)
+    (struct
+      let mk i = i
+    end)
+
+module Word_elt = struct
+  let mk i = Pmem.Word.of_int i
+end
+
+module Conf_vec = Conf (Mod_core.Dvec) (Word_elt)
+module Conf_stack = Conf (Mod_core.Dstack) (Word_elt)
+module Conf_queue = Conf (Mod_core.Dqueue) (Word_elt)
+module Conf_seq = Conf (Mod_core.Dseq) (Word_elt)
+
+module Conf_pqueue =
+  Conf
+    (Mod_core.Dpqueue)
+    (struct
+      let mk i = i
+    end)
+
+(* ------------------------------------------------------------------ *)
+(* Typed open-path errors                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_scalar_root () =
+  let heap = mk_heap () in
+  Pmalloc.Heap.root_set heap 3 (Pmem.Word.of_int 17);
+  match Mod_core.Dvec.open_result heap ~slot:3 with
+  | Error (Mod_core.Error.Corrupt_root { slot; _ }) ->
+      Alcotest.(check int) "error names the slot" 3 slot
+  | Ok _ -> Alcotest.fail "scalar root accepted as a vector"
+  | Error e ->
+      Alcotest.failf "wrong error: %s" (Mod_core.Error.to_string e)
+
+let test_codec_mismatch () =
+  let heap = mk_heap () in
+  (* a vector descriptor is 4 scanned words; the RRB and stack layouts
+     differ, so opening the same slot as those structures must fail *)
+  let v = Mod_core.Dvec.open_or_create heap ~slot:0 in
+  Mod_core.Dvec.push_back v (Pmem.Word.of_int 1);
+  (match Mod_core.Dseq.open_result heap ~slot:0 with
+  | Error (Mod_core.Error.Codec_mismatch { slot; expected; found }) ->
+      Alcotest.(check int) "slot" 0 slot;
+      Alcotest.(check bool) "expected is non-empty" true (expected <> "");
+      Alcotest.(check bool) "found is non-empty" true (found <> "")
+  | Ok _ -> Alcotest.fail "vector root accepted as an RRB sequence"
+  | Error e ->
+      Alcotest.failf "wrong error: %s" (Mod_core.Error.to_string e));
+  match Mod_core.Dstack.open_result heap ~slot:0 with
+  | Error (Mod_core.Error.Codec_mismatch _) -> ()
+  | Ok _ -> Alcotest.fail "vector root accepted as a stack"
+  | Error e ->
+      Alcotest.failf "wrong error: %s" (Mod_core.Error.to_string e)
+
+let test_error_strings () =
+  let open Mod_core.Error in
+  Alcotest.(check bool)
+    "Slot_out_of_range mentions the limit" true
+    (let s = to_string (Slot_out_of_range { slot = 99; limit = 16 }) in
+     String.length s > 0);
+  Alcotest.(check bool)
+    "get_ok returns the payload" true
+    (get_ok (Ok true));
+  match get_ok (Error (Corrupt_root { slot = 1; detail = "boom" })) with
+  | exception Error _ -> ()
+  | _ -> Alcotest.fail "get_ok on Error did not raise"
+
+let test_recover_result () =
+  let heap = mk_heap () in
+  let m = Imap.open_or_create heap ~slot:0 in
+  Imap.insert m 1 2;
+  match Mod_core.Recovery.recover heap with
+  | Ok _report -> ()
+  | Error e ->
+      Alcotest.failf "recover on a consistent heap: %s"
+        (Mod_core.Error.to_string e)
+
+let () =
+  Alcotest.run "intf"
+    [
+      ( "durable-conformance",
+        [
+          Alcotest.test_case "dmap" `Quick Conf_map.run;
+          Alcotest.test_case "dset" `Quick Conf_set.run;
+          Alcotest.test_case "dvec" `Quick Conf_vec.run;
+          Alcotest.test_case "dstack" `Quick Conf_stack.run;
+          Alcotest.test_case "dqueue" `Quick Conf_queue.run;
+          Alcotest.test_case "dseq" `Quick Conf_seq.run;
+          Alcotest.test_case "dpqueue" `Quick Conf_pqueue.run;
+        ] );
+      ( "typed-errors",
+        [
+          Alcotest.test_case "scalar root" `Quick test_scalar_root;
+          Alcotest.test_case "codec mismatch" `Quick test_codec_mismatch;
+          Alcotest.test_case "error strings" `Quick test_error_strings;
+          Alcotest.test_case "recover returns result" `Quick
+            test_recover_result;
+        ] );
+    ]

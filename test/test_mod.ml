@@ -345,7 +345,7 @@ let recovery_tests =
         (* close the last epoch: the final root write's flush is ordered by
            the next fence (Section 5.1) *)
         Pmalloc.Heap.sfence heap;
-        let report = Mod_core.Recovery.crash_and_recover heap in
+        let report = Mod_core.Recovery.crash_and_recover_exn heap in
         Alcotest.(check bool)
           "live blocks found" true
           (report.Mod_core.Recovery.gc.Pmalloc.Recovery_gc.live_blocks > 0);
@@ -369,7 +369,7 @@ let recovery_tests =
         in
         ignore (shadow : Pmem.Word.t);
         let report =
-          Mod_core.Recovery.crash_and_recover
+          Mod_core.Recovery.crash_and_recover_exn
             ~mode:Pmem.Region.Keep_inflight heap
         in
         Alcotest.(check bool)
@@ -504,7 +504,7 @@ let dpqueue_tests =
           Mod_core.Dpqueue.insert pq (i * 3 mod 17)
         done;
         Pmalloc.Heap.sfence heap;
-        ignore (Mod_core.Recovery.crash_and_recover heap);
+        ignore (Mod_core.Recovery.crash_and_recover_exn heap);
         let pq = Mod_core.Dpqueue.open_or_create heap ~slot:0 in
         Alcotest.(check int) "all 50 survive" 50 (Mod_core.Dpqueue.cardinal pq);
         Alcotest.(check (option int)) "min correct" (Some 0)
@@ -566,7 +566,7 @@ let dseq_tests =
         done;
         Mod_core.Dseq.append a b;
         Pmalloc.Heap.sfence heap;
-        ignore (Mod_core.Recovery.crash_and_recover heap);
+        ignore (Mod_core.Recovery.crash_and_recover_exn heap);
         let a = Mod_core.Dseq.open_or_create heap ~slot:0 in
         Alcotest.(check int) "size preserved" 128 (Mod_core.Dseq.size a);
         Alcotest.(check int) "content" 100 (uw (Mod_core.Dseq.get a 64));

@@ -1,0 +1,359 @@
+(* Tests for the telemetry layer: histogram bucketing and percentiles,
+   span attribution (sums to the global fence-stall counter, nested-span
+   suppression, null sink, foreign heaps, stats-reset rebase), and the
+   JSON / Prometheus exporters. *)
+
+module H = Telemetry.Histogram
+
+let mk_heap ?(capacity = 1 lsl 18) () =
+  Pmalloc.Heap.create ~capacity_words:capacity ()
+
+module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int)
+
+let gauges_of heap =
+  let a = Pmalloc.Heap.allocator heap in
+  fun () ->
+    {
+      Telemetry.g_live_words = Pmalloc.Allocator.live_words a;
+      g_free_words = Pmalloc.Allocator.free_words a;
+      g_deferred_words = Pmalloc.Allocator.deferred_words a;
+      g_high_water_words = Pmalloc.Allocator.high_water_words a;
+      g_alloc_words_total = Pmalloc.Allocator.alloc_words_total a;
+    }
+
+(* Always leave the process-wide collector clean, even on failure. *)
+let with_collector ?(sink = Telemetry.Sink.Memory) heap f =
+  let c =
+    Telemetry.install ~sink ~gauges:(gauges_of heap)
+      (Pmalloc.Heap.stats heap)
+  in
+  Fun.protect ~finally:Telemetry.uninstall (fun () -> f c)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_bucketing () =
+  let h = H.create () in
+  List.iter (fun v -> H.add h v) [ 1.0; 2.0; 3.0; 1000.0 ];
+  Alcotest.(check int) "count" 4 (H.count h);
+  Alcotest.(check (float 1e-9)) "sum" 1006.0 (H.sum h);
+  Alcotest.(check (float 1e-9)) "max" 1000.0 (H.max_value h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (H.min_value h);
+  let buckets = H.buckets h in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  Alcotest.(check int) "bucket counts sum to count" 4 total;
+  (* upper bounds are powers of two, ascending *)
+  let rec ascending = function
+    | (u1, _) :: ((u2, _) :: _ as rest) ->
+        Alcotest.(check bool) "ascending bounds" true (u1 < u2);
+        ascending rest
+    | _ -> ()
+  in
+  ascending buckets;
+  List.iter
+    (fun (u, _) ->
+      Alcotest.(check (float 1e-9)) "power-of-two bound" u
+        (Float.round (Float.log2 u) |> Float.to_int |> ldexp 1.0))
+    buckets
+
+let test_hist_percentiles () =
+  let h = H.create () in
+  for i = 1 to 1000 do
+    H.add h (float_of_int i)
+  done;
+  let p50 = H.percentile h 0.50 and p99 = H.percentile h 0.99 in
+  (* log-bucketed: percentiles land inside the right power-of-two bucket *)
+  Alcotest.(check bool) "p50 within (256, 1000]" true (p50 > 256.0 && p50 <= 1000.0);
+  Alcotest.(check bool) "p99 within (512, 1000]" true (p99 > 512.0 && p99 <= 1000.0);
+  Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
+  Alcotest.(check (float 1e-9)) "p100 clamps to max" 1000.0 (H.percentile h 1.0);
+  let single = H.create () in
+  H.add single 42.0;
+  Alcotest.(check (float 1e-9)) "single-sample p50 = the sample" 42.0
+    (H.percentile single 0.5);
+  Alcotest.(check (float 1e-9)) "empty percentile is 0" 0.0
+    (H.percentile (H.create ()) 0.5);
+  H.add single (-5.0);
+  Alcotest.(check (float 1e-9)) "negatives clamp to 0 bucket" 0.0
+    (H.min_value single)
+
+let test_hist_merge () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.add a) [ 1.0; 10.0 ];
+  List.iter (H.add b) [ 100.0; 1000.0 ];
+  H.merge ~into:a b;
+  Alcotest.(check int) "merged count" 4 (H.count a);
+  Alcotest.(check (float 1e-9)) "merged max" 1000.0 (H.max_value a);
+  Alcotest.(check (float 1e-9)) "merged min" 1.0 (H.min_value a)
+
+(* ------------------------------------------------------------------ *)
+(* Span attribution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_map_ops heap n =
+  let m = Imap.open_or_create heap ~slot:0 in
+  for i = 1 to n do
+    Imap.insert m i (i * 2)
+  done;
+  Imap.insert_many m (List.init n (fun i -> (n + i, i)));
+  for i = 1 to n do
+    ignore (Imap.find m i)
+  done
+
+let test_attribution_sums () =
+  let heap = mk_heap () in
+  with_collector heap (fun c ->
+      run_map_ops heap 64;
+      let r = Telemetry.report c in
+      Alcotest.(check bool) "has rows" true (r.Telemetry.rows <> []);
+      let gap =
+        Float.abs
+          (r.Telemetry.attributed_fence_stall_ns
+          +. r.Telemetry.unattributed_fence_stall_ns
+          -. r.Telemetry.total_fence_stall_ns)
+      in
+      Alcotest.(check bool) "attributed + unattributed = total" true
+        (gap <= 1e-6);
+      (* every insert goes through a span, so with all work spanned the
+         unattributed remainder is exactly zero *)
+      Alcotest.(check (float 1e-6)) "all stalls attributed" 0.0
+        r.Telemetry.unattributed_fence_stall_ns;
+      Alcotest.(check bool) "some stall was recorded" true
+        (r.Telemetry.total_fence_stall_ns > 0.0);
+      (* the row sum also matches the raw stats counter *)
+      let stats = Pmalloc.Heap.stats heap in
+      Alcotest.(check (float 1e-6)) "total matches Pmem.Stats.ns_flush"
+        stats.Pmem.Stats.ns_flush r.Telemetry.total_fence_stall_ns)
+
+let test_unattributed_remainder () =
+  let heap = mk_heap () in
+  with_collector heap (fun c ->
+      (* stall outside any span: flush a line by hand *)
+      let region = Pmalloc.Heap.region heap in
+      Pmem.Region.store region 512 (Pmem.Word.of_int 1);
+      Pmem.Region.clwb region 512;
+      Pmem.Region.sfence region;
+      run_map_ops heap 16;
+      let r = Telemetry.report c in
+      Alcotest.(check bool) "unattributed > 0" true
+        (r.Telemetry.unattributed_fence_stall_ns > 0.0);
+      let gap =
+        Float.abs
+          (r.Telemetry.attributed_fence_stall_ns
+          +. r.Telemetry.unattributed_fence_stall_ns
+          -. r.Telemetry.total_fence_stall_ns)
+      in
+      Alcotest.(check bool) "identity still holds" true (gap <= 1e-6))
+
+let test_nested_spans () =
+  let heap = mk_heap () in
+  with_collector heap (fun c ->
+      let stats = Pmalloc.Heap.stats heap in
+      Telemetry.span stats ~structure:"outer" ~op:"op" (fun () ->
+          Telemetry.span stats ~structure:"inner" ~op:"op" (fun () ->
+              run_map_ops heap 4));
+      let r = Telemetry.report c in
+      let names =
+        List.map (fun row -> row.Telemetry.r_structure) r.Telemetry.rows
+      in
+      Alcotest.(check (list string)) "only the outermost span records"
+        [ "outer" ] names)
+
+let test_batched_ops_count () =
+  let heap = mk_heap () in
+  with_collector heap (fun c ->
+      let m = Imap.open_or_create heap ~slot:0 in
+      Imap.insert_many m (List.init 32 (fun i -> (i, i)));
+      let r = Telemetry.report c in
+      let row =
+        List.find
+          (fun row -> row.Telemetry.r_op = "insert_many")
+          r.Telemetry.rows
+      in
+      Alcotest.(check int) "one span" 1 row.Telemetry.r_spans;
+      Alcotest.(check int) "32 logical ops" 32 row.Telemetry.r_ops;
+      Alcotest.(check bool) "shadow allocations recorded" true
+        (row.Telemetry.r_shadow_alloc_words > 0))
+
+let test_null_sink () =
+  let heap = mk_heap () in
+  with_collector ~sink:Telemetry.Sink.Null heap (fun c ->
+      run_map_ops heap 16;
+      let r = Telemetry.report c in
+      Alcotest.(check bool) "null sink aggregates nothing" true
+        (r.Telemetry.rows = []))
+
+let test_foreign_heap () =
+  let watched = mk_heap () and foreign = mk_heap () in
+  with_collector watched (fun c ->
+      (* all work happens on a heap the collector does not watch *)
+      run_map_ops foreign 16;
+      let r = Telemetry.report c in
+      Alcotest.(check bool) "foreign spans ignored" true
+        (r.Telemetry.rows = []);
+      Alcotest.(check (float 1e-9)) "no stall charged" 0.0
+        r.Telemetry.total_fence_stall_ns)
+
+let test_stats_reset_rebase () =
+  let heap = mk_heap () in
+  with_collector heap (fun c ->
+      run_map_ops heap 32;
+      (* measurement restart under the collector, Backend-style *)
+      Pmem.Stats.reset (Pmalloc.Heap.stats heap);
+      Telemetry.on_stats_reset (Pmalloc.Heap.stats heap);
+      let m = Imap.open_or_create heap ~slot:0 in
+      Imap.insert m 999 1;
+      let r = Telemetry.report c in
+      Alcotest.(check bool) "totals rebased (no negative stall)" true
+        (r.Telemetry.total_fence_stall_ns >= 0.0);
+      let gap =
+        Float.abs
+          (r.Telemetry.attributed_fence_stall_ns
+          +. r.Telemetry.unattributed_fence_stall_ns
+          -. r.Telemetry.total_fence_stall_ns)
+      in
+      Alcotest.(check bool) "identity holds after reset" true (gap <= 1e-6))
+
+let test_gauges_sampled () =
+  let heap = mk_heap () in
+  with_collector heap (fun c ->
+      run_map_ops heap 16;
+      let r = Telemetry.report c in
+      match r.Telemetry.last_gauges with
+      | None -> Alcotest.fail "no gauges sampled"
+      | Some g ->
+          Alcotest.(check bool) "live words > 0" true
+            (g.Telemetry.g_live_words > 0);
+          Alcotest.(check bool) "alloc total >= live" true
+            (g.Telemetry.g_alloc_words_total >= g.Telemetry.g_live_words))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let report_of_run () =
+  let heap = mk_heap () in
+  with_collector heap (fun c ->
+      run_map_ops heap 64;
+      Telemetry.report c)
+
+let test_json_roundtrip () =
+  let r = report_of_run () in
+  let open Workloads.Report.Json in
+  let doc = of_string (Telemetry.Export.to_json r) in
+  Alcotest.(check (option string))
+    "schema tag" (Some "modpm-telemetry-v1")
+    (Option.bind (member "schema" doc) to_string_opt);
+  let num path v =
+    match Option.bind (member path doc) (member v) with
+    | Some j -> Option.get (to_number_opt j)
+    | None -> Alcotest.failf "missing %s.%s" path v
+  in
+  let total = num "totals" "fence_stall_ns"
+  and attributed = num "totals" "attributed_fence_stall_ns"
+  and unattributed = num "totals" "unattributed_fence_stall_ns" in
+  Alcotest.(check bool) "attribution identity in JSON" true
+    (Float.abs (attributed +. unattributed -. total) <= 1e-6);
+  let rows =
+    match Option.bind (member "rows" doc) to_list_opt with
+    | Some rows -> rows
+    | None -> Alcotest.fail "no rows array"
+  in
+  Alcotest.(check int) "row count matches report" (List.length r.Telemetry.rows)
+    (List.length rows);
+  List.iter
+    (fun row ->
+      let lat =
+        match member "latency" row with
+        | Some l -> l
+        | None -> Alcotest.fail "row without latency"
+      in
+      let get k =
+        match Option.bind (member k lat) to_number_opt with
+        | Some v -> v
+        | None -> Alcotest.failf "latency without %s" k
+      in
+      let count = get "count" in
+      Alcotest.(check bool) "p50 <= p99 <= max" true
+        (get "p50_ns" <= get "p99_ns" && get "p99_ns" <= get "max_ns");
+      let bucket_total =
+        match Option.bind (member "buckets" lat) to_list_opt with
+        | None -> Alcotest.fail "latency without buckets"
+        | Some bs ->
+            List.fold_left
+              (fun acc b ->
+                acc
+                +.
+                match Option.bind (member "count" b) to_number_opt with
+                | Some v -> v
+                | None -> Alcotest.fail "bucket without count")
+              0.0 bs
+      in
+      Alcotest.(check (float 1e-9)) "buckets sum to count" count bucket_total)
+    rows
+
+let test_prometheus_export () =
+  let r = report_of_run () in
+  let text = Telemetry.Export.to_prometheus r in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec scan i =
+      i + nl <= tl && (String.sub text i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (has needle))
+    [
+      "# TYPE modpm_op_latency_ns histogram";
+      "le=\"+Inf\"";
+      "modpm_fence_stall_ns{structure=\"_unattributed\"";
+      "modpm_fence_stall_total_ns";
+      "modpm_ops_total";
+      "modpm_cache_hit_rate";
+      "modpm_allocator_words";
+      "structure=\"dmap\"";
+    ];
+  (* every line is either a comment or "name{labels} value" / "name value" *)
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           Alcotest.(check bool)
+             (Printf.sprintf "line has a value: %S" line)
+             true
+             (String.contains line ' '))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucketing" `Quick test_hist_bucketing;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "sums to global counter" `Quick
+            test_attribution_sums;
+          Alcotest.test_case "unattributed remainder" `Quick
+            test_unattributed_remainder;
+          Alcotest.test_case "nested spans suppressed" `Quick
+            test_nested_spans;
+          Alcotest.test_case "batched ops counted" `Quick
+            test_batched_ops_count;
+          Alcotest.test_case "null sink" `Quick test_null_sink;
+          Alcotest.test_case "foreign heap ignored" `Quick test_foreign_heap;
+          Alcotest.test_case "stats reset rebases" `Quick
+            test_stats_reset_rebase;
+          Alcotest.test_case "gauges sampled" `Quick test_gauges_sampled;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_export;
+        ] );
+    ]

@@ -18,7 +18,7 @@ let default_scale = 10_000
 let usage () =
   print_endline
     "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations batch \
-     telemetry bechamel all";
+     telemetry faults bechamel all";
   print_endline "options: --scale N | --full | --json FILE | --baseline FILE";
   exit 1
 
@@ -665,6 +665,93 @@ let telemetry_section ~scale ~baseline () =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Faults: torn-crash + media-fault sweep throughput and detection     *)
+(* ------------------------------------------------------------------ *)
+
+let faults_section () =
+  Report.section
+    "Faults: torn-crash and media-fault sweep (detection-or-recovery gate)";
+  Printf.printf
+    "A bounded fault-schedule sweep over the seven basic structures: at\n\
+     each sampled crash point the dirty lines are torn per-word and root /\n\
+     heap cachelines are armed as media-bad.  The oracle requires recovery\n\
+     to reconstruct a durably-linearizable state or fail with a typed\n\
+     error -- a silent-corruption verdict fails the bench.\n\n";
+  let cfg =
+    {
+      Crashtest.Explorer.default with
+      stride = 2;
+      randomize_samples = 2;
+      faults = true;
+    }
+  in
+  let violations = ref 0 in
+  let results =
+    List.map
+      (fun name ->
+        let w = Crashtest.Workload.build name ~ops:16 in
+        let r = Crashtest.Explorer.explore ~cfg w in
+        Format.printf "%a@." Crashtest.Explorer.pp_result r;
+        if not (Crashtest.Explorer.ok r) then
+          violations := !violations + List.length r.Crashtest.Explorer.failures;
+        (name, r))
+      Crashtest.Workload.basic_names
+  in
+  let sum f =
+    List.fold_left (fun a (_, r) -> a + f r) 0 results
+  in
+  let samples = sum (fun r -> r.Crashtest.Explorer.fault_samples) in
+  let recovered = sum (fun r -> r.Crashtest.Explorer.fault_recovered) in
+  let degraded = sum (fun r -> r.Crashtest.Explorer.fault_degraded) in
+  let fallbacks = sum (fun r -> r.Crashtest.Explorer.fault_fallbacks) in
+  let points = sum (fun r -> r.Crashtest.Explorer.points_tested) in
+  let wall =
+    List.fold_left
+      (fun a (_, r) -> a +. r.Crashtest.Explorer.wall_seconds)
+      0.0 results
+  in
+  let points_per_sec =
+    if wall <= 0.0 then 0.0 else float_of_int points /. wall
+  in
+  Printf.printf
+    "\nfault sweep: %d samples (%d recovered, %d degraded, %d root \
+     fallbacks), %.0f points/s\n"
+    samples recovered degraded fallbacks points_per_sec;
+  if !violations > 0 then begin
+    Printf.eprintf "FAULT SWEEP: %d oracle violation(s)\n" !violations;
+    exit 1
+  end;
+  print_endline "fault detection gate: ok";
+  Report.Json.(
+    Obj
+      [
+        ("fault_samples", Int samples);
+        ("fault_recovered", Int recovered);
+        ("fault_degraded", Int degraded);
+        ("fault_fallbacks", Int fallbacks);
+        ("points_tested", Int points);
+        ("wall_seconds", Float wall);
+        ("points_per_sec", Float points_per_sec);
+        ("violations", Int !violations);
+        ( "workloads",
+          List
+            (List.map
+               (fun (name, r) ->
+                 Obj
+                   [
+                     ("workload", String name);
+                     ("fault_samples", Int r.Crashtest.Explorer.fault_samples);
+                     ( "fault_recovered",
+                       Int r.Crashtest.Explorer.fault_recovered );
+                     ("fault_degraded", Int r.Crashtest.Explorer.fault_degraded);
+                     ( "fault_fallbacks",
+                       Int r.Crashtest.Explorer.fault_fallbacks );
+                     ("ok", Bool (Crashtest.Explorer.ok r));
+                   ])
+               results) );
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Section 6.1 baseline choice: WHISPER hashmap vs ctree on PMDK       *)
 (* ------------------------------------------------------------------ *)
 
@@ -851,6 +938,7 @@ let () =
     (batch_section ~scale:(min scale 20_000) ~baseline:!baseline);
   run "telemetry" (wants "telemetry")
     (telemetry_section ~scale:(min scale 10_000) ~baseline:!baseline);
+  run "faults" (wants "faults") (fun () -> faults_section ());
   run "ctree" (wants "ctree") (fun () -> ctree ~scale);
   run "ablations" (wants "ablations") (fun () -> ablations ~scale);
   run "bechamel" (wants "bechamel") (fun () -> bechamel ());

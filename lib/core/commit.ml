@@ -100,7 +100,13 @@ let unrelated heap tx updates =
       Pmstm.Tx.run tx (fun () ->
           List.iter
             (fun (slot, shadow) ->
-              Pmstm.Tx.add tx ~off:slot ~words:1;
-              Pmstm.Tx.store tx slot shadow)
+              (* undo-log both copies of the ping-pong root record, then
+                 write the stale copy through the transaction *)
+              List.iter
+                (fun (off, words) -> Pmstm.Tx.add tx ~off ~words)
+                (Pmalloc.Heap.root_record_ranges slot);
+              List.iter
+                (fun (off, w) -> Pmstm.Tx.store tx off w)
+                (Pmalloc.Heap.root_record_stores heap slot shadow))
             updates));
   List.iter (release_version heap) olds

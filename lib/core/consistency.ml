@@ -54,7 +54,9 @@ let pp_report ppf r =
     List.iter (fun v -> Format.fprintf ppf "  %a@," pp_violation v) r.violations
   end
 
-let check ?(root_slots = Pmalloc.Heap.root_slots) trace =
+(* The out-of-place check exempts the root directory; its size is the
+   full dual-copy record area, not the slot count. *)
+let check ?(root_slots = Pmalloc.Heap.root_directory_words) trace =
   let fresh : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
   let freed : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
   (* line -> false when written but not yet flushed *)

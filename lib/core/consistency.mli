@@ -25,6 +25,11 @@ type report = {
 }
 
 val ok : report -> bool
+
+(** [root_slots] is the first heap word -- everything below it is
+    root-directory space, exempt from the out-of-place rule (defaults to
+    {!Pmalloc.Heap.root_directory_words}, the size of the dual-copy
+    record area). *)
 val check : ?root_slots:int -> Pmem.Trace.t -> report
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit

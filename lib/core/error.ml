@@ -16,6 +16,13 @@ type t =
   | Codec_mismatch of { slot : int; expected : string; found : string }
       (** The root block's shape disagrees with the structure's
           descriptor layout. *)
+  | Torn_root of { slot : int; detail : string }
+      (** Both copies of the slot's dual-copy root record failed
+          checksum validation: torn persistence or in-place corruption,
+          detected rather than trusted. *)
+  | Media_error of { off : int; detail : string }
+      (** A load faulted on a media-bad line and no redundant copy could
+          rescue it. *)
 
 exception Error of t
 
@@ -29,6 +36,10 @@ let to_string = function
   | Codec_mismatch { slot; expected; found } ->
       Printf.sprintf "slot %d codec mismatch: expected %s, found %s" slot
         expected found
+  | Torn_root { slot; detail } ->
+      Printf.sprintf "torn root record in slot %d: %s" slot detail
+  | Media_error { off; detail } ->
+      Printf.sprintf "media read fault at offset %d: %s" off detail
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -9,6 +9,14 @@ type t =
   | Codec_mismatch of { slot : int; expected : string; found : string }
       (** The root block's shape disagrees with the structure's
           descriptor layout. *)
+  | Torn_root of { slot : int; detail : string }
+      (** Both copies of the slot's dual-copy root record failed
+          checksum validation (see {!Pmalloc.Heap.root_get}): the root
+          is detectably corrupt with no survivor to fall back to. *)
+  | Media_error of { off : int; detail : string }
+      (** A load faulted on a media-bad line
+          ({!Pmem.Region.Media_fault}) and no redundant copy could
+          rescue it. *)
 
 exception Error of t
 (** Raised by the [_exn] wrappers; carries the same typed error. *)

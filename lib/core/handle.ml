@@ -57,7 +57,14 @@ let open_slot ?validate heap ~slot =
     Error (Error.Slot_out_of_range { slot; limit })
   else
     let t = { heap; slot } in
-    let w = current t in
+    match current t with
+    | exception Pmalloc.Heap.Torn_root { slot } ->
+        Error
+          (Error.Torn_root
+             { slot; detail = "both root-record copies failed validation" })
+    | exception Pmem.Region.Media_fault { off } ->
+        Error (Error.Media_error { off; detail = "unrecoverable read fault" })
+    | w ->
     if Pmem.Word.is_null w then Ok t
     else if not (Pmem.Word.is_ptr w) then
       Error

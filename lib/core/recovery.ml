@@ -19,32 +19,53 @@ type report = {
   crash_seed : int option;
 }
 
+(* Map the raw fault exceptions of the lower layers to their typed
+   forms, so callers of the typed paths see [Error.t] and nothing else. *)
+let typed_of_exn = function
+  | Pmalloc.Heap.Torn_root { slot } ->
+      Some
+        (Error.Torn_root
+           { slot; detail = "both root-record copies failed validation" })
+  | Pmem.Region.Media_fault { off } ->
+      Some (Error.Media_error { off; detail = "unrecoverable read fault" })
+  | _ -> None
+
 let recover_exn ?stm heap =
-  let stm_rolled_back =
-    match stm with Some tx -> Pmstm.Tx.recover tx | None -> false
-  in
-  let gc = Pmalloc.Recovery_gc.recover heap in
-  { stm_rolled_back; gc; crash_seed = None }
+  match
+    let stm_rolled_back =
+      match stm with Some tx -> Pmstm.Tx.recover tx | None -> false
+    in
+    let gc = Pmalloc.Recovery_gc.recover heap in
+    { stm_rolled_back; gc; crash_seed = None }
+  with
+  | report -> report
+  | exception e -> (
+      match typed_of_exn e with
+      | Some te -> raise (Error.Error te)
+      | None -> raise e)
 
 (* Recovery failures are heap-wide, not slot-scoped: surface whatever the
    reachability analysis or the undo-log rollback tripped over as a
-   [Corrupt_root] with [slot = -1]. *)
+   [Corrupt_root] with [slot = -1]; torn roots and media faults keep
+   their own constructors. *)
 let wrap_corruption f =
   match f () with
   | r -> Ok r
   | exception Error.Error e -> Error e
   | exception (Invalid_argument detail | Failure detail) ->
       Error (Error.Corrupt_root { slot = -1; detail })
+  | exception e when typed_of_exn e <> None ->
+      Error (Option.get (typed_of_exn e))
 
 let recover ?stm heap = wrap_corruption (fun () -> recover_exn ?stm heap)
 
-let crash_and_recover_exn ?mode ?seed ?stm heap =
-  Pmalloc.Heap.crash ?mode ?seed heap;
+let crash_and_recover_exn ?mode ?seed ?torn ?stm heap =
+  Pmalloc.Heap.crash ?mode ?seed ?torn heap;
   let crash_seed = Pmem.Region.last_crash_seed (Pmalloc.Heap.region heap) in
   { (recover_exn ?stm heap) with crash_seed }
 
-let crash_and_recover ?mode ?seed ?stm heap =
-  wrap_corruption (fun () -> crash_and_recover_exn ?mode ?seed ?stm heap)
+let crash_and_recover ?mode ?seed ?torn ?stm heap =
+  wrap_corruption (fun () -> crash_and_recover_exn ?mode ?seed ?torn ?stm heap)
 
 let pp_report ppf r =
   Format.fprintf ppf "%a%s%s" Pmalloc.Recovery_gc.pp_report r.gc

@@ -19,16 +19,27 @@ val recover : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> (report, Error.t) result
 (** Recovery against the current durable image (call after a crash).
     A durable image recovery cannot make sense of -- an unreadable undo
     log, an unscannable block graph -- comes back as
-    [Error (Corrupt_root { slot = -1; _ })] rather than an exception. *)
+    [Error (Corrupt_root { slot = -1; _ })] rather than an exception;
+    a root record torn beyond its redundancy comes back as [Torn_root],
+    and an unreadable (media-bad) line as [Media_error].  No exception
+    escapes this function for any durable image: recovery either
+    succeeds or degrades to a typed error. *)
+
+val typed_of_exn : exn -> Error.t option
+(** Typed form of the lower layers' raw fault exceptions
+    ({!Pmalloc.Heap.Torn_root}, {!Pmem.Region.Media_fault}); [None] for
+    anything else. *)
 
 val crash_and_recover :
   ?mode:Pmem.Region.crash_mode ->
   ?seed:int ->
+  ?torn:bool ->
   ?stm:Pmstm.Tx.t ->
   Pmalloc.Heap.t ->
   (report, Error.t) result
 (** Inject a power failure, then recover.  [seed] pins the [Randomize]
-    survival outcomes; the seed actually used is in the report. *)
+    survival outcomes; the seed actually used is in the report; [torn]
+    enables per-word torn-line persistence. *)
 
 val recover_exn : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
 (** {!recover}, raising {!Error.Error} on corruption.  The crash-test
@@ -37,6 +48,7 @@ val recover_exn : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
 val crash_and_recover_exn :
   ?mode:Pmem.Region.crash_mode ->
   ?seed:int ->
+  ?torn:bool ->
   ?stm:Pmstm.Tx.t ->
   Pmalloc.Heap.t ->
   report

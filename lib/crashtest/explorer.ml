@@ -38,6 +38,14 @@ type config = {
       (** [Journal] = O(touched) copy-on-write sweeps (default);
           [Full_copy] = the original O(capacity) reference path *)
   jobs : int;  (** worker processes; 1 = sequential, 0 = one per core *)
+  faults : bool;
+      (** also sample each crash point under the fault schedule: torn
+          (per-word) line persistence plus armed media faults, asserting
+          the degradation contract -- recovery succeeds or fails with a
+          typed error, never silently corrupts *)
+  worker_kill : int option;
+      (** test hook: the given parallel worker index dies before doing
+          any work, exercising the shard-resweep path *)
   log : string -> unit;
 }
 
@@ -57,6 +65,8 @@ let default =
     max_points = None;
     snapshot_mode = Pmem.Region.Journal;
     jobs = 1;
+    faults = false;
+    worker_kill = None;
     log = ignore;
   }
 
@@ -76,6 +86,12 @@ type result = {
   points_tested : int;
   points_skipped : int;
   crashes_sampled : int;
+  fault_samples : int;  (** fault-schedule samples (torn / media) *)
+  fault_recovered : int;  (** fault samples recovery fully absorbed *)
+  fault_degraded : int;  (** fault samples that failed with a typed error *)
+  fault_fallbacks : int;  (** root reads rescued by the secondary copy *)
+  shards_resequenced : int;
+      (** parallel-sweep shards re-run sequentially after a worker died *)
   wall_seconds : float;
   trace_report : Mod_core.Consistency.report option;
   failures : failure list;
@@ -106,6 +122,15 @@ let mode_of_name = function
    sample index): any failure replays bit-for-bit from its triple. *)
 let survival_seed cfg ~crash_index ~k =
   (cfg.seed * 1_000_003) + (crash_index * 131) + k
+
+(* Fault-schedule seeds live in a distinct stream so torn-crash samples
+   never collide with the plain Randomize samples of the same point. *)
+let fault_seed cfg ~crash_index ~k =
+  (cfg.seed * 7_368_787) + (crash_index * 257) + k
+
+(* Per-point fault schedule: sample [k = 0..3] cycles through the four
+   injection kinds on top of a torn crash. *)
+let fault_kinds = 4
 
 type crashed = {
   c_heap : Pmalloc.Heap.t;
@@ -178,9 +203,81 @@ let recover_and_check (c : crashed) =
   in
   Oracle.check ~history:c.c_history ~pending:c.c_pending ~recovered
 
+(* Classify one fault sample against the degradation contract.  Unlike
+   the fault-free oracle, a typed error is an acceptable outcome here:
+   the injected fault was detected and surfaced.  What must never happen
+   is an untyped exception escaping recovery, or a successfully
+   "recovered" state the oracle rejects (silent corruption). *)
+let recover_and_classify_faulted (c : crashed) =
+  let typed = function
+    | Mod_core.Error.Error te -> Some te
+    | e -> Mod_core.Recovery.typed_of_exn e
+  in
+  match c.c_inst.Workload.recover () with
+  | exception e -> (
+      match typed e with
+      | Some te -> `Degraded te
+      | None -> `Escaped e)
+  | () -> (
+      match c.c_inst.Workload.dump () with
+      | exception e -> (
+          match typed e with
+          | Some te -> `Degraded te
+          | None -> `Escaped e)
+      | s -> (
+          match
+            Oracle.check ~history:c.c_history ~pending:c.c_pending
+              ~recovered:(Ok s)
+          with
+          | Oracle.Consistent -> `Recovered
+          | Oracle.Violation d -> `Violation d))
+
+(* Arm the media faults of fault-schedule kind [k mod 4]:
+   0 = pure torn crash, no media fault;
+   1 = primary root-record line bad (typed Media_error: the survivor's
+       freshness cannot be proven, so the heap degrades instead of
+       serving a possibly-stale root);
+   2 = both root-record lines bad (typed Media_error path);
+   3 = a seed-derived heap line bad (reachable-graph scrub path). *)
+let arm_fault_kind region ~k ~seed =
+  let record_lines =
+    List.map
+      (fun (off, _) -> Pmem.Region.line_of_word off)
+      (Pmalloc.Heap.root_record_ranges 0)
+  in
+  let primary_line = List.nth record_lines 0 in
+  let secondary_line = List.nth record_lines 1 in
+  match k mod fault_kinds with
+  | 0 -> ()
+  | 1 -> Pmem.Region.arm_media_fault region ~line:primary_line
+  | 2 ->
+      Pmem.Region.arm_media_fault region ~line:primary_line;
+      Pmem.Region.arm_media_fault region ~line:secondary_line
+  | _ ->
+      let first_heap_line =
+        Pmalloc.Heap.root_directory_words / Pmem.Config.words_per_line
+      in
+      let nlines =
+        Pmem.Region.capacity_words region / Pmem.Config.words_per_line
+      in
+      let span = max 1 (nlines - first_heap_line) in
+      let line = first_heap_line + (abs (seed * 2_654_435_761) mod span) in
+      Pmem.Region.arm_media_fault region ~line
+
+type point_stats = {
+  p_sampled : int;
+  p_fsampled : int;
+  p_frecovered : int;
+  p_fdegraded : int;
+  p_ffallbacks : int;
+  p_failures : failure list;
+}
+
 (* Sample one crash point: snapshot the interrupted image, then for each
    mode (and each survival seed, under Randomize) restore, crash,
-   recover and consult the oracle. *)
+   recover and consult the oracle.  With [cfg.faults] the same point is
+   additionally sampled under the fault schedule (torn crashes and armed
+   media faults) against the weaker degradation contract. *)
 let sample_point cfg (w : Workload.t) ~crash_index (c : crashed) =
   let region = Pmalloc.Heap.region c.c_heap in
   let snap = Pmem.Region.snapshot region in
@@ -218,7 +315,50 @@ let sample_point cfg (w : Workload.t) ~crash_index (c : crashed) =
               :: !failures
       done)
     cfg.modes;
-  (!sampled, List.rev !failures)
+  let fsampled = ref 0 in
+  let frecovered = ref 0 in
+  let fdegraded = ref 0 in
+  let ffallbacks = ref 0 in
+  if cfg.faults then
+    for k = 0 to fault_kinds - 1 do
+      Pmem.Region.restore region snap;
+      let seed = fault_seed cfg ~crash_index ~k in
+      Pmalloc.Heap.crash ~mode:Pmem.Region.Randomize ~seed ~torn:true c.c_heap;
+      arm_fault_kind region ~k ~seed;
+      incr fsampled;
+      let fb0 = Pmalloc.Heap.root_fallbacks c.c_heap in
+      let fail detail =
+        failures :=
+          {
+            workload = w.Workload.name;
+            ops = w.Workload.ops;
+            crash_index;
+            mode = Pmem.Region.Randomize;
+            survival_seed = Some seed;
+            detail;
+          }
+          :: !failures
+      in
+      (match recover_and_classify_faulted c with
+      | `Recovered -> incr frecovered
+      | `Degraded _ -> incr fdegraded
+      | `Violation d ->
+          fail (Printf.sprintf "faults(kind %d): silent corruption: %s" k d)
+      | `Escaped e ->
+          fail
+            (Printf.sprintf "faults(kind %d): untyped exception escaped: %s" k
+               (Printexc.to_string e)));
+      ffallbacks := !ffallbacks + Pmalloc.Heap.root_fallbacks c.c_heap - fb0;
+      Pmem.Region.clear_media_faults region
+    done;
+  {
+    p_sampled = !sampled;
+    p_fsampled = !fsampled;
+    p_frecovered = !frecovered;
+    p_fdegraded = !fdegraded;
+    p_ffallbacks = !ffallbacks;
+    p_failures = List.rev !failures;
+  }
 
 (* -- sweep driver -------------------------------------------------------- *)
 
@@ -238,6 +378,11 @@ let sweep_budgets cfg ~total_events =
 type chunk = {
   ch_tested : int;
   ch_sampled : int;
+  ch_fsampled : int;
+  ch_frecovered : int;
+  ch_fdegraded : int;
+  ch_ffallbacks : int;
+  ch_resweeps : int;  (** shards re-run sequentially after worker death *)
   ch_failures : failure list;  (** in ascending crash-point order *)
 }
 
@@ -251,6 +396,10 @@ let sweep_chunk cfg (w : Workload.t) bs =
   in
   let tested = ref 0 in
   let sampled = ref 0 in
+  let fsampled = ref 0 in
+  let frecovered = ref 0 in
+  let fdegraded = ref 0 in
+  let ffallbacks = ref 0 in
   let failures = ref [] in
   List.iter
     (fun budget ->
@@ -258,18 +407,36 @@ let sweep_chunk cfg (w : Workload.t) bs =
       | `Completed _ -> ()
       | `Crashed c ->
           incr tested;
-          let n, fs = sample_point cfg w ~crash_index:budget c in
-          sampled := !sampled + n;
-          failures := List.rev_append fs !failures)
+          let p = sample_point cfg w ~crash_index:budget c in
+          sampled := !sampled + p.p_sampled;
+          fsampled := !fsampled + p.p_fsampled;
+          frecovered := !frecovered + p.p_frecovered;
+          fdegraded := !fdegraded + p.p_fdegraded;
+          ffallbacks := !ffallbacks + p.p_ffallbacks;
+          failures := List.rev_append p.p_failures !failures)
     bs;
-  { ch_tested = !tested; ch_sampled = !sampled;
-    ch_failures = List.rev !failures }
+  {
+    ch_tested = !tested;
+    ch_sampled = !sampled;
+    ch_fsampled = !fsampled;
+    ch_frecovered = !frecovered;
+    ch_fdegraded = !fdegraded;
+    ch_ffallbacks = !ffallbacks;
+    ch_resweeps = 0;
+    ch_failures = List.rev !failures;
+  }
 
 (* Fork one worker per budget partition; each marshals its chunk back
    over a pipe.  Round-robin partitioning plus a stable merge keyed on
    the crash index reproduces the sequential failure order exactly
    (within one crash point all samples come from the same worker, in
-   canonical mode/seed order). *)
+   canonical mode/seed order).
+
+   A worker that dies -- killed by the OS, or crashing before it could
+   marshal its chunk -- must not abort the sweep: its budget partition is
+   re-swept sequentially in the parent (budgets are pure inputs, so the
+   re-run is identical to what the worker would have produced) and the
+   rescue is counted in the summary. *)
 let sweep_parallel cfg w bs ~jobs =
   let parts = Array.make jobs [] in
   List.iteri (fun i b -> parts.(i mod jobs) <- b :: parts.(i mod jobs)) bs;
@@ -277,14 +444,15 @@ let sweep_parallel cfg w bs ~jobs =
   flush stderr;
   let children =
     Array.to_list parts
-    |> List.filter_map (fun part ->
+    |> List.mapi (fun idx part -> (idx, List.rev part))
+    |> List.filter_map (fun (idx, part) ->
            if part = [] then None
            else
-             let part = List.rev part in
              let rd, wr = Unix.pipe () in
              match Unix.fork () with
              | 0 ->
                  Unix.close rd;
+                 if cfg.worker_kill = Some idx then Unix._exit 117;
                  let status =
                    match sweep_chunk cfg w part with
                    | chunk ->
@@ -303,11 +471,11 @@ let sweep_parallel cfg w bs ~jobs =
                  Unix._exit status
              | pid ->
                  Unix.close wr;
-                 Some (pid, rd))
+                 Some (pid, rd, part))
   in
-  let chunks =
-    List.map
-      (fun (pid, rd) ->
+  let chunks, resweeps =
+    List.fold_left
+      (fun (chunks, resweeps) (pid, rd, part) ->
         let ic = Unix.in_channel_of_descr rd in
         let chunk =
           match (Marshal.from_channel ic : chunk) with
@@ -317,13 +485,31 @@ let sweep_parallel cfg w bs ~jobs =
         close_in ic;
         let _, status = Unix.waitpid [] pid in
         match (chunk, status) with
-        | Some c, Unix.WEXITED 0 -> c
-        | _ -> failwith "Explorer.explore: parallel sweep worker failed")
-      children
+        | Some c, Unix.WEXITED 0 -> (c :: chunks, resweeps)
+        | _ ->
+            cfg.log
+              (Printf.sprintf
+                 "explorer: worker pid %d died (%s); re-sweeping its %d \
+                  budget(s) sequentially"
+                 pid
+                 (match status with
+                 | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+                 | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+                 | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n)
+                 (List.length part));
+            (sweep_chunk cfg w part :: chunks, resweeps + 1))
+      ([], 0) children
   in
+  let chunks = List.rev chunks in
+  let sum f = List.fold_left (fun a c -> a + f c) 0 chunks in
   {
-    ch_tested = List.fold_left (fun a c -> a + c.ch_tested) 0 chunks;
-    ch_sampled = List.fold_left (fun a c -> a + c.ch_sampled) 0 chunks;
+    ch_tested = sum (fun c -> c.ch_tested);
+    ch_sampled = sum (fun c -> c.ch_sampled);
+    ch_fsampled = sum (fun c -> c.ch_fsampled);
+    ch_frecovered = sum (fun c -> c.ch_frecovered);
+    ch_fdegraded = sum (fun c -> c.ch_fdegraded);
+    ch_ffallbacks = sum (fun c -> c.ch_ffallbacks);
+    ch_resweeps = resweeps;
     ch_failures =
       List.concat_map (fun c -> c.ch_failures) chunks
       |> List.stable_sort (fun a b -> compare a.crash_index b.crash_index);
@@ -375,6 +561,11 @@ let explore ?(cfg = default) (w : Workload.t) =
     points_tested = chunk.ch_tested;
     points_skipped = skipped;
     crashes_sampled = chunk.ch_sampled;
+    fault_samples = chunk.ch_fsampled;
+    fault_recovered = chunk.ch_frecovered;
+    fault_degraded = chunk.ch_fdegraded;
+    fault_fallbacks = chunk.ch_ffallbacks;
+    shards_resequenced = chunk.ch_resweeps;
     wall_seconds = Unix.gettimeofday () -. t0;
     trace_report;
     failures = chunk.ch_failures;
@@ -391,7 +582,7 @@ let pp_failure ppf (f : failure) =
 let pp_result ppf r =
   Format.fprintf ppf
     "%-12s %5d events, %5d points tested (%d skipped), %6d crash samples in \
-     %.2fs (%.0f points/s), %s%s"
+     %.2fs (%.0f points/s), %s%s%s%s"
     r.workload r.total_events r.points_tested r.points_skipped
     r.crashes_sampled r.wall_seconds (points_per_sec r)
     (match r.trace_report with
@@ -403,3 +594,12 @@ let pp_result ppf r =
     (match r.failures with
     | [] -> "oracle: ok"
     | fs -> Printf.sprintf "oracle: %d violation(s)" (List.length fs))
+    (if r.fault_samples > 0 then
+       Printf.sprintf ", faults: %d samples (%d recovered, %d degraded, %d \
+                       root fallbacks)"
+         r.fault_samples r.fault_recovered r.fault_degraded r.fault_fallbacks
+     else "")
+    (if r.shards_resequenced > 0 then
+       Printf.sprintf ", %d shard(s) re-swept after worker death"
+         r.shards_resequenced
+     else "")

@@ -713,6 +713,14 @@ let mod_names =
     "siblings"; "unrelated";
   ]
 
+(* The seven basic MOD structures: the fault-injection sweep covers
+   exactly these.  The composition/STM workloads ride an undo log whose
+   count-then-entries protocol is not torn-write-safe by design (the
+   paper's FASEs never write multi-word records that must survive
+   tearing; the log is the PMDK baseline), so torn faults there would
+   report protocol limits, not datastructure bugs. *)
+let basic_names = [ "map"; "queue"; "stack"; "vec"; "set"; "pqueue"; "seq" ]
+
 let stm_names = [ "stm14"; "stm15" ]
 let negative_names = [ "stm-broken"; "map-nofence" ]
 let names = mod_names @ stm_names @ negative_names

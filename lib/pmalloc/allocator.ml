@@ -19,11 +19,20 @@
     still re-expose the old version as the durable root -- so its blocks
     must not be handed back to allocation, or the next FASE's stores
     (which a cache eviction can persist at any moment) would corrupt a
-    state recovery may legitimately return to.  Released blocks therefore
-    park on [deferred] and only enter the free lists at the next
-    [sfence], once no durable root can reference them.  Plain {!free} is
-    immediate: its callers (the PM-STM undo path) only free blocks whose
-    last durable reference was already retired under a fence. *)
+    state recovery may legitimately return to.
+
+    The deferral spans {e two} fences, not one.  The heap's ping-pong
+    root records keep the previous committed version reachable through
+    the stale record copy until the next commit overwrites that copy
+    {e and} the overwrite's flush is fenced -- one commit plus one fence
+    after the release.  [root_get] falls back to the stale copy when the
+    fresh one is torn or media-bad, so the version it references must
+    stay intact that long.  Released blocks therefore park on [deferred],
+    age into [deferred_prev] at the first [sfence], and enter the free
+    lists at the second, once neither record copy can reference them.
+    Plain {!free} is immediate: its callers (the PM-STM undo path) only
+    free blocks whose last durable reference was already retired under a
+    fence. *)
 
 type t = {
   region : Pmem.Region.t;
@@ -32,6 +41,7 @@ type t = {
   freelist : Freelist.t;
   rc : (int, int) Hashtbl.t; (* body offset -> reference count *)
   mutable deferred : (int * int) list; (* (body, capacity) awaiting fence *)
+  mutable deferred_prev : (int * int) list; (* aged one fence; free at next *)
   mutable live_words : int;
   mutable high_water_words : int;
   mutable allocations : int;
@@ -49,6 +59,7 @@ let create region ~heap_start =
     freelist = Freelist.create ();
     rc = Hashtbl.create 4096;
     deferred = [];
+    deferred_prev = [];
     live_words = 0;
     high_water_words = 0;
     allocations = 0;
@@ -157,15 +168,20 @@ let dealloc t body ~defer =
 let free t body = dealloc t body ~defer:false
 
 let deferred_words t =
-  List.fold_left (fun acc (_, cap) -> acc + cap) 0 t.deferred
+  List.fold_left
+    (fun acc (_, cap) -> acc + cap)
+    0
+    (List.rev_append t.deferred t.deferred_prev)
 
-(* The fence that ends the deferral epoch: every clwb issued before it --
-   in particular the root write that unlinked these blocks -- is now
-   complete, so no durable root can reach them and they may be reused. *)
+(* A fence ages the deferral pipeline one epoch: blocks that have now
+   survived two fences were unlinked by a root write that is durable
+   *and* superseded in both record copies, so nothing durable can reach
+   them and they may be reused. *)
 let epoch_flush t =
   List.iter
     (fun (body, capacity) -> Freelist.insert t.freelist ~body ~capacity)
-    t.deferred;
+    t.deferred_prev;
+  t.deferred_prev <- t.deferred;
   t.deferred <- []
 
 (* Flush every cacheline of a block (header + initialized body) with
@@ -217,6 +233,7 @@ let reset_fresh t =
   Freelist.clear t.freelist;
   Hashtbl.reset t.rc;
   t.deferred <- [];
+  t.deferred_prev <- [];
   t.live_words <- 0;
   t.high_water_words <- 0;
   t.allocations <- 0;
@@ -230,6 +247,7 @@ let recovery_reset t ~frontier =
   Freelist.clear t.freelist;
   Hashtbl.reset t.rc;
   t.deferred <- [];
+  t.deferred_prev <- [];
   t.live_words <- 0;
   t.frontier <- frontier
 

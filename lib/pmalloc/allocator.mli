@@ -27,18 +27,20 @@ val release : t -> int -> unit
 (** Drop a reference; at zero, recursively release pointer children (of
     [Scanned] blocks) and free.  CommitSingle's reclamation step.
     Blocks freed this way are {e epoch-deferred}: they leave the live
-    set immediately but only become allocatable at the next
-    {!epoch_flush} (i.e. the next fence), because until the commit's
-    root write has drained, a crash can still re-expose the superseded
-    version they belong to as the durable root. *)
+    set immediately but only become allocatable after {e two}
+    {!epoch_flush}es (fences).  One fence drains the commit's root
+    write; the second retires the stale ping-pong record copy that still
+    references the superseded version, which [Heap.root_get] may fall
+    back to when the fresh copy is torn or media-bad. *)
 
 val epoch_flush : t -> unit
-(** Move epoch-deferred frees into the free lists.  Called by
-    [Heap.sfence] after the fence completes: every earlier root-write
-    clwb has drained, so no durable root can reference the blocks. *)
+(** Age the deferral pipeline one epoch and free blocks that have
+    survived two fences.  Called by [Heap.sfence] after the fence
+    completes. *)
 
 val deferred_words : t -> int
-(** Words currently parked in the deferral list (not yet allocatable). *)
+(** Words currently parked in the two-stage deferral pipeline (not yet
+    allocatable). *)
 
 val retain : t -> int -> unit
 val rc_get : t -> int -> int

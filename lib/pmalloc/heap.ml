@@ -1,46 +1,204 @@
 (** A persistent heap: a simulated PM region, an allocator, and a small
     durable root directory through which applications locate their
     recoverable datastructures across crashes (the paper's "root pointer,
-    one for each persistent heap", Section 5.1). *)
+    one for each persistent heap", Section 5.1).
+
+    Root-record format (fault tolerance).  Each of the [root_slots] roots
+    is stored as a checksummed {e ping-pong} pair of record copies rather
+    than a bare word.  A copy is three words -- value, sequence number,
+    checksum over (value, slot, seq) -- padded to a 4-word cell so it
+    never straddles a cacheline:
+
+    - copy 0 of slot [s]: words [4*s .. 4*s + 2];
+    - copy 1: the same cell one bank ([copy_bank_words]) later.
+
+    [root_set] writes {e only the stale copy} with the next sequence
+    number, so at most one copy is ever dirty when a crash hits: a torn
+    crash (per-word persistence) or a media-bad line can invalidate at
+    most the in-flight copy, and [root_get] falls back to the other,
+    which holds the previous committed value -- exactly the state the
+    unfenced root swing would have re-exposed anyway.  Only when both
+    copies fail validation (double corruption, or a media fault paired
+    with a tear) does the heap give up, with a typed [Torn_root] or a
+    re-raised [Media_fault] -- never a silently wrong root. *)
 
 let root_slots = 64
 
-type t = { region : Pmem.Region.t; allocator : Allocator.t }
+(* A record copy is 3 words padded to a 4-word cell: cells are 4-aligned
+   and lines hold 8 words, so a copy never straddles a line. *)
+let copy_stride = 4
+let copy_bank_words = copy_stride * root_slots
+let root_directory_words = 2 * copy_bank_words
+
+let copy_off ~copy slot = (copy * copy_bank_words) + (copy_stride * slot)
+
+(* Avalanche mix (murmur3-finalizer flavoured, 63-bit) binding the root
+   value to its slot and sequence number: a stale-but-valid copy from
+   another slot or an earlier epoch of this slot still fails validation.
+   Constants are 60-bit so the literals fit OCaml's int. *)
+let checksum ~slot ~seq w =
+  let x =
+    Pmem.Word.bits w
+    lxor ((slot + 1) * 0x9E3779B97F4A7C1)
+    lxor (seq * 0xD1B54A32D192ED0)
+  in
+  let x = x lxor (x lsr 33) in
+  let x = x * 0xFF51AFD7ED558C1 in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0xC4CEB9FE1A85EC5 in
+  x lxor (x lsr 32)
+
+exception Torn_root of { slot : int }
+
+type t = {
+  region : Pmem.Region.t;
+  allocator : Allocator.t;
+  (* degradation diagnostics (volatile): how often validation caught a
+     bad record copy, and how often the surviving copy rescued the slot *)
+  mutable root_torn_detected : int;
+  mutable root_fallbacks : int;
+}
 
 let region t = t.region
 let allocator t = t.allocator
 let stats t = Pmem.Region.stats t.region
 let trace t = Pmem.Region.trace t.region
-
-let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
-  let region = Pmem.Region.create ~capacity_words ~trace ~seed () in
-  let t = { region; allocator = Allocator.create region ~heap_start:root_slots } in
-  (* Fresh heap: all root slots start as durable null pointers. *)
-  for slot = 0 to root_slots - 1 do
-    Pmem.Region.store region slot Pmem.Word.null
-  done;
-  Pmem.Region.clwb_range region 0 root_slots;
-  Pmem.Region.sfence region;
-  Pmem.Stats.reset (Pmem.Region.stats region);
-  Pmem.Trace.clear (Pmem.Region.trace region);
-  t
+let root_torn_detected t = t.root_torn_detected
+let root_fallbacks t = t.root_fallbacks
 
 let check_slot slot =
   if slot < 0 || slot >= root_slots then
     invalid_arg (Printf.sprintf "Heap: root slot %d out of range" slot)
 
+(* Read one copy of a root record.  [Error `Torn] = checksum mismatch,
+   [Error `Media] = the copy's line faulted on read. *)
+let read_copy t ~slot ~copy =
+  let off = copy_off ~copy slot in
+  match
+    let v = Pmem.Region.load t.region off in
+    let s = Pmem.Region.load t.region (off + 1) in
+    let c = Pmem.Region.load t.region (off + 2) in
+    (v, s, c)
+  with
+  | exception Pmem.Region.Media_fault _ -> Error `Media
+  | v, s, c ->
+      let seq = Pmem.Word.bits s in
+      if seq >= 0 && checksum ~slot ~seq v = Pmem.Word.bits c then
+        Ok (seq, v)
+      else Error `Torn
+
+let count_torn t = t.root_torn_detected <- t.root_torn_detected + 1
+
+(* Why torn copies fall back but media-bad copies do not.  Only the
+   in-flight copy of a record is ever dirty, so a torn crash can
+   invalidate at most that copy and the survivor holds the latest or the
+   previous committed value -- both inside the durable-linearizability
+   window of an unfenced root swing.  A media fault is different: it can
+   kill the *up-to-date* copy while a torn crash reverts the in-flight
+   one to its fully-old (still valid) contents, leaving a survivor two
+   commits stale.  Freshness of the survivor cannot be established, so a
+   faulting record line surfaces as a typed [Media_fault] instead of a
+   silently stale root. *)
 let root_get t slot =
   check_slot slot;
-  Pmem.Region.load t.region slot
+  match (read_copy t ~slot ~copy:0, read_copy t ~slot ~copy:1) with
+  | Ok (s0, v0), Ok (s1, v1) -> if s0 >= s1 then v0 else v1
+  | Ok (_, v), Error `Torn | Error `Torn, Ok (_, v) ->
+      count_torn t;
+      t.root_fallbacks <- t.root_fallbacks + 1;
+      v
+  | Error `Media, _ | _, Error `Media ->
+      let copy =
+        match read_copy t ~slot ~copy:0 with Error `Media -> 0 | _ -> 1
+      in
+      raise (Pmem.Region.Media_fault { off = copy_off ~copy slot })
+  | Error `Torn, Error `Torn ->
+      count_torn t;
+      count_torn t;
+      raise (Torn_root { slot })
 
-(* The 8-byte atomic root update at the heart of Commit: a single store
-   plus a weakly-ordered flush.  The flush is ordered by the *next* FASE's
-   fence (epoch persistency, Section 5.1) -- losing it in a crash merely
-   re-exposes the previous consistent version. *)
+(* The copy [root_get] would serve (diagnostics/tests). *)
+let active_root_copy t slot =
+  check_slot slot;
+  match (read_copy t ~slot ~copy:0, read_copy t ~slot ~copy:1) with
+  | Ok (s0, _), Ok (s1, _) -> if s0 >= s1 then 0 else 1
+  | Ok _, Error `Torn -> 0
+  | Error `Torn, Ok _ -> 1
+  | Error `Media, _ -> raise (Pmem.Region.Media_fault { off = copy_off ~copy:0 slot })
+  | _, Error `Media -> raise (Pmem.Region.Media_fault { off = copy_off ~copy:1 slot })
+  | Error `Torn, Error `Torn -> raise (Torn_root { slot })
+
+(* Pick the copy the next update must overwrite: normally the stale one
+   (ping-pong), but never leave the freshest value on a line already
+   known media-bad when the other line still reads fine. *)
+let target_copy t slot =
+  match (read_copy t ~slot ~copy:0, read_copy t ~slot ~copy:1) with
+  | Ok (s0, _), Ok (s1, _) ->
+      if s0 <= s1 then (0, 1 + max s0 s1) else (1, 1 + max s0 s1)
+  | Ok (s, _), Error `Torn -> (1, s + 1)
+  | Error `Torn, Ok (s, _) -> (0, s + 1)
+  (* media-bad sibling: write over the readable copy; the bad line would
+     fault every future read anyway *)
+  | Ok (s, _), Error `Media -> (0, s + 1)
+  | Error `Media, Ok (s, _) -> (1, s + 1)
+  | Error `Media, Error `Torn -> (1, 1)
+  | Error _, Error _ -> (0, 1)
+
+let root_record_stores t slot w =
+  check_slot slot;
+  let copy, seq = target_copy t slot in
+  let off = copy_off ~copy slot in
+  [
+    (off, w);
+    (off + 1, Pmem.Word.raw seq);
+    (off + 2, Pmem.Word.raw (checksum ~slot ~seq w));
+  ]
+
+let root_record_ranges slot =
+  [ (copy_off ~copy:0 slot, 3); (copy_off ~copy:1 slot, 3) ]
+
+let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
+  let region = Pmem.Region.create ~capacity_words ~trace ~seed () in
+  let t =
+    {
+      region;
+      allocator = Allocator.create region ~heap_start:root_directory_words;
+      root_torn_detected = 0;
+      root_fallbacks = 0;
+    }
+  in
+  (* Fresh heap: both copies of every record are durable, valid null
+     pointers at sequence 0 (the tie breaks toward overwriting copy 0
+     first). *)
+  for slot = 0 to root_slots - 1 do
+    List.iter
+      (fun copy ->
+        let off = copy_off ~copy slot in
+        Pmem.Region.store region off Pmem.Word.null;
+        Pmem.Region.store region (off + 1) (Pmem.Word.raw 0);
+        Pmem.Region.store region (off + 2)
+          (Pmem.Word.raw (checksum ~slot ~seq:0 Pmem.Word.null)))
+      [ 0; 1 ]
+  done;
+  Pmem.Region.clwb_range region 0 root_directory_words;
+  Pmem.Region.sfence region;
+  Pmem.Stats.reset (Pmem.Region.stats region);
+  Pmem.Trace.clear (Pmem.Region.trace region);
+  t
+
+(* The root update at the heart of Commit: write the stale copy of the
+   record (value, next seq, checksum -- all inside one cacheline) and
+   launch one weakly-ordered flush.  The flush is ordered by the *next*
+   FASE's fence (epoch persistency, Section 5.1): losing it in a crash
+   -- torn or whole -- merely re-exposes the other copy, which holds the
+   previous consistent version of the record. *)
 let root_set t slot w =
   check_slot slot;
-  Pmem.Region.store t.region slot w;
-  Pmem.Region.clwb t.region slot
+  let stores = root_record_stores t slot w in
+  List.iter (fun (off, v) -> Pmem.Region.store t.region off v) stores;
+  match stores with
+  | (off, _) :: _ -> Pmem.Region.clwb t.region off
+  | [] -> assert false
 
 let alloc t ~kind ~words = Allocator.alloc t.allocator ~kind ~words
 let free t body = Allocator.free t.allocator body
@@ -59,7 +217,7 @@ let clwb_range t off words = Pmem.Region.clwb_range t.region off words
 let sfence t =
   Pmem.Region.sfence t.region;
   Allocator.epoch_flush t.allocator
-let crash ?mode ?seed t = Pmem.Region.crash ?mode ?seed t.region
+let crash ?mode ?seed ?torn t = Pmem.Region.crash ?mode ?seed ?torn t.region
 
 (* Scratch-heap support for the crash-point explorer: a snapshot taken
    right after [create] captures the pristine heap; [reset_fresh]
@@ -71,4 +229,6 @@ let pristine_snapshot t = Pmem.Region.snapshot t.region
 
 let reset_fresh t ~pristine =
   Pmem.Region.restore t.region pristine;
-  Allocator.reset_fresh t.allocator
+  Allocator.reset_fresh t.allocator;
+  t.root_torn_detected <- 0;
+  t.root_fallbacks <- 0

@@ -6,7 +6,28 @@
 type t
 
 val root_slots : int
-(** Number of root-directory slots (word 0 .. root_slots-1 of the region). *)
+(** Number of root-directory slots.  Each slot is stored as a checksummed
+    ping-pong pair of record copies (see below); the directory occupies
+    the region's first {!root_directory_words} words and the heap proper
+    starts after it. *)
+
+val root_directory_words : int
+(** Size of the on-PM root directory in words ([8 * root_slots]).  A
+    record copy is three words -- value, sequence number, checksum over
+    (value, slot, seq) -- padded to a 4-word cell so it never straddles
+    a cacheline; slot [s] keeps copy 0 at word [4*s] and copy 1 one bank
+    later.  {!root_set} overwrites only the stale copy, so at most one
+    copy is ever in flight when a crash hits: torn crashes and media
+    faults can invalidate at most that copy, and {!root_get} falls back
+    to the survivor. *)
+
+exception Torn_root of { slot : int }
+(** Raised by {!root_get} when {e both} copies of a slot's record fail
+    checksum validation: the root is detectably corrupt and there is no
+    survivor to fall back to.  (If a copy's line faults on read instead,
+    {!Pmem.Region.Media_fault} propagates.)  Never raised for a root that
+    merely lost an unfenced update -- that re-exposes the previous
+    value. *)
 
 val create : ?capacity_words:int -> ?trace:bool -> ?seed:int -> unit -> t
 (** Fresh heap with all root slots durably null.  [trace] enables the
@@ -18,13 +39,41 @@ val stats : t -> Pmem.Stats.t
 val trace : t -> Pmem.Trace.t
 
 val root_get : t -> int -> Pmem.Word.t
-(** Read a root slot (a persistent pointer or null). *)
+(** Read a root slot (a persistent pointer or null).  Validates both
+    copies' checksums and serves the valid copy with the newest sequence
+    number; a torn or media-bad copy is survived by falling back to the
+    other, which holds the latest or previous committed value.  Raises
+    {!Torn_root} (or re-raises [Media_fault]) only when both copies are
+    unusable. *)
 
 val root_set : t -> int -> Pmem.Word.t -> unit
-(** The 8-byte atomic root update at the heart of Commit: one store plus a
-    weakly-ordered flush; the flush is ordered by the {e next} fence
-    (epoch persistency) -- losing it in a crash merely re-exposes the
-    previous consistent version. *)
+(** The root update at the heart of Commit: write the {e stale} copy of
+    the checksummed record (all three words inside one cacheline) and
+    launch one weakly-ordered flush; the flush is ordered by the {e
+    next} fence (epoch persistency) -- losing it in a crash merely
+    re-exposes the other copy, the previous consistent version. *)
+
+val root_record_stores : t -> int -> Pmem.Word.t -> (int * Pmem.Word.t) list
+(** [(offset, word)] stores that write slot [s]'s record for a given
+    value into the currently stale copy -- for callers that must route
+    the root swing through another write path (e.g. a PM-STM
+    transaction) instead of {!root_set}. *)
+
+val root_record_ranges : int -> (int * int) list
+(** [(offset, words)] extents of the two copies of slot [s]'s record
+    (for undo logging and fault injection). *)
+
+val active_root_copy : t -> int -> int
+(** Index (0 or 1) of the copy {!root_get} would currently serve;
+    raises {!Torn_root} when neither validates.  Diagnostics/tests. *)
+
+val root_torn_detected : t -> int
+(** Times a root-record copy failed checksum validation (volatile
+    diagnostic counter; reset by {!reset_fresh}). *)
+
+val root_fallbacks : t -> int
+(** Times {!root_get} served a slot from its surviving copy because the
+    other was torn or media-bad. *)
 
 val alloc : t -> kind:Block.kind -> words:int -> int
 (** Allocate a block; returns the body offset.  The fresh block carries
@@ -50,9 +99,11 @@ val sfence : t -> unit
     the allocator (the previous commit's root write is now durable, so
     no durable root can reference them). *)
 
-val crash : ?mode:Pmem.Region.crash_mode -> ?seed:int -> t -> unit
+val crash :
+  ?mode:Pmem.Region.crash_mode -> ?seed:int -> ?torn:bool -> t -> unit
 (** Inject a power failure; [seed] pins the [Randomize] survival
-    outcomes for replay (see {!Pmem.Region.crash}). *)
+    outcomes for replay, [torn] enables per-word torn-line persistence
+    (see {!Pmem.Region.crash}). *)
 
 val pristine_snapshot : t -> Pmem.Region.snapshot
 (** Snapshot of the just-created heap (take it before any application

@@ -15,7 +15,13 @@
 
     Reachability only ever traverses blocks that were made durable by a
     completed commit (a block becomes reachable only after the fence that
-    persisted it), so headers and payloads read here are never torn. *)
+    persisted it), so headers and payloads read here are never torn.
+    Roots themselves are read through {!Heap.root_get}, so a torn or
+    media-bad root record is either rescued from its secondary copy or
+    surfaces as a typed failure before any graph walk trusts it.  When
+    media faults are armed, the walk also scrubs raw-block payloads so an
+    unreadable reachable line is detected {e now}, during recovery,
+    rather than at first use. *)
 
 type report = {
   live_blocks : int;
@@ -34,9 +40,17 @@ let pp_report ppf r =
 let recover heap =
   let region = Heap.region heap in
   let allocator = Heap.allocator heap in
+  (* Media scrub is only useful when faults can actually fire; without
+     armed faults every load succeeds, so skip the extra payload reads
+     (raw blocks can be large -- e.g. the PM-STM undo log). *)
+  let scrub = Pmem.Region.media_fault_count region > 0 in
   (* body offset -> (header offset, capacity, in-degree) *)
   let reachable : (int, int * int * int) Hashtbl.t = Hashtbl.create 4096 in
-  let rec visit body =
+  (* Explicit worklist: recursion here would be unbounded in the depth of
+     the object graph, and list spines (dstack/dseq) reach hundreds of
+     thousands of nodes. *)
+  let pending = Stack.create () in
+  let visit body =
     match Hashtbl.find_opt reachable body with
     | Some (header, capacity, indeg) ->
         Hashtbl.replace reachable body (header, capacity, indeg + 1)
@@ -46,20 +60,32 @@ let recover heap =
           Block.decode_info (Pmem.Region.load region header)
         in
         Hashtbl.replace reachable body (header, capacity, 1);
-        (match kind with
-        | Block.Raw -> ()
-        | Block.Scanned ->
-            let used = Block.decode_used (Pmem.Region.load region (header + 1)) in
-            for i = 0 to used - 1 do
-              let w = Pmem.Region.load region (body + i) in
-              if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then
-                visit (Pmem.Word.to_ptr w)
-            done)
+        Stack.push (body, header, kind) pending
+  in
+  let scan (body, header, kind) =
+    match kind with
+    | Block.Raw ->
+        if scrub then begin
+          let used = Block.decode_used (Pmem.Region.load region (header + 1)) in
+          for i = 0 to used - 1 do
+            ignore (Pmem.Region.load region (body + i) : Pmem.Word.t)
+          done
+        end
+    | Block.Scanned ->
+        let used = Block.decode_used (Pmem.Region.load region (header + 1)) in
+        for i = 0 to used - 1 do
+          let w = Pmem.Region.load region (body + i) in
+          if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then
+            visit (Pmem.Word.to_ptr w)
+        done
   in
   for slot = 0 to Heap.root_slots - 1 do
-    let w = Pmem.Region.load region slot in
+    let w = Heap.root_get heap slot in
     if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then
       visit (Pmem.Word.to_ptr w)
+  done;
+  while not (Stack.is_empty pending) do
+    scan (Stack.pop pending)
   done;
   (* Sort live blocks by address to find the gaps between them. *)
   let blocks =
@@ -71,8 +97,9 @@ let recover heap =
     List.sort (fun (h1, _, _, _) (h2, _, _, _) -> compare h1 h2) blocks
   in
   let frontier =
-    List.fold_left (fun acc (h, cap, _, _) -> max acc (h + cap)) Heap.root_slots
-      blocks
+    List.fold_left
+      (fun acc (h, cap, _, _) -> max acc (h + cap))
+      Heap.root_directory_words blocks
   in
   Allocator.recovery_reset allocator ~frontier;
   let live_words = ref 0 in
@@ -83,7 +110,7 @@ let recover heap =
     blocks;
   let extents = ref 0 in
   let reclaimed = ref 0 in
-  let cursor = ref Heap.root_slots in
+  let cursor = ref Heap.root_directory_words in
   let reclaim_gap gap_start gap_end =
     let size = gap_end - gap_start in
     if size >= Block.min_capacity then begin

@@ -4,6 +4,8 @@ type crash_mode = Drop_inflight | Keep_inflight | Randomize
 
 exception Crash_point
 
+exception Media_fault of { off : int }
+
 type snapshot_mode = Journal | Full_copy
 
 (* One undo-journal record: the full pre-image of a cacheline (volatile
@@ -42,6 +44,13 @@ type t = {
   trace : Trace.t;
   mutable rng : Random.State.t;
   mutable inflight : int;
+  (* worklist of lines that may be in Flushing state, so a fence drains
+     in O(in-flight flushes) instead of scanning every line of the
+     region.  Invariant: every Flushing line is in the list; the list may
+     also hold stale entries for lines that left Flushing some other way
+     (eviction writeback, a re-dirtying store) -- the drain re-checks the
+     state and skips them. *)
+  mutable flushing_q : int list;
   (* ablation knob: order every clwb individually, as if each flush were
      followed by its own sfence (the paper's Section 3 worst case) *)
   mutable fence_per_flush : bool;
@@ -59,6 +68,9 @@ type t = {
   mutable j_mark : int array; (* per line: epoch of its current record *)
   mutable j_epoch : int;
   mutable j_tokens : jtoken list; (* live journaled snapshots *)
+  (* fault injection: lines armed as media-bad raise Media_fault on any
+     load until cleared (restore clears them) *)
+  media_bad : (int, unit) Hashtbl.t;
 }
 
 type snapshot =
@@ -94,6 +106,7 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
     trace = Trace.create ~enabled:trace;
     rng = Random.State.make [| seed |];
     inflight = 0;
+    flushing_q = [];
     fence_per_flush = false;
     events = 0;
     crash_budget = -1;
@@ -106,6 +119,7 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
     j_mark = Array.make lines (-1);
     j_epoch = 0;
     j_tokens = [];
+    media_bad = Hashtbl.create 4;
   }
 
 let stats t = t.stats
@@ -238,8 +252,21 @@ let touch_cache t off ~write =
     else Latency.Pm
   end
 
+(* Media-bad lines fault on any read path: armed by the fault injector
+   (see [arm_media_fault]), detected here exactly where a real DIMM would
+   return a poisoned line. *)
+let check_media t off fn =
+  if
+    Hashtbl.length t.media_bad > 0
+    && Hashtbl.mem t.media_bad (line_of_word off)
+  then begin
+    ignore (fn : string);
+    raise (Media_fault { off })
+  end
+
 let load t off =
   check_off t off "load";
+  check_media t off "load";
   let level = touch_cache t off ~write:false in
   t.stats.Stats.loads <- t.stats.Stats.loads + 1;
   Stats.advance t.stats (Latency.load_ns level);
@@ -273,6 +300,7 @@ let rec clwb t off =
   | Dirty ->
       journal_touch t line;
       t.state.(line) <- Flushing;
+      t.flushing_q <- line :: t.flushing_q;
       t.inflight <- t.inflight + 1
   | Clean | Flushing -> ());
   tick t;
@@ -280,16 +308,17 @@ let rec clwb t off =
 
 and sfence t =
   let drained = t.inflight in
-  Array.iteri
-    (fun line st ->
-      match st with
+  List.iter
+    (fun line ->
+      match t.state.(line) with
       | Flushing ->
           journal_touch t line;
           writeback_line t line;
           t.state.(line) <- Clean;
           Cache.mark_clean t.cache ~line
       | Clean | Dirty -> ())
-    t.state;
+    t.flushing_q;
+  t.flushing_q <- [];
   t.inflight <- 0;
   Stats.record_fence t.stats ~drained;
   Stats.advance_in t.stats Stats.Flush (Latency.fence_stall_ns ~inflight:drained);
@@ -321,7 +350,25 @@ let reset_caches t =
       Cache.invalidate t.l2;
       Cache.invalidate t.llc
 
-let crash ?(mode = Randomize) ?seed t =
+let arm_media_fault t ~line =
+  if line < 0 || line >= Array.length t.state then
+    invalid_arg (Printf.sprintf "Region.arm_media_fault: line %d out of bounds" line);
+  Hashtbl.replace t.media_bad line ()
+
+let clear_media_faults t = Hashtbl.reset t.media_bad
+let media_fault_count t = Hashtbl.length t.media_bad
+
+(* Hand-of-god corruption used by fault tests: flip low bits of one word
+   in both the volatile view and the durable image, bypassing the cache
+   and stats (this is the injector, not the program under test). *)
+let corrupt_word t off =
+  check_off t off "corrupt_word";
+  journal_touch t (line_of_word off);
+  let v = t.current.(off) lxor 0x55 in
+  t.current.(off) <- v;
+  t.durable.(off) <- v
+
+let crash ?(mode = Randomize) ?seed ?(torn = false) t =
   (* Each crash draws its line-survival outcomes from a dedicated RNG
      whose seed is either supplied by the caller (replay) or drawn from
      the region's private stream -- and always recorded, so any failing
@@ -340,6 +387,25 @@ let crash ?(mode = Randomize) ?seed t =
          journaling), keeping a crash O(lines + dirty words). *)
       match st with
       | Clean -> ()
+      | Dirty | Flushing when torn ->
+          (* Torn persistence: the line was partially written back when
+             power failed, so an arbitrary per-word subset of its new
+             contents reaches PM.  This deliberately breaks the
+             whole-line atomicity the rest of the model provides --
+             multi-word records must detect it (checksums) rather than
+             assume it away. *)
+          journal_touch t line;
+          let base = line lsl Config.line_shift in
+          let len = min Config.words_per_line (t.capacity - base) in
+          for i = base to base + len - 1 do
+            if
+              t.current.(i) <> t.durable.(i)
+              && Random.State.bool crash_rng
+            then t.durable.(i) <- t.current.(i)
+          done;
+          (* the volatile view reverts to what PM now holds *)
+          Array.blit t.durable base t.current base len;
+          t.state.(line) <- Clean
       | Dirty | Flushing ->
           let survives =
             match (st, mode) with
@@ -366,6 +432,7 @@ let crash ?(mode = Randomize) ?seed t =
           t.state.(line) <- Clean)
     t.state;
   t.inflight <- 0;
+  t.flushing_q <- [];
   reset_caches t;
   Trace.emit t.trace Trace.Crash
 
@@ -432,6 +499,8 @@ let truncate_image t cap =
     t.durable <- Array.sub t.durable 0 cap;
     let lines = (cap + Config.words_per_line - 1) / Config.words_per_line in
     t.state <- Array.sub t.state 0 lines;
+    (* drop worklist entries for lines that no longer exist *)
+    t.flushing_q <- List.filter (fun l -> l < lines) t.flushing_q;
     t.capacity <- cap
   end
 
@@ -443,6 +512,13 @@ let restore t s =
       t.state <- Array.copy f.s_state;
       t.capacity <- f.s_capacity;
       t.inflight <- f.s_inflight;
+      (* rebuild the flushing worklist from the restored state array (the
+         full-copy path is already O(capacity)) *)
+      t.flushing_q <- [];
+      Array.iteri
+        (fun line st ->
+          if st = Flushing then t.flushing_q <- line :: t.flushing_q)
+        t.state;
       Stats.assign ~into:t.stats f.s_stats;
       t.rng <- Random.State.copy f.s_rng;
       Trace.truncate t.trace f.s_trace_len;
@@ -465,6 +541,9 @@ let restore t s =
         Array.blit e.e_cur 0 t.current base (Array.length e.e_cur);
         Array.blit e.e_dur 0 t.durable base (Array.length e.e_dur);
         t.state.(e.e_line) <- e.e_state;
+        (* a replayed line returning to Flushing must be on the fence
+           worklist; lines untouched since the snapshot never left it *)
+        if e.e_state = Flushing then t.flushing_q <- e.e_line :: t.flushing_q;
         t.j_entries.(i) <- dummy_entry
       done;
       t.j_len <- tok.t_pos;
@@ -480,10 +559,13 @@ let restore t s =
       (* mutations after this restore need fresh undo records *)
       t.j_epoch <- t.j_epoch + 1);
   t.crash_budget <- -1;
+  (* armed media faults belong to the timeline being abandoned *)
+  Hashtbl.reset t.media_bad;
   reset_caches t
 
 let durable_load t off =
   check_off t off "durable_load";
+  check_media t off "durable_load";
   t.stats.Stats.loads <- t.stats.Stats.loads + 1;
   Stats.advance t.stats (Latency.load_ns Latency.Pm);
   Word.raw t.durable.(off)

@@ -19,6 +19,11 @@ exception Crash_point
 (** Raised by the deterministic crash scheduler (see {!set_crash_after})
     immediately after the scheduled PM event completes. *)
 
+exception Media_fault of { off : int }
+(** Raised by [load] / [durable_load] when the word's cacheline has been
+    armed as media-bad (see {!arm_media_fault}): the simulated DIMM
+    returns a detectable poisoned read, as ECC hardware would. *)
+
 val create : ?capacity_words:int -> ?trace:bool -> ?seed:int -> unit -> t
 
 val stats : t -> Stats.t
@@ -56,17 +61,45 @@ val set_fence_per_flush : t -> bool -> unit
 (** Ablation knob: when enabled, every [clwb] is immediately followed by
     an [sfence], serializing all flushes (the Section 3 worst case). *)
 
-val crash : ?mode:crash_mode -> ?seed:int -> t -> unit
+val crash : ?mode:crash_mode -> ?seed:int -> ?torn:bool -> t -> unit
 (** Power failure: volatile state is lost.  Lines that were flushed and
     fenced are durable; other dirty state survives per [mode].  After the
     call, loads observe exactly the durable image.  Line-survival
     randomness ([Randomize]) comes from a per-crash RNG seeded by [seed]
     when given, else by a draw from the region's private stream; either
     way the seed actually used is recorded in {!last_crash_seed}, so a
-    failing randomized crash can be replayed in isolation. *)
+    failing randomized crash can be replayed in isolation.
+
+    With [~torn:true], each dirty or in-flight line persists a seeded
+    per-word {e subset} of its new contents instead of an all-or-nothing
+    outcome ([mode] is ignored for such lines): the fault model for a
+    writeback interrupted mid-line.  Multi-word records that must be
+    read back after a torn crash need their own detection (checksums). *)
 
 val last_crash_seed : t -> int option
 (** Seed that drove the most recent [crash]'s survival outcomes. *)
+
+(** {1 Fault injection}
+
+    Beyond clean power cuts, the injector can arm individual cachelines
+    as media-bad (uncorrectable read errors) and corrupt single words in
+    place.  Faults are part of the {e current} timeline: {!restore}
+    clears any armed media faults along with the image. *)
+
+val arm_media_fault : t -> line:int -> unit
+(** Mark [line] media-bad: every subsequent [load] / [durable_load] of a
+    word in it raises {!Media_fault} until {!clear_media_faults} or a
+    {!restore}.  Stores still land (the WPQ accepts writes to bad
+    lines); only reads observe the poison. *)
+
+val clear_media_faults : t -> unit
+val media_fault_count : t -> int
+(** Number of lines currently armed as media-bad. *)
+
+val corrupt_word : t -> int -> unit
+(** Flip bits of one word in both the volatile view and the durable
+    image, bypassing cache and stats: the injector's hand, used to model
+    silent in-place corruption that checksums must catch. *)
 
 (** {1 Deterministic crash scheduler}
 

@@ -26,7 +26,8 @@ type version = V1_4 | V1_5
 type t = {
   heap : Pmalloc.Heap.t;
   version : version;
-  log : Wal.t;
+  mutable log : Wal.t; (* replaced when a full log is grown *)
+  log_root_slot : int; (* directory slot that keeps the log reachable *)
   mutable depth : int; (* nested tx flatten into the outermost one *)
   mutable pending_drain : bool; (* v1.5: snapshots flushed, not yet fenced *)
   mutable dirty_lines : (int, unit) Hashtbl.t;
@@ -43,6 +44,16 @@ type t = {
 
 exception Abort
 
+exception Log_full
+(** The undo log filled and repeated growth retries could not fit the
+    transaction.  The transaction has been aborted through the normal
+    undo path; the heap is recoverable. *)
+
+(* Internal signal: [add] found the log full.  The outermost [run_now]
+   aborts (rolling back this transaction's valid entries), grows the log
+   and retries the whole flattened transaction. *)
+exception Log_full_retry
+
 (* [log_root_slot] registers the log block in the heap's root directory so
    recovery-time reachability analysis never reclaims it. *)
 let create ?(log_capacity_words = 1 lsl 16) ?(check_adds = true)
@@ -55,6 +66,7 @@ let create ?(log_capacity_words = 1 lsl 16) ?(check_adds = true)
     heap;
     version;
     log;
+    log_root_slot;
     depth = 0;
     pending_drain = false;
     dirty_lines = Hashtbl.create 64;
@@ -69,6 +81,24 @@ let heap t = t.heap
 let version t = t.version
 let in_tx t = t.depth > 0
 let is_broken t = t.broken_ordering
+let log_capacity t = Wal.capacity t.log
+
+(* Replace the full log with one at least [at_least] words big.  Called
+   only between transactions (after an abort): the old log is durably
+   invalid, the new one is installed in the root directory before the
+   old block is freed, so recovery always finds exactly one valid log. *)
+let grow_log t ~at_least =
+  let cap = ref (Wal.capacity t.log) in
+  while !cap < at_least do
+    cap := !cap * 2
+  done;
+  let old_body = Wal.body t.log in
+  let log = Wal.create t.heap ~capacity_words:!cap in
+  Pmalloc.Heap.root_set t.heap t.log_root_slot
+    (Pmem.Word.of_ptr (Wal.body log));
+  Pmalloc.Heap.sfence t.heap;
+  Pmalloc.Heap.free t.heap old_body;
+  t.log <- log
 
 let covered ranges off words =
   List.exists (fun (o, w) -> off >= o && off + words <= o + w) ranges
@@ -94,7 +124,9 @@ let begin_ t =
 let add t ~off ~words =
   if t.depth = 0 then invalid_arg "Tx.add: no transaction in flight";
   if not (covered t.added off words || covered t.fresh off words) then begin
-    Wal.append t.log ~off ~words;
+    (match Wal.append t.log ~off ~words with
+    | Ok () -> ()
+    | Error `Log_full -> raise Log_full_retry);
     t.added <- (off, words) :: t.added;
     if t.broken_ordering then ()
       (* broken: the in-place write may reach PM before its undo snapshot *)
@@ -185,16 +217,34 @@ let abort t =
   t.pending_drain <- false;
   t.depth <- 0
 
+(* Growth retries double the log each time; 6 retries = 64x the original
+   capacity before giving up with the typed {!Log_full}. *)
+let max_growth_retries = 6
+
 let run_now t f =
-  begin_ t;
-  match f () with
-  | result ->
-      commit t;
-      result
-  | exception e ->
-      (* flattened nesting: any exception aborts the outermost tx *)
-      abort t;
-      raise e
+  let outermost = t.depth = 0 in
+  let rec attempt retries =
+    begin_ t;
+    match f () with
+    | result ->
+        commit t;
+        result
+    | exception Log_full_retry when outermost ->
+        (* [add] appended nothing; the log's existing entries are intact,
+           so the normal undo path cleanly rewinds this transaction.
+           Then grow the log and re-run the whole flattened body. *)
+        if t.depth > 0 then abort t;
+        if retries = 0 then raise Log_full;
+        grow_log t ~at_least:(2 * Wal.capacity t.log);
+        attempt (retries - 1)
+    | exception e ->
+        (* flattened nesting: any exception aborts the outermost tx (a
+           nested Log_full_retry keeps propagating so the true outermost
+           frame, whose abort already ran here, performs the retry) *)
+        if t.depth > 0 then abort t;
+        raise e
+  in
+  attempt max_growth_retries
 
 (* The telemetry depth guard keeps nested [run]s (and [run]s embedded in
    a structure-level span, e.g. CommitUnrelated inside a batch) from

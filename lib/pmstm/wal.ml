@@ -32,12 +32,18 @@ let body t = t.body
 
 let entries t = t.entries
 
+let capacity t = t.capacity
+
 (* Snapshot [words] words starting at [off] into the log and flush the
    entry with unordered clwbs.  The caller decides when to fence (v1.4
    fences per entry; v1.5 batches the drain).  Log construction time is
-   attributed to the Log phase (Figures 2 and 9). *)
-let append t ~off ~words =
-  if t.tail + 2 + words > t.capacity then failwith "Wal.append: log full";
+   attributed to the Log phase (Figures 2 and 9).
+
+   A full log is a typed outcome, not a crash: the caller (Tx) aborts the
+   transaction through the normal undo path -- the log's existing entries
+   are still intact and valid at this point -- and may retry with a grown
+   log.  Nothing has been appended when [Error `Log_full] returns. *)
+let append_now t ~off ~words =
   let stats = Pmalloc.Heap.stats t.heap in
   Pmem.Stats.in_phase stats Pmem.Stats.Log (fun () ->
       (* entry construction overhead beyond the data copy (allocation and
@@ -60,6 +66,10 @@ let append t ~off ~words =
       Pmalloc.Heap.clwb_range t.heap base (2 + words);
       Pmalloc.Heap.clwb t.heap t.body;
       stats.Pmem.Stats.log_writes <- stats.Pmem.Stats.log_writes + 1)
+
+let append t ~off ~words =
+  if t.tail + 2 + words > t.capacity then Error `Log_full
+  else Ok (append_now t ~off ~words)
 
 (* Persist a log-metadata update (stage transitions, entry publication):
    one header store plus its flush; the caller orders it. *)

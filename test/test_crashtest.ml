@@ -81,7 +81,7 @@ let scheduler_tests =
 
 let deferral_tests =
   [
-    Alcotest.test_case "released blocks wait for the next fence" `Quick
+    Alcotest.test_case "released blocks wait for two fences" `Quick
       (fun () ->
         let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 12) () in
         let alloc = Pmalloc.Heap.allocator heap in
@@ -90,14 +90,22 @@ let deferral_tests =
         Pmalloc.Heap.release heap a;
         Alcotest.(check bool) "left the live set" false
           (Pmalloc.Allocator.is_allocated alloc a);
-        Alcotest.(check bool) "parked on the deferral list" true
+        Alcotest.(check bool) "parked on the deferral pipeline" true
           (Pmalloc.Allocator.deferred_words alloc > 0);
         Alcotest.(check int) "not yet allocatable" free_before
           (Pmalloc.Allocator.free_words alloc);
+        (* first fence: the root write that unlinked the block drains,
+           but the stale ping-pong record copy may still reference it *)
         Pmalloc.Heap.sfence heap;
-        Alcotest.(check int) "deferral list drained" 0
+        Alcotest.(check bool) "still deferred after one fence" true
+          (Pmalloc.Allocator.deferred_words alloc > 0);
+        Alcotest.(check int) "still not allocatable" free_before
+          (Pmalloc.Allocator.free_words alloc);
+        (* second fence: the stale copy is retired too *)
+        Pmalloc.Heap.sfence heap;
+        Alcotest.(check int) "deferral pipeline drained" 0
           (Pmalloc.Allocator.deferred_words alloc);
-        Alcotest.(check bool) "allocatable after the fence" true
+        Alcotest.(check bool) "allocatable after two fences" true
           (Pmalloc.Allocator.free_words alloc > free_before));
     Alcotest.test_case "plain free stays immediate" `Quick (fun () ->
         let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 12) () in

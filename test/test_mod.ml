@@ -42,7 +42,7 @@ let check_heap_exact heap =
             done)
   in
   for slot = 0 to Pmalloc.Heap.root_slots - 1 do
-    let word = Pmem.Region.peek_current region slot in
+    let word = Pmalloc.Heap.root_get heap slot in
     if Pmem.Word.is_ptr word && not (Pmem.Word.is_null word) then
       visit (Pmem.Word.to_ptr word)
   done;

@@ -284,30 +284,67 @@ let stack_queue_tests =
 
 let edge_tests =
   [
-    Alcotest.test_case "log overflow is detected" `Quick (fun () ->
+    Alcotest.test_case "log overflow grows the log and retries" `Quick
+      (fun () ->
         let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 18) () in
         let tx =
           Pmstm.Tx.create ~log_capacity_words:64 heap ~version:Pmstm.Tx.V1_5
         in
         (* a committed 50-word block: snapshotting it word by word needs
-           150 log words, overflowing the 64-word log *)
+           150 log words, overflowing the 64-word log -- the transaction
+           must abort through the undo path, grow the log and retry, not
+           die in the middle of the FASE *)
         let blk = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:50 in
         for i = 0 to 49 do
           Pmalloc.Heap.store heap (blk + i) (w i)
         done;
         Pmalloc.Heap.flush_block heap blk;
         Pmalloc.Heap.sfence heap;
+        Pmstm.Tx.run tx (fun () ->
+            for i = 0 to 49 do
+              Pmstm.Tx.add tx ~off:(blk + i) ~words:1;
+              Pmstm.Tx.store tx (blk + i) (w (100 + i))
+            done);
+        for i = 0 to 49 do
+          Alcotest.(check int)
+            (Printf.sprintf "word %d updated" i)
+            (100 + i)
+            (uw (Pmalloc.Heap.load heap (blk + i)))
+        done;
         Alcotest.(check bool)
-          "raises" true
+          "log grew" true
+          (Pmstm.Tx.log_capacity tx > 64);
+        (* the grown log is installed durably: recovery after a crash
+           still finds exactly one valid (empty) log *)
+        Pmalloc.Heap.crash heap;
+        Alcotest.(check bool) "no rollback needed" false (Pmstm.Tx.recover tx));
+    Alcotest.test_case "unsatisfiable log demand is a typed Log_full" `Quick
+      (fun () ->
+        let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 20) () in
+        let tx =
+          Pmstm.Tx.create ~log_capacity_words:8 heap ~version:Pmstm.Tx.V1_5
+        in
+        let blk =
+          Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:4096
+        in
+        Pmalloc.Heap.flush_block heap blk;
+        Pmalloc.Heap.sfence heap;
+        (* one 4096-word snapshot never fits 8 * 2^6 = 512 words: after
+           the growth retries are exhausted the typed Log_full surfaces
+           and the transaction is aborted, leaving the heap recoverable *)
+        Alcotest.(check bool)
+          "raises Log_full" true
           (try
              Pmstm.Tx.run tx (fun () ->
-                 for i = 0 to 49 do
-                   Pmstm.Tx.add tx ~off:(blk + i) ~words:1
-                 done);
+                 Pmstm.Tx.add tx ~off:blk ~words:4096);
              false
-           with Failure msg ->
-             ignore msg;
-             true));
+           with Pmstm.Tx.Log_full -> true);
+        Alcotest.(check bool) "tx aborted" false (Pmstm.Tx.in_tx tx);
+        Alcotest.(check bool)
+          "recovery clean" true
+          (match Mod_core.Recovery.recover ~stm:tx heap with
+          | Ok _ -> true
+          | Error _ -> false));
     Alcotest.test_case "store_fresh rejects non-fresh targets" `Quick
       (fun () ->
         let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 18) () in

@@ -18,7 +18,7 @@ let default_scale = 10_000
 let usage () =
   print_endline
     "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations batch \
-     telemetry faults bechamel all";
+     telemetry faults killtest bechamel all";
   print_endline "options: --scale N | --full | --json FILE | --baseline FILE";
   exit 1
 
@@ -752,6 +752,100 @@ let faults_section () =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Kill9: real fork+SIGKILL durability sweep on the file backend       *)
+(* ------------------------------------------------------------------ *)
+
+let killtest_section ~baseline () =
+  Report.section
+    "Kill9: fork + SIGKILL durability on the file-backed heap";
+  Printf.printf
+    "Forked workers apply deterministic workloads to file-backed heaps and\n\
+     are SIGKILLed at random wall-clock instants and deterministically\n\
+     inside the journaled writeback; the surviving process reopens each\n\
+     image and checks the recovered state against the oracle.  Any\n\
+     violation or escaped exception fails the bench; the committed\n\
+     baseline bounds reopen latency.\n\n";
+  let results =
+    List.map
+      (fun name ->
+        let r =
+          Crashtest.Kill9.run ~ops:30 ~seed:13 ~workload:name ~kills:8 ()
+        in
+        Format.printf "%a@." Crashtest.Kill9.pp_result r;
+        List.iter
+          (fun f -> Printf.eprintf "KILL9 FAIL: %s\n" f)
+          (Crashtest.Kill9.failures r);
+        r)
+      [ "map"; "queue"; "vec" ]
+  in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let violations = sum (fun r -> r.Crashtest.Kill9.violations) in
+  let escaped = sum (fun r -> r.Crashtest.Kill9.escaped) in
+  let max_reopen_ms =
+    List.fold_left
+      (fun a r -> Float.max a (r.Crashtest.Kill9.max_reopen_ns /. 1e6))
+      0.0 results
+  in
+  if violations > 0 || escaped > 0 then begin
+    Printf.eprintf "KILL9 SWEEP: %d violation(s), %d escaped exception(s)\n"
+      violations escaped;
+    exit 1
+  end;
+  (match baseline with
+  | None -> ()
+  | Some path -> (
+      let open Report.Json in
+      match
+        Option.bind
+          (Option.bind (member "kill9" (of_file path)) (member "max_reopen_ms"))
+          to_number_opt
+      with
+      | exception Sys_error e ->
+          Printf.eprintf "baseline %s unreadable: %s\n" path e;
+          exit 1
+      | exception Parse_error e ->
+          Printf.eprintf "baseline %s: bad JSON: %s\n" path e;
+          exit 1
+      | None ->
+          Printf.eprintf "baseline %s has no kill9.max_reopen_ms\n" path;
+          exit 1
+      | Some bound_ms ->
+          Printf.printf "reopen max %.2f ms (baseline bound %.2f ms)\n"
+            max_reopen_ms bound_ms;
+          if max_reopen_ms > bound_ms then begin
+            Printf.eprintf
+              "KILL9 REGRESSION: reopen max %.2f ms exceeds the committed \
+               bound %.2f ms\n"
+              max_reopen_ms bound_ms;
+            exit 1
+          end));
+  print_endline "kill9 durability gate: ok";
+  Report.Json.(
+    Obj
+      [
+        ("trials", Int (sum (fun r -> r.Crashtest.Kill9.kills)));
+        ("violations", Int violations);
+        ("escaped", Int escaped);
+        ("completed", Int (sum (fun r -> r.Crashtest.Kill9.completed_runs)));
+        ("journal_replayed", Int (sum (fun r -> r.Crashtest.Kill9.replayed)));
+        ("journal_discarded", Int (sum (fun r -> r.Crashtest.Kill9.discarded)));
+        ("max_reopen_ms", Float max_reopen_ms);
+        ( "workloads",
+          List
+            (List.map
+               (fun (r : Crashtest.Kill9.result) ->
+                 Obj
+                   [
+                     ("workload", String r.workload);
+                     ("trials", Int r.kills);
+                     ("violations", Int r.violations);
+                     ("mean_reopen_ms", Float (r.mean_reopen_ns /. 1e6));
+                     ("ok", Bool (Crashtest.Kill9.ok r));
+                   ])
+               results) );
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Section 6.1 baseline choice: WHISPER hashmap vs ctree on PMDK       *)
 (* ------------------------------------------------------------------ *)
 
@@ -939,6 +1033,7 @@ let () =
   run "telemetry" (wants "telemetry")
     (telemetry_section ~scale:(min scale 10_000) ~baseline:!baseline);
   run "faults" (wants "faults") (fun () -> faults_section ());
+  run "killtest" (wants "killtest") (killtest_section ~baseline:!baseline);
   run "ctree" (wants "ctree") (fun () -> ctree ~scale);
   run "ablations" (wants "ablations") (fun () -> ablations ~scale);
   run "bechamel" (wants "bechamel") (fun () -> bechamel ());

@@ -7,6 +7,11 @@
                     durable-linearizability oracle (and --replay)
      check       -- run a workload under tracing and apply the Section 5.4
                     consistency checker
+     serve       -- kill-test worker: deterministic workload on a
+                    file-backed heap, acking durable ops on stdout
+     killtest    -- fork serve workers, SIGKILL them at random/deterministic
+                    points, reopen the image and check the oracle
+     fsck        -- offline image checker/repairer
      fig4        -- the flush-concurrency microbenchmark
      machine     -- print the simulated machine configuration *)
 
@@ -753,6 +758,314 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ validate $ format $ out)
 
+(* -- serve / killtest / fsck --------------------------------------------- *)
+
+let kill9_workloads arg =
+  let names =
+    match arg with
+    | "all" | "basic" -> Crashtest.Kill9.names
+    | n -> [ n ]
+  in
+  List.iter
+    (fun n ->
+      if not (List.mem n Crashtest.Kill9.names) then begin
+        Printf.eprintf "unknown kill9 workload %S; expected all or one of: %s\n"
+          n
+          (String.concat ", " Crashtest.Kill9.names);
+        exit 2
+      end)
+    names;
+  names
+
+let serve_cmd =
+  let run file workload ops capacity kill_commit kill_phase =
+    ignore (kill9_workloads workload : string list);
+    let kill_at =
+      match (kill_commit, kill_phase) with
+      | None, _ -> None
+      | Some c, phase -> (
+          match Pmem.Backing.phase_of_name phase with
+          | Ok p -> Some (c, p)
+          | Error e ->
+              Printf.eprintf "--kill-phase: %s\n" e;
+              exit 2)
+    in
+    Crashtest.Kill9.serve ~capacity_words:capacity ?kill_at ~path:file
+      ~workload ~ops ~ack_fd:Unix.stdout ()
+  in
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file"; "f" ] ~docv:"IMAGE"
+          ~doc:"Heap image file to create and run against.")
+  in
+  let workload =
+    Arg.(
+      value & opt string "map"
+      & info [ "workload"; "w" ]
+          ~doc:"Deterministic workload script to apply.")
+  in
+  let ops = Arg.(value & opt int 60 & info [ "ops" ] ~doc:"Operations.") in
+  let capacity =
+    Arg.(
+      value
+      & opt int (1 lsl 16)
+      & info [ "capacity-words" ] ~doc:"Initial heap capacity in words.")
+  in
+  let kill_commit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-commit" ] ~docv:"N"
+          ~doc:"Self-SIGKILL inside the $(docv)-th file writeback batch.")
+  in
+  let kill_phase =
+    Arg.(
+      value & opt string "commit"
+      & info [ "kill-phase" ]
+          ~doc:
+            "Writeback phase for $(b,--kill-commit): journal (before the \
+             commit marker), commit (marker durable, not applied), apply \
+             (half-applied) or applied (before the journal truncate).")
+  in
+  let doc =
+    "Kill-test worker: apply a deterministic workload to a fresh file-backed \
+     heap, acking each durable operation on stdout.  Meant to be forked and \
+     SIGKILLed by $(b,modpm killtest); usable standalone for manual kill-9 \
+     experiments."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ file $ workload $ ops $ capacity $ kill_commit $ kill_phase)
+
+let killtest_cmd =
+  let run workload kills ops seed dir keep json_out baseline =
+    let names = kill9_workloads workload in
+    let dir =
+      match dir with Some d -> d | None -> Filename.get_temp_dir_name ()
+    in
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let per = max 1 (kills / List.length names) in
+    let results =
+      List.map
+        (fun name ->
+          let r =
+            Crashtest.Kill9.run ~dir ~ops ~seed ~keep ~log:prerr_endline
+              ~workload:name ~kills:per ()
+          in
+          Format.printf "%a@." Crashtest.Kill9.pp_result r;
+          List.iteri
+            (fun i f -> if i < 5 then Printf.printf "  FAIL %s\n" f)
+            (Crashtest.Kill9.failures r);
+          r)
+        names
+    in
+    let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+    let violations = sum (fun r -> r.Crashtest.Kill9.violations) in
+    let escaped = sum (fun r -> r.Crashtest.Kill9.escaped) in
+    let trials = sum (fun r -> r.Crashtest.Kill9.kills) in
+    let max_reopen_ns =
+      List.fold_left
+        (fun a r -> Float.max a r.Crashtest.Kill9.max_reopen_ns)
+        0.0 results
+    in
+    let mean_reopen_ns =
+      let s =
+        List.fold_left
+          (fun a r ->
+            a
+            +. (r.Crashtest.Kill9.mean_reopen_ns
+               *. float_of_int r.Crashtest.Kill9.kills))
+          0.0 results
+      in
+      if trials = 0 then 0.0 else s /. float_of_int trials
+    in
+    Printf.printf
+      "\nkill9 total: %d trials across %d workloads, %d violations, %d \
+       escaped; reopen mean %.2fms max %.2fms\n"
+      trials (List.length names) violations escaped (mean_reopen_ns /. 1e6)
+      (max_reopen_ns /. 1e6);
+    let bad = ref (violations > 0 || escaped > 0) in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let open Workloads.Report.Json in
+        let doc =
+          Obj
+            [
+              ("schema", String "modpm-kill9/1");
+              ("ops", Int ops);
+              ("seed", Int seed);
+              ("trials", Int trials);
+              ("violations", Int violations);
+              ("escaped", Int escaped);
+              ("mean_reopen_ms", Float (mean_reopen_ns /. 1e6));
+              ("max_reopen_ms", Float (max_reopen_ns /. 1e6));
+              ( "workloads",
+                List
+                  (List.map
+                     (fun (r : Crashtest.Kill9.result) ->
+                       Obj
+                         [
+                           ("workload", String r.workload);
+                           ("trials", Int r.kills);
+                           ("completed", Int r.completed_runs);
+                           ("violations", Int r.violations);
+                           ("escaped", Int r.escaped);
+                           ("typed_errors", Int r.typed_errors);
+                           ("journal_replayed", Int r.replayed);
+                           ("journal_discarded", Int r.discarded);
+                           ("journal_clean", Int r.clean_journals);
+                           ("fsck_clean", Int r.fsck_clean);
+                           ("fsck_degraded", Int r.fsck_degraded);
+                           ("fsck_corrupt", Int r.fsck_corrupt);
+                           ("mean_reopen_ms", Float (r.mean_reopen_ns /. 1e6));
+                           ("max_reopen_ms", Float (r.max_reopen_ns /. 1e6));
+                           ("wall_seconds", Float r.wall_seconds);
+                           ("ok", Bool (Crashtest.Kill9.ok r));
+                         ])
+                     results) );
+            ]
+        in
+        to_file path doc;
+        Printf.printf "wrote %s\n" path);
+    (match baseline with
+    | None -> ()
+    | Some path -> (
+        (* the hard gate is zero violations (checked above); the baseline
+           additionally bounds reopen latency -- generous 10x headroom, CI
+           machines vary *)
+        let open Workloads.Report.Json in
+        match
+          let doc = of_file path in
+          (* accept both bench/BASELINE.json (nested under "kill9") and a
+             previous BENCH_kill9.json (top-level) *)
+          let nested =
+            Option.bind (member "kill9" doc) (member "max_reopen_ms")
+          in
+          let field =
+            match nested with Some v -> Some v | None -> member "max_reopen_ms" doc
+          in
+          Option.bind field to_number_opt
+        with
+        | exception Sys_error e ->
+            Printf.eprintf "baseline %s unreadable: %s\n" path e;
+            exit 2
+        | exception Parse_error e ->
+            Printf.eprintf "baseline %s: bad JSON: %s\n" path e;
+            exit 2
+        | None ->
+            Printf.eprintf "baseline %s has no max_reopen_ms\n" path;
+            exit 2
+        | Some base_ms ->
+            let ms = max_reopen_ns /. 1e6 in
+            Printf.printf "reopen max %.2fms vs baseline %.2fms\n" ms base_ms;
+            if base_ms > 0.0 && ms > base_ms *. 10.0 then begin
+              Printf.eprintf
+                "REOPEN REGRESSION: %.2fms is more than 10x the committed \
+                 baseline (%.2fms)\n"
+                ms base_ms;
+              bad := true
+            end));
+    if !bad then exit 1
+  in
+  let workload =
+    Arg.(
+      value & opt string "all"
+      & info [ "workload"; "w" ]
+          ~doc:
+            (Printf.sprintf
+               "Workload to kill: all (sweep), or one of %s."
+               (String.concat ", " Crashtest.Kill9.names)))
+  in
+  let kills =
+    Arg.(
+      value & opt int 60
+      & info [ "kills" ]
+          ~doc:"Total kill trials, split evenly across the chosen workloads.")
+  in
+  let ops =
+    Arg.(value & opt int 60 & info [ "ops" ] ~doc:"Operations per trial.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory for image files (default: system temp).")
+  in
+  let keep =
+    Arg.(
+      value & flag
+      & info [ "keep" ] ~doc:"Keep post-mortem images instead of deleting.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable summary to $(docv).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Bound reopen latency against a committed baseline JSON (fails \
+             beyond 10x its max_reopen_ms).")
+  in
+  let doc =
+    "Real kill-9 durability test: fork a worker applying a deterministic \
+     workload to a file-backed heap, SIGKILL it -- at a random wall-clock \
+     instant or deterministically inside the writeback protocol -- reopen \
+     the image in the surviving process, and check the recovered state \
+     against the durable-linearizability oracle.  Every post-mortem image \
+     is also classified by fsck.  Exits non-zero on any oracle violation \
+     or escaped exception."
+  in
+  Cmd.v (Cmd.info "killtest" ~doc)
+    Term.(
+      const run $ workload $ kills $ ops $ seed $ dir $ keep $ json_out
+      $ baseline)
+
+let fsck_cmd =
+  let run image repair_flag =
+    let report =
+      if repair_flag then Pmalloc.Fsck.repair image
+      else Pmalloc.Fsck.check image
+    in
+    Format.printf "%s: %a@." image Pmalloc.Fsck.pp_report report;
+    match report.Pmalloc.Fsck.verdict with
+    | Pmalloc.Fsck.Clean | Pmalloc.Fsck.Repaired -> ()
+    | Pmalloc.Fsck.Degraded -> exit 1
+    | Pmalloc.Fsck.Corrupt -> exit 2
+  in
+  let image =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"IMAGE" ~doc:"Heap image file to check.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Rewrite the image from the surviving root-record copies, \
+             quarantining unrecoverable slots, so it always reopens.")
+  in
+  let doc =
+    "Offline heap-image checker: validate the header and whole-image \
+     checksum, resolve the sidecar journal, walk every root record and its \
+     reachable object graph, and report clean, degraded (single-copy roots \
+     or a pending journal) or corrupt.  Exit status: 0 clean/repaired, 1 \
+     degraded, 2 corrupt."
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ image $ repair)
+
 (* -- fig4 / machine ------------------------------------------------------ *)
 
 let fig4_cmd =
@@ -797,6 +1110,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; crash_cmd; crashtest_cmd; check_cmd; stats_cmd; fig4_cmd;
-            machine_cmd;
+            run_cmd; crash_cmd; crashtest_cmd; check_cmd; stats_cmd;
+            serve_cmd; killtest_cmd; fsck_cmd; fig4_cmd; machine_cmd;
           ]))

@@ -23,6 +23,10 @@ type t =
   | Media_error of { off : int; detail : string }
       (** A load faulted on a media-bad line and no redundant copy could
           rescue it. *)
+  | Bad_image of { path : string; detail : string }
+      (** An image file could not be opened as a heap: missing,
+          zero-length, truncated, wrong magic or format version, or
+          content that fails the whole-image checksum. *)
 
 exception Error of t
 
@@ -40,6 +44,8 @@ let to_string = function
       Printf.sprintf "torn root record in slot %d: %s" slot detail
   | Media_error { off; detail } ->
       Printf.sprintf "media read fault at offset %d: %s" off detail
+  | Bad_image { path; detail } ->
+      Printf.sprintf "unusable image file %s: %s" path detail
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -17,6 +17,11 @@ type t =
       (** A load faulted on a media-bad line
           ({!Pmem.Region.Media_fault}) and no redundant copy could
           rescue it. *)
+  | Bad_image of { path : string; detail : string }
+      (** An image file could not be opened as a heap
+          ({!Pmem.Backing.Bad_image}): missing, zero-length, truncated,
+          wrong magic or format version, or content failing the
+          whole-image checksum. *)
 
 exception Error of t
 (** Raised by the [_exn] wrappers; carries the same typed error. *)

@@ -28,6 +28,8 @@ let typed_of_exn = function
            { slot; detail = "both root-record copies failed validation" })
   | Pmem.Region.Media_fault { off } ->
       Some (Error.Media_error { off; detail = "unrecoverable read fault" })
+  | Pmem.Backing.Bad_image { path; detail } ->
+      Some (Error.Bad_image { path; detail })
   | _ -> None
 
 let recover_exn ?stm heap =
@@ -66,6 +68,42 @@ let crash_and_recover_exn ?mode ?seed ?torn ?stm heap =
 
 let crash_and_recover ?mode ?seed ?torn ?stm heap =
   wrap_corruption (fun () -> crash_and_recover_exn ?mode ?seed ?torn ?stm heap)
+
+(* -- file-backed reopen -------------------------------------------------- *)
+
+type open_report = {
+  heap : Pmalloc.Heap.t;
+  journal : [ `None | `Replayed of int | `Discarded ];
+  recovery : report;
+  reopen_ns : float;  (** wall-clock open + journal resolution + GC *)
+}
+
+(* The full externally-durable recovery cycle: reopen the image file
+   (journal replay/discard + checksum verification), then rebuild the
+   volatile allocator with the reachability analysis.  Every way an
+   unusable image can fail -- missing/truncated/corrupt file, torn roots,
+   unscannable block graph -- comes back as a typed [Error.t]; no
+   exception escapes for any image. *)
+let open_file ?trace ?seed ~path () =
+  wrap_corruption (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let heap, journal = Pmalloc.Heap.open_file ?trace ?seed ~path () in
+      match
+        Telemetry.span (Pmalloc.Heap.stats heap) ~structure:"heap" ~op:"reopen"
+          (fun () -> recover_exn heap)
+      with
+      | recovery ->
+          {
+            heap;
+            journal;
+            recovery;
+            reopen_ns = (Unix.gettimeofday () -. t0) *. 1e9;
+          }
+      | exception e ->
+          (* do not leak descriptors when the image opens but its content
+             fails recovery *)
+          Pmalloc.Heap.close heap;
+          raise e)
 
 let pp_report ppf r =
   Format.fprintf ppf "%a%s%s" Pmalloc.Recovery_gc.pp_report r.gc

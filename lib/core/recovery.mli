@@ -45,6 +45,30 @@ val recover_exn : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
 (** {!recover}, raising {!Error.Error} on corruption.  The crash-test
     oracle uses this form: an unrecoverable image must fail loudly. *)
 
+type open_report = {
+  heap : Pmalloc.Heap.t;
+  journal : [ `None | `Replayed of int | `Discarded ];
+      (** fate of the image's sidecar writeback journal: absent/empty, a
+          committed journal replayed ([n] cachelines), or a torn one
+          discarded *)
+  recovery : report;
+  reopen_ns : float;  (** wall-clock open + journal resolution + GC *)
+}
+
+val open_file :
+  ?trace:bool ->
+  ?seed:int ->
+  path:string ->
+  unit ->
+  (open_report, Error.t) result
+(** The externally-durable recovery cycle: reopen a file-backed heap
+    image ({!Pmalloc.Heap.open_file} -- journal replay/discard and
+    whole-image checksum verification) and rebuild the volatile
+    allocator via the reachability analysis.  Unusable images come back
+    as [Error (Bad_image _)], torn roots as [Error (Torn_root _)],
+    unscannable graphs as [Error (Corrupt_root _)]; no exception escapes
+    for any image, and no descriptor leaks on a failed open. *)
+
 val crash_and_recover_exn :
   ?mode:Pmem.Region.crash_mode ->
   ?seed:int ->

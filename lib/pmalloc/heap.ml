@@ -157,8 +157,9 @@ let root_record_stores t slot w =
 let root_record_ranges slot =
   [ (copy_off ~copy:0 slot, 3); (copy_off ~copy:1 slot, 3) ]
 
-let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
-  let region = Pmem.Region.create ~capacity_words ~trace ~seed () in
+let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
+    =
+  let region = Pmem.Region.create ~capacity_words ~trace ~seed ?file () in
   let t =
     {
       region;
@@ -232,3 +233,41 @@ let reset_fresh t ~pristine =
   Allocator.reset_fresh t.allocator;
   t.root_torn_detected <- 0;
   t.root_fallbacks <- 0
+
+(* -- file-backed heaps --------------------------------------------------- *)
+
+(* Reopen an existing image file.  The region layer resolves the sidecar
+   journal and checksum-verifies the content; here we only sanity-check
+   that the image is big enough to hold a root directory at all.  The
+   allocator starts empty -- its state is volatile by design and must be
+   rebuilt by the reachability analysis (Recovery_gc / Recovery.open_file),
+   exactly as after a simulated crash. *)
+let open_file ?(trace = false) ?(seed = 42) ~path () =
+  let region, journal = Pmem.Region.open_file ~trace ~seed ~path () in
+  if Pmem.Region.capacity_words region < root_directory_words then
+    raise
+      (Pmem.Backing.Bad_image
+         {
+           path;
+           detail =
+             Printf.sprintf "image holds %d words, smaller than the %d-word \
+                             root directory"
+               (Pmem.Region.capacity_words region)
+               root_directory_words;
+         });
+  let t =
+    {
+      region;
+      allocator = Allocator.create region ~heap_start:root_directory_words;
+      root_torn_detected = 0;
+      root_fallbacks = 0;
+    }
+  in
+  (t, journal)
+
+let close t = Pmem.Region.close_file t.region
+
+(* Record-format helpers for offline image inspection (Fsck): validate
+   and synthesize root records on a raw word array, no region needed. *)
+let record_copy_off = copy_off
+let record_checksum ~slot ~seq w = checksum ~slot ~seq w

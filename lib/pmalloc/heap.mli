@@ -29,9 +29,31 @@ exception Torn_root of { slot : int }
     merely lost an unfenced update -- that re-exposes the previous
     value. *)
 
-val create : ?capacity_words:int -> ?trace:bool -> ?seed:int -> unit -> t
+val create :
+  ?capacity_words:int -> ?trace:bool -> ?seed:int -> ?file:string -> unit -> t
 (** Fresh heap with all root slots durably null.  [trace] enables the
-    Section 5.4 event trace; [seed] drives crash nondeterminism. *)
+    Section 5.4 event trace; [seed] drives crash nondeterminism.  With
+    [~file:path] the heap is file-backed (see {!Pmem.Region.create}):
+    every fence commits the durable image's changed lines to [path] as
+    one failure-atomic batch, and the heap survives [kill -9].  Creating
+    truncates an existing image; reopen with {!open_file}. *)
+
+val open_file :
+  ?trace:bool ->
+  ?seed:int ->
+  path:string ->
+  unit ->
+  t * [ `None | `Replayed of int | `Discarded ]
+(** Reopen an existing image file as a heap: the region layer replays or
+    discards the sidecar journal and checksum-verifies the image (see
+    {!Pmem.Region.open_file}); the returned heap's allocator is empty and
+    must be rebuilt by the reachability analysis before allocating --
+    call {!Recovery.open_file} instead unless you are the recovery layer.
+    Raises {!Pmem.Backing.Bad_image} for unusable images. *)
+
+val close : t -> unit
+(** Commit outstanding durable-image changes to the backing file (if
+    any) and release its descriptors.  No-op for memory-backed heaps. *)
 
 val region : t -> Pmem.Region.t
 val allocator : t -> Allocator.t
@@ -114,3 +136,11 @@ val reset_fresh : t -> pristine:Pmem.Region.snapshot -> unit
     allocator state: observably equivalent to a fresh {!create} with the
     same parameters, but O(state touched since the snapshot) when the
     region is in [Journal] snapshot mode. *)
+
+val record_copy_off : copy:int -> int -> int
+(** Word offset of copy [copy] (0 or 1) of slot [s]'s root record --
+    for offline image inspection ({!Fsck}) working on a raw word array. *)
+
+val record_checksum : slot:int -> seq:int -> Pmem.Word.t -> int
+(** The checksum word a valid record copy must carry for (value, slot,
+    seq) -- exported for offline validation and repair. *)

@@ -71,6 +71,11 @@ type t = {
   (* fault injection: lines armed as media-bad raise Media_fault on any
      load until cleared (restore clears them) *)
   media_bad : (int, unit) Hashtbl.t;
+  (* file backend (Backing): when present, cachelines whose durable
+     contents changed since the last fence accumulate in [file_dirty] and
+     are committed to the image file as one atomic batch at each fence *)
+  mutable backing : Backing.t option;
+  file_dirty : (int, unit) Hashtbl.t;
 }
 
 type snapshot =
@@ -90,10 +95,16 @@ let line_of_word off = off lsr Config.line_shift
 
 let next_stamp = ref 0
 
-let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
+let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
+    =
   let cap = max capacity_words Config.words_per_line in
   let lines = (cap + Config.words_per_line - 1) / Config.words_per_line in
   incr next_stamp;
+  let backing =
+    match file with
+    | None -> None
+    | Some path -> Some (Backing.create ~path ~capacity_words:cap)
+  in
   {
     current = Array.make cap 0;
     durable = Array.make cap 0;
@@ -120,6 +131,8 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) () =
     j_epoch = 0;
     j_tokens = [];
     media_bad = Hashtbl.create 4;
+    backing;
+    file_dirty = Hashtbl.create 64;
   }
 
 let stats t = t.stats
@@ -213,11 +226,45 @@ let check_off t off fn =
   if off < 0 || off >= t.capacity then
     invalid_arg (Printf.sprintf "Region.%s: offset %d out of bounds" fn off)
 
+let mark_file_dirty t line =
+  if t.backing <> None then Hashtbl.replace t.file_dirty line ()
+
 (* Copy the volatile contents of [line] into the durable image. *)
 let writeback_line t line =
   let base = line lsl Config.line_shift in
   let len = min Config.words_per_line (t.capacity - base) in
-  Array.blit t.current base t.durable base len
+  Array.blit t.current base t.durable base len;
+  mark_file_dirty t line
+
+(* Commit the durable image's changed lines to the backing file as one
+   atomic batch (journal, fsync, apply, fsync, truncate).  Called at
+   every fence -- the file's commit points are exactly the region's
+   ordering points, so what a revived process reads back is what the
+   epoch-persistency model says was durable. *)
+let file_commit t =
+  match t.backing with
+  | None -> ()
+  | Some b ->
+      if Hashtbl.length t.file_dirty > 0 then begin
+        let lines =
+          Hashtbl.fold
+            (fun line () acc ->
+              let base = line lsl Config.line_shift in
+              let len = min Config.words_per_line (t.capacity - base) in
+              (line, Array.sub t.durable base len) :: acc)
+            t.file_dirty []
+        in
+        let lines =
+          List.sort (fun (a, _) (b, _) -> compare a b) lines
+        in
+        Backing.commit b ~capacity:t.capacity ~lines;
+        Hashtbl.reset t.file_dirty;
+        t.stats.Stats.file_commits <- t.stats.Stats.file_commits + 1;
+        t.stats.Stats.file_lines <-
+          t.stats.Stats.file_lines + List.length lines;
+        t.stats.Stats.file_fsyncs <-
+          t.stats.Stats.file_fsyncs + Backing.fsyncs_per_commit
+      end
 
 (* Cache-eviction callback: hardware replacement writes the victim's data
    back to PM, incidentally making it durable. *)
@@ -322,6 +369,7 @@ and sfence t =
   t.inflight <- 0;
   Stats.record_fence t.stats ~drained;
   Stats.advance_in t.stats Stats.Flush (Latency.fence_stall_ns ~inflight:drained);
+  file_commit t;
   Trace.emit t.trace Trace.Fence;
   tick t
 
@@ -366,7 +414,8 @@ let corrupt_word t off =
   journal_touch t (line_of_word off);
   let v = t.current.(off) lxor 0x55 in
   t.current.(off) <- v;
-  t.durable.(off) <- v
+  t.durable.(off) <- v;
+  mark_file_dirty t (line_of_word off)
 
 let crash ?(mode = Randomize) ?seed ?(torn = false) t =
   (* Each crash draws its line-survival outcomes from a dedicated RNG
@@ -401,7 +450,10 @@ let crash ?(mode = Randomize) ?seed ?(torn = false) t =
             if
               t.current.(i) <> t.durable.(i)
               && Random.State.bool crash_rng
-            then t.durable.(i) <- t.current.(i)
+            then begin
+              t.durable.(i) <- t.current.(i);
+              mark_file_dirty t line
+            end
           done;
           (* the volatile view reverts to what PM now holds *)
           Array.blit t.durable base t.current base len;
@@ -434,6 +486,9 @@ let crash ?(mode = Randomize) ?seed ?(torn = false) t =
   t.inflight <- 0;
   t.flushing_q <- [];
   reset_caches t;
+  (* a simulated crash on a file-backed region still commits: the file
+     must track the post-crash durable image, not the pre-crash one *)
+  file_commit t;
   Trace.emit t.trace Trace.Crash
 
 (* Snapshot / restore of the memory image, for the crash-point explorer:
@@ -561,6 +616,13 @@ let restore t s =
   t.crash_budget <- -1;
   (* armed media faults belong to the timeline being abandoned *)
   Hashtbl.reset t.media_bad;
+  (* the rewound durable image diverges from the file again; every line is
+     conservatively re-committed at the next fence (restore on a
+     file-backed region is a test-only combination) *)
+  if t.backing <> None then
+    for line = 0 to Array.length t.state - 1 do
+      Hashtbl.replace t.file_dirty line ()
+    done;
   reset_caches t
 
 let durable_load t off =
@@ -594,3 +656,75 @@ let images_equal a b =
   && Array.sub a.current 0 a.capacity = Array.sub b.current 0 b.capacity
   && Array.sub a.durable 0 a.capacity = Array.sub b.durable 0 b.capacity
   && a.state = b.state
+
+(* -- file backend -------------------------------------------------------- *)
+
+let file_backed t = t.backing <> None
+
+let backing_path t = Option.map Backing.path t.backing
+
+(* Reopen an existing image file as a fresh region: the Backing layer
+   resolves the sidecar journal (replaying a committed one, discarding a
+   torn one) and checksum-verifies the content; the loaded words become
+   both the volatile view and the durable image, all lines Clean --
+   exactly the post-power-cycle machine state. *)
+let open_file ?(trace = false) ?(seed = 42) ~path () =
+  let b, words, status = Backing.open_ ~path in
+  let cap = Array.length words in
+  let lines = (cap + Config.words_per_line - 1) / Config.words_per_line in
+  incr next_stamp;
+  let t =
+    {
+      current = Array.copy words;
+      durable = words;
+      state = Array.make lines Clean;
+      capacity = cap;
+      cache = Cache.create ();
+      l2 = Cache.create ~sets:Config.l2_sets ~ways:Config.l2_ways ();
+      llc = Cache.create ~sets:Config.llc_sets ~ways:Config.llc_ways ();
+      stats = Stats.create ();
+      trace = Trace.create ~enabled:trace;
+      rng = Random.State.make [| seed |];
+      inflight = 0;
+      flushing_q = [];
+      fence_per_flush = false;
+      events = 0;
+      crash_budget = -1;
+      last_crash_seed = None;
+      region_stamp = !next_stamp;
+      snap_mode = Full_copy;
+      j_on = false;
+      j_entries = [||];
+      j_len = 0;
+      j_mark = Array.make lines (-1);
+      j_epoch = 0;
+      j_tokens = [];
+      media_bad = Hashtbl.create 4;
+      backing = Some b;
+      file_dirty = Hashtbl.create 64;
+    }
+  in
+  (t, status)
+
+(* Flush any durable-image changes that have not reached the file (there
+   are none after a clean fence) and release the descriptors.  The region
+   stays usable as a memory-backed one afterwards. *)
+let close_file t =
+  match t.backing with
+  | None -> ()
+  | Some b ->
+      (* a clean close is a final ordering point: drain in-flight flushes
+         so the image holds everything the program made flush-durable,
+         then commit whatever that writeback dirtied *)
+      sfence t;
+      file_commit t;
+      Backing.close b;
+      t.backing <- None
+
+let set_file_sync_hook t hook =
+  match t.backing with
+  | None -> invalid_arg "Region.set_file_sync_hook: region is memory-backed"
+  | Some b -> Backing.set_sync_hook b hook
+
+let file_commits t =
+  match t.backing with None -> 0 | Some b -> Backing.commits b

@@ -24,7 +24,14 @@ exception Media_fault of { off : int }
     armed as media-bad (see {!arm_media_fault}): the simulated DIMM
     returns a detectable poisoned read, as ECC hardware would. *)
 
-val create : ?capacity_words:int -> ?trace:bool -> ?seed:int -> unit -> t
+val create :
+  ?capacity_words:int -> ?trace:bool -> ?seed:int -> ?file:string -> unit -> t
+(** [create ()] makes a memory-backed region (nothing survives the
+    process).  With [~file:path], the durable image is additionally
+    mapped onto [path] ({!Backing}): every fence commits the cachelines
+    whose durable contents changed as one failure-atomic batch, so the
+    heap genuinely survives [kill -9].  Creating truncates any existing
+    image at [path]; use {!open_file} to reopen one. *)
 
 val stats : t -> Stats.t
 val trace : t -> Trace.t
@@ -185,3 +192,43 @@ val line_of_word : int -> int
 val is_durable_line : t -> int -> bool
 (** [is_durable_line t line] is true when the volatile and durable contents
     of [line] agree (for tests). *)
+
+(** {1 File backend}
+
+    With a backing file, the durable image outlives the process: fences
+    commit changed cachelines to the image as one atomic batch via a
+    WAL-style double write (sidecar journal, fsync, apply, fsync,
+    truncate -- see {!Backing}), so an image killed mid-writeback is
+    always recoverable on reopen. *)
+
+val open_file :
+  ?trace:bool ->
+  ?seed:int ->
+  path:string ->
+  unit ->
+  t * [ `None | `Replayed of int | `Discarded ]
+(** Reopen an existing image file: resolve the sidecar journal (replay a
+    committed one -- [`Replayed lines] -- or discard a torn one --
+    [`Discarded]), verify the whole-image checksum, and return a region
+    whose volatile view and durable image both equal the file contents
+    (all lines Clean, as after a power cycle).  Raises
+    {!Backing.Bad_image} for missing, truncated, wrong-magic,
+    wrong-version or corrupted images; transient open errors
+    ([EINTR]/[EAGAIN], short reads) are retried with bounded backoff
+    before that verdict. *)
+
+val file_backed : t -> bool
+val backing_path : t -> string option
+
+val close_file : t -> unit
+(** Commit any durable-image changes not yet in the file and release the
+    descriptors.  The region remains usable as memory-backed. *)
+
+val set_file_sync_hook : t -> (Backing.sync_phase -> int -> unit) -> unit
+(** Install a hook called at the four phases of every file commit (see
+    {!Backing.sync_phase}) -- the kill-9 harness uses it to SIGKILL the
+    process mid-writeback.  Raises [Invalid_argument] on a memory-backed
+    region. *)
+
+val file_commits : t -> int
+(** Atomic file batches committed so far (0 for memory-backed regions). *)

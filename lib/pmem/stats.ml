@@ -29,6 +29,11 @@ type t = {
          commits both count one, so fences/commit compares the backends'
          ordering cost per retired atomic update group *)
   mutable cur_phase : phase;
+  (* file-backed persistence (Backing): atomic writeback batches committed,
+     cachelines written through them, and fsyncs issued on their behalf *)
+  mutable file_commits : int;
+  mutable file_lines : int;
+  mutable file_fsyncs : int;
   (* histogram: number of fences that drained exactly [n] in-flight lines *)
   drain_histogram : (int, int) Hashtbl.t;
 }
@@ -49,6 +54,9 @@ let create () =
     log_writes = 0;
     commits = 0;
     cur_phase = Other;
+    file_commits = 0;
+    file_lines = 0;
+    file_fsyncs = 0;
     drain_histogram = Hashtbl.create 16;
   }
 
@@ -67,6 +75,9 @@ let reset t =
   t.log_writes <- 0;
   t.commits <- 0;
   t.cur_phase <- Other;
+  t.file_commits <- 0;
+  t.file_lines <- 0;
+  t.file_fsyncs <- 0;
   Hashtbl.reset t.drain_histogram
 
 (* Deep copy, for region snapshots: a crash-point sample must not leak
@@ -89,6 +100,9 @@ let assign ~into src =
   into.log_writes <- src.log_writes;
   into.commits <- src.commits;
   into.cur_phase <- src.cur_phase;
+  into.file_commits <- src.file_commits;
+  into.file_lines <- src.file_lines;
+  into.file_fsyncs <- src.file_fsyncs;
   Hashtbl.reset into.drain_histogram;
   Hashtbl.iter (Hashtbl.replace into.drain_histogram) src.drain_histogram
 

@@ -1,0 +1,390 @@
+(* Tests for the file-backed persistence backend and the kill-9 story:
+   the journaled atomic batch writeback ([Pmem.Backing]), typed
+   [Bad_image] degradation for every way an image file can be unusable,
+   heap state surviving a real fork + SIGKILL, the offline fsck
+   classifier, and the qcheck property tying fsck's verdict to the
+   durable-linearizability oracle. *)
+
+let word = Pmem.Word.of_int
+
+module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int)
+
+let temp_image () = Filename.temp_file "mod_test_kill9" ".img"
+
+let cleanup path =
+  if Sys.file_exists path then Sys.remove path;
+  let j = path ^ ".journal" in
+  if Sys.file_exists j then Sys.remove j
+
+let line8 seed = Array.init 8 (fun i -> seed + i)
+
+(* -- Backing: the journaled atomic batch ---------------------------------- *)
+
+exception Abort_commit
+
+let backing_tests =
+  [
+    Alcotest.test_case "commit/close/open round-trips words and capacity"
+      `Quick (fun () ->
+        let path = temp_image () in
+        let b = Pmem.Backing.create ~path ~capacity_words:64 in
+        Pmem.Backing.commit b ~capacity:64
+          ~lines:[ (0, line8 100); (3, line8 900) ];
+        Pmem.Backing.commit b ~capacity:64 ~lines:[ (3, line8 300) ];
+        Pmem.Backing.close b;
+        let b', words, status = Pmem.Backing.open_ ~path in
+        Pmem.Backing.close b';
+        Alcotest.(check bool) "no journal pending" true (status = `None);
+        Alcotest.(check int) "capacity" 64 (Array.length words);
+        Alcotest.(check int) "line 0 word 2" 102 words.(2);
+        Alcotest.(check int) "line 3 overwritten" 305 words.(29);
+        Alcotest.(check int) "untouched words zero" 0 words.(40);
+        cleanup path);
+    Alcotest.test_case "capacity growth is part of the atomic batch" `Quick
+      (fun () ->
+        let path = temp_image () in
+        let b = Pmem.Backing.create ~path ~capacity_words:8 in
+        Pmem.Backing.commit b ~capacity:24 ~lines:[ (2, line8 70) ];
+        Pmem.Backing.close b;
+        let b', words, _ = Pmem.Backing.open_ ~path in
+        Pmem.Backing.close b';
+        Alcotest.(check int) "grown capacity" 24 (Array.length words);
+        Alcotest.(check int) "grown line" 77 words.(23);
+        cleanup path);
+    Alcotest.test_case "torn journal (pre-marker kill) is discarded" `Quick
+      (fun () ->
+        let path = temp_image () in
+        let b = Pmem.Backing.create ~path ~capacity_words:64 in
+        Pmem.Backing.commit b ~capacity:64 ~lines:[ (1, line8 10) ];
+        Pmem.Backing.set_sync_hook b (fun phase ordinal ->
+            if ordinal = 2 && phase = Pmem.Backing.Journal_torn then
+              raise Abort_commit);
+        (match
+           Pmem.Backing.commit b ~capacity:64 ~lines:[ (1, line8 500) ]
+         with
+        | () -> Alcotest.fail "commit should have aborted"
+        | exception Abort_commit -> ());
+        Pmem.Backing.close b;
+        let b', words, status = Pmem.Backing.open_ ~path in
+        Pmem.Backing.close b';
+        Alcotest.(check bool) "discarded" true (status = `Discarded);
+        Alcotest.(check int) "pre-batch state" 10 words.(8);
+        cleanup path);
+    Alcotest.test_case "committed journal (post-marker kill) replays" `Quick
+      (fun () ->
+        let path = temp_image () in
+        let b = Pmem.Backing.create ~path ~capacity_words:64 in
+        Pmem.Backing.commit b ~capacity:64 ~lines:[ (1, line8 10) ];
+        Pmem.Backing.set_sync_hook b (fun phase ordinal ->
+            if ordinal = 2 && phase = Pmem.Backing.Journal_committed then
+              raise Abort_commit);
+        (try
+           Pmem.Backing.commit b ~capacity:64
+             ~lines:[ (1, line8 500); (4, line8 40) ]
+         with Abort_commit -> ());
+        Pmem.Backing.close b;
+        let b', words, status = Pmem.Backing.open_ ~path in
+        Pmem.Backing.close b';
+        Alcotest.(check bool) "replayed both lines" true
+          (status = `Replayed 2);
+        Alcotest.(check int) "post-batch line 1" 500 words.(8);
+        Alcotest.(check int) "post-batch line 4" 47 words.(39);
+        cleanup path);
+    Alcotest.test_case "kill mid-apply still replays to the full batch"
+      `Quick (fun () ->
+        let path = temp_image () in
+        let b = Pmem.Backing.create ~path ~capacity_words:64 in
+        Pmem.Backing.set_sync_hook b (fun phase ordinal ->
+            if ordinal = 1 && phase = Pmem.Backing.Mid_apply then
+              raise Abort_commit);
+        (try
+           Pmem.Backing.commit b ~capacity:64
+             ~lines:[ (0, line8 1); (2, line8 2); (5, line8 3) ]
+         with Abort_commit -> ());
+        Pmem.Backing.close b;
+        let b', words, status = Pmem.Backing.open_ ~path in
+        Pmem.Backing.close b';
+        Alcotest.(check bool) "replayed" true (status = `Replayed 3);
+        Alcotest.(check int) "first line applied" 1 words.(0);
+        Alcotest.(check int) "last line applied" 3 words.(40);
+        cleanup path);
+  ]
+
+(* -- typed Bad_image degradation ------------------------------------------ *)
+
+let expect_bad_image name path =
+  match Mod_core.Recovery.open_file ~path () with
+  | Ok _ -> Alcotest.failf "%s: unusable image opened" name
+  | Error (Mod_core.Error.Bad_image _) -> ()
+  | Error e ->
+      Alcotest.failf "%s: expected Bad_image, got %s" name
+        (Mod_core.Error.to_string e)
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let bad_image_tests =
+  [
+    Alcotest.test_case "missing file is a typed Bad_image" `Quick (fun () ->
+        expect_bad_image "missing" "/nonexistent/mod_heap.img");
+    Alcotest.test_case "empty and short files are typed Bad_image" `Quick
+      (fun () ->
+        let path = temp_image () in
+        write_bytes path "";
+        expect_bad_image "empty" path;
+        write_bytes path "short";
+        expect_bad_image "short" path;
+        cleanup path);
+    Alcotest.test_case "wrong magic is a typed Bad_image" `Quick (fun () ->
+        let path = temp_image () in
+        let b = Pmem.Backing.create ~path ~capacity_words:1024 in
+        Pmem.Backing.close b;
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+        ignore (Unix.write fd (Bytes.make 1 '\xFF') 0 1 : int);
+        Unix.close fd;
+        expect_bad_image "magic" path;
+        cleanup path);
+    Alcotest.test_case "undersized image (no root directory) is Bad_image"
+      `Quick (fun () ->
+        let path = temp_image () in
+        let b = Pmem.Backing.create ~path ~capacity_words:64 in
+        Pmem.Backing.close b;
+        expect_bad_image "undersized" path;
+        cleanup path);
+    Alcotest.test_case "out-of-band word corruption is caught by checksum"
+      `Quick (fun () ->
+        let path = temp_image () in
+        let heap =
+          Pmalloc.Heap.create ~capacity_words:(1 lsl 14) ~file:path ()
+        in
+        let m = Imap.open_or_create heap ~slot:0 in
+        for k = 1 to 20 do
+          Imap.insert m k k
+        done;
+        Pmalloc.Heap.close heap;
+        let v = Pmem.Backing.peek_word ~path ~index:600 in
+        Pmem.Backing.poke_word ~path ~index:600 (v lxor 0x5A5A);
+        expect_bad_image "poked" path;
+        (* and fsck agrees, then repair brings it back *)
+        let r = Pmalloc.Fsck.check path in
+        Alcotest.(check bool) "fsck corrupt" true
+          (r.Pmalloc.Fsck.verdict = Pmalloc.Fsck.Corrupt);
+        let r' = Pmalloc.Fsck.repair path in
+        Alcotest.(check bool) "repair is not corrupt" true
+          (r'.Pmalloc.Fsck.verdict <> Pmalloc.Fsck.Corrupt);
+        (match Mod_core.Recovery.open_file ~path () with
+        | Ok o -> Pmalloc.Heap.close o.Mod_core.Recovery.heap
+        | Error e ->
+            Alcotest.failf "repaired image does not reopen: %s"
+              (Mod_core.Error.to_string e));
+        cleanup path);
+  ]
+
+(* -- heap round-trip and real SIGKILL survival ---------------------------- *)
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "map survives close + typed reopen" `Quick (fun () ->
+        let path = temp_image () in
+        let heap =
+          Pmalloc.Heap.create ~capacity_words:(1 lsl 14) ~file:path ()
+        in
+        let m = Imap.open_or_create heap ~slot:0 in
+        for k = 1 to 64 do
+          Imap.insert m k (k * k)
+        done;
+        Pmalloc.Heap.close heap;
+        (match Mod_core.Recovery.open_file ~path () with
+        | Error e -> Alcotest.failf "reopen: %s" (Mod_core.Error.to_string e)
+        | Ok o ->
+            let heap = o.Mod_core.Recovery.heap in
+            Alcotest.(check bool) "clean journal" true
+              (o.Mod_core.Recovery.journal = `None);
+            Alcotest.(check bool) "reopen latency measured" true
+              (o.Mod_core.Recovery.reopen_ns > 0.0);
+            let m = Imap.open_or_create heap ~slot:0 in
+            Alcotest.(check int) "cardinal" 64 (Imap.cardinal m);
+            Alcotest.(check int) "value" 49 (Option.get (Imap.find m 7));
+            Pmalloc.Heap.close heap);
+        let r = Pmalloc.Fsck.check path in
+        Alcotest.(check bool) "fsck clean" true
+          (r.Pmalloc.Fsck.verdict = Pmalloc.Fsck.Clean);
+        cleanup path);
+    Alcotest.test_case "heap state survives a real SIGKILL" `Quick (fun () ->
+        let path = temp_image () in
+        let rfd, wfd = Unix.pipe () in
+        (match Unix.fork () with
+        | 0 ->
+            Unix.close rfd;
+            (try
+               let heap =
+                 Pmalloc.Heap.create ~capacity_words:(1 lsl 14) ~file:path ()
+               in
+               let m = Imap.open_or_create heap ~slot:0 in
+               for k = 1 to 50 do
+                 Imap.insert m k (k * 3)
+               done;
+               Pmalloc.Heap.sfence heap;
+               ignore (Unix.write wfd (Bytes.of_string "k") 0 1 : int)
+             with _ -> ());
+            (* hold the heap hostage until the parent shoots *)
+            let rec spin () =
+              Unix.sleepf 0.05;
+              spin ()
+            in
+            spin ()
+        | pid ->
+            Unix.close wfd;
+            ignore (Unix.read rfd (Bytes.create 1) 0 1 : int);
+            Unix.kill pid Sys.sigkill;
+            ignore (Unix.waitpid [] pid);
+            Unix.close rfd;
+            (match Mod_core.Recovery.open_file ~path () with
+            | Error e ->
+                Alcotest.failf "post-kill reopen: %s"
+                  (Mod_core.Error.to_string e)
+            | Ok o ->
+                let heap = o.Mod_core.Recovery.heap in
+                let m = Imap.open_or_create heap ~slot:0 in
+                Alcotest.(check int) "all 50 entries survive the kill" 50
+                  (Imap.cardinal m);
+                Alcotest.(check int) "17 -> 51" 51
+                  (Option.get (Imap.find m 17));
+                Pmalloc.Heap.close heap));
+        cleanup path);
+    Alcotest.test_case "kill9 harness: map sweep has no violations" `Slow
+      (fun () ->
+        let r =
+          Crashtest.Kill9.run ~ops:30 ~seed:11 ~workload:"map" ~kills:6 ()
+        in
+        Alcotest.(check int) "violations" 0 r.Crashtest.Kill9.violations;
+        Alcotest.(check int) "escaped" 0 r.Crashtest.Kill9.escaped;
+        Alcotest.(check bool) "calibration run completed" true
+          (r.Crashtest.Kill9.completed_runs >= 1);
+        List.iter
+          (fun t ->
+            if t.Crashtest.Kill9.t_acked >= 0 then
+              match t.Crashtest.Kill9.t_outcome with
+              | Crashtest.Kill9.Consistent _ -> ()
+              | _ -> Alcotest.fail "formatted image must recover consistent")
+          r.Crashtest.Kill9.trials)
+  ]
+
+(* -- fsck vs the oracle (qcheck) ------------------------------------------ *)
+
+(* Build a post-kill image in-process: run a workload prefix against a
+   file-backed heap and abort (exception, not SIGKILL -- same file
+   state) inside the [kill]-th writeback batch at the given phase.
+   Returns the workload and how many ops completed. *)
+let build_image ~path ~workload ~ops ~kill ~phase =
+  let w = Crashtest.Workload.build workload ~ops in
+  let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 14) ~file:path () in
+  Pmem.Region.set_file_sync_hook
+    (Pmalloc.Heap.region heap)
+    (fun p ordinal -> if ordinal = kill && p = phase then raise Abort_commit);
+  let completed = ref (-1) in
+  (try
+     let inst = w.Crashtest.Workload.make heap in
+     inst.Crashtest.Workload.init ();
+     completed := 0;
+     for i = 0 to ops - 1 do
+       inst.Crashtest.Workload.run_op i;
+       completed := i + 1
+     done;
+     Pmalloc.Heap.sfence heap;
+     Pmalloc.Heap.close heap
+   with Abort_commit -> ());
+  (w, !completed)
+
+let phases =
+  [|
+    Pmem.Backing.Journal_torn; Pmem.Backing.Journal_committed;
+    Pmem.Backing.Mid_apply; Pmem.Backing.Applied;
+  |]
+
+let fsck_case_gen =
+  QCheck.Gen.(
+    let* workload = oneofl [ "map"; "queue"; "stack"; "vec" ] in
+    let* ops = int_range 4 16 in
+    let* kill = int_range 2 14 in
+    let* phase = int_range 0 3 in
+    let* corrupt = opt (int_range 0 ((1 lsl 14) - 1)) in
+    return (workload, ops, kill, phase, corrupt))
+
+let print_fsck_case (w, ops, kill, phase, corrupt) =
+  Printf.sprintf "%s ops=%d kill=%d phase=%s corrupt=%s" w ops kill
+    (Pmem.Backing.phase_name phases.(phase))
+    (match corrupt with None -> "none" | Some i -> string_of_int i)
+
+(* For any image produced by (workload prefix x kill point x optional
+   out-of-band word corruption): fsck classifies it without crashing;
+   a Clean verdict implies the image reopens AND recovers to an
+   oracle-acceptable state; and the repaired image always reopens. *)
+let fsck_property =
+  QCheck.Test.make ~count:30 ~name:"fsck never blesses an oracle-rejected image"
+    (QCheck.make ~print:print_fsck_case fsck_case_gen)
+    (fun (workload, ops, kill, phase, corrupt) ->
+      let path = temp_image () in
+      let w, completed =
+        build_image ~path ~workload ~ops ~kill ~phase:phases.(phase)
+      in
+      (match corrupt with
+      | None -> ()
+      | Some index ->
+          let v = Pmem.Backing.peek_word ~path ~index in
+          Pmem.Backing.poke_word ~path ~index (v lxor 0xBEEF));
+      let report = Pmalloc.Fsck.check path in
+      (* fsck must never crash; an out-of-band corruption must never be
+         blessed (the incremental image checksum catches it) *)
+      if corrupt <> None && report.Pmalloc.Fsck.verdict = Pmalloc.Fsck.Clean
+      then QCheck.Test.fail_report "corrupted image reported Clean";
+      (match Mod_core.Recovery.open_file ~path () with
+      | Ok o ->
+          let heap = o.Mod_core.Recovery.heap in
+          let recovered =
+            match
+              let inst = w.Crashtest.Workload.make heap in
+              inst.Crashtest.Workload.dump ()
+            with
+            | s -> Ok s
+            | exception e -> Error e
+          in
+          Pmalloc.Heap.close heap;
+          let history =
+            Crashtest.Kill9.history_of w.Crashtest.Workload.model
+              (max 0 completed)
+          in
+          let oracle =
+            Crashtest.Oracle.check ~history ~pending:None ~recovered
+          in
+          if
+            report.Pmalloc.Fsck.verdict = Pmalloc.Fsck.Clean
+            && oracle <> Crashtest.Oracle.Consistent
+          then
+            QCheck.Test.fail_report
+              "fsck Clean but recovered state fails the oracle"
+      | Error _ ->
+          if report.Pmalloc.Fsck.verdict = Pmalloc.Fsck.Clean then
+            QCheck.Test.fail_report "fsck Clean but image does not reopen");
+      (* --repair output always reopens *)
+      let repaired = Pmalloc.Fsck.repair path in
+      ignore (repaired.Pmalloc.Fsck.verdict : Pmalloc.Fsck.verdict);
+      (match Mod_core.Recovery.open_file ~path () with
+      | Ok o -> Pmalloc.Heap.close o.Mod_core.Recovery.heap
+      | Error e ->
+          QCheck.Test.fail_reportf "repaired image does not reopen: %s"
+            (Mod_core.Error.to_string e));
+      cleanup path;
+      true)
+
+let () =
+  ignore (word : int -> Pmem.Word.t);
+  Alcotest.run "kill9"
+    [
+      ("backing", backing_tests);
+      ("bad-image", bad_image_tests);
+      ("roundtrip", roundtrip_tests);
+      ("fsck-oracle", [ QCheck_alcotest.to_alcotest ~long:true fsck_property ]);
+    ]

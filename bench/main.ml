@@ -18,7 +18,7 @@ let default_scale = 10_000
 let usage () =
   print_endline
     "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations batch \
-     telemetry faults killtest bechamel all";
+     telemetry faults persist killtest bechamel all";
   print_endline "options: --scale N | --full | --json FILE | --baseline FILE";
   exit 1
 
@@ -752,6 +752,162 @@ let faults_section () =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Commit policies: Full vs Backup ("don't persist all")               *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's "persist only the backup data" tradeoff, measured on the
+   simulated machine: per-op flush and fence counts for the same script
+   under both commit policies, plus the Backup recovery cost (log replay
+   rebuilding the volatile interior).  Gates: Backup must strictly
+   reduce flushes/op on both map and vec, and the committed baseline
+   bounds the reconstruction latency. *)
+let persist_section ~scale ~baseline () =
+  Report.section
+    "Commit policies: Full vs Backup (\"don't persist all\", Section 2.3)";
+  Printf.printf
+    "Same insert script under both commit policies.  Full clwbs every new\n\
+     node before the commit fence; Backup clwbs only a bounded op log and\n\
+     checkpoints when it fills, leaving interior nodes volatile-clean --\n\
+     recovery replays the log to rebuild them.\n\n";
+  let module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int) in
+  let ops = max 1_000 (min scale 10_000) in
+  let measure name persist run_ops reconstruct =
+    let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 22) () in
+    let stats = Pmalloc.Heap.stats heap in
+    let c0 = stats.Pmem.Stats.clwbs
+    and f0 = stats.Pmem.Stats.fences
+    and t0 = stats.Pmem.Stats.now_ns in
+    run_ops heap;
+    let flushes = stats.Pmem.Stats.clwbs - c0
+    and fences = stats.Pmem.Stats.fences - f0
+    and ns = stats.Pmem.Stats.now_ns -. t0 in
+    (* Backup recovery cost: drop the volatile state (as a reopen
+       would) and time the log replay that rebuilds it *)
+    let recovery_ms =
+      match persist with
+      | None -> 0.0
+      | Some _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Mod_core.Recovery.recover_exn heap);
+          reconstruct heap;
+          (Unix.gettimeofday () -. t0) *. 1e3
+    in
+    ( name,
+      float_of_int flushes /. float_of_int ops,
+      float_of_int fences /. float_of_int ops,
+      ns /. float_of_int ops,
+      recovery_ms )
+  in
+  let map_ops persist heap =
+    let m = Imap.open_or_create ?persist heap ~slot:0 in
+    let rng = Random.State.make [| 11 |] in
+    for _ = 1 to ops do
+      Imap.insert m (Random.State.int rng (2 * ops)) 7
+    done
+  in
+  let vec_ops persist heap =
+    let v = Mod_core.Dvec.open_or_create ?persist heap ~slot:0 in
+    for i = 1 to ops do
+      Mod_core.Dvec.push_back v (Pmem.Word.of_int i)
+    done
+  in
+  let map_rebuild heap = Imap.reconstruct heap ~slot:0 in
+  let vec_rebuild heap = Mod_core.Dvec.reconstruct heap ~slot:0 in
+  let rows =
+    [
+      measure "map/full" None (map_ops None) map_rebuild;
+      measure "map/backup" (Some Pmalloc.Heap.Backup)
+        (map_ops (Some Pmalloc.Heap.Backup))
+        map_rebuild;
+      measure "vec/full" None (vec_ops None) vec_rebuild;
+      measure "vec/backup" (Some Pmalloc.Heap.Backup)
+        (vec_ops (Some Pmalloc.Heap.Backup))
+        vec_rebuild;
+    ]
+  in
+  Report.row_r
+    [ "structure/policy"; "flushes/op"; "fences/op"; "sim ns/op";
+      "recovery (ms)" ]
+    [ 18; 12; 11; 11; 14 ];
+  List.iter
+    (fun (name, fl, fe, ns, rec_ms) ->
+      Printf.printf "  %-18s %10.3f  %9.3f  %9.1f  %12.2f\n" name fl fe ns
+        rec_ms)
+    rows;
+  let get name =
+    let _, fl, _, _, rec_ms =
+      List.find (fun (n, _, _, _, _) -> n = name) rows
+    in
+    (fl, rec_ms)
+  in
+  let map_full, _ = get "map/full" in
+  let map_backup, map_rec = get "map/backup" in
+  let vec_full, _ = get "vec/full" in
+  let vec_backup, vec_rec = get "vec/backup" in
+  Printf.printf
+    "\nheadline: Backup flushes %.1fx fewer lines/op on map, %.1fx on vec,\n\
+     at the price of a bounded log replay on reopen.\n"
+    (map_full /. Float.max map_backup 1e-9)
+    (vec_full /. Float.max vec_backup 1e-9);
+  if map_backup >= map_full || vec_backup >= vec_full then begin
+    Printf.eprintf
+      "PERSIST GATE: Backup does not strictly reduce flushes/op (map %.3f \
+       vs %.3f, vec %.3f vs %.3f)\n"
+      map_backup map_full vec_backup vec_full;
+    exit 1
+  end;
+  let recovery_ms = Float.max map_rec vec_rec in
+  (match baseline with
+  | None -> ()
+  | Some path -> (
+      let open Report.Json in
+      match
+        Option.bind
+          (Option.bind (member "persist" (of_file path))
+             (member "max_recovery_ms"))
+          to_number_opt
+      with
+      | exception Sys_error e ->
+          Printf.eprintf "baseline %s unreadable: %s\n" path e;
+          exit 1
+      | exception Parse_error e ->
+          Printf.eprintf "baseline %s: bad JSON: %s\n" path e;
+          exit 1
+      | None ->
+          Printf.eprintf "baseline %s has no persist.max_recovery_ms\n" path;
+          exit 1
+      | Some bound_ms ->
+          Printf.printf "recovery max %.2f ms (baseline bound %.2f ms)\n"
+            recovery_ms bound_ms;
+          if recovery_ms > bound_ms then begin
+            Printf.eprintf
+              "PERSIST REGRESSION: recovery %.2f ms exceeds the committed \
+               bound %.2f ms\n"
+              recovery_ms bound_ms;
+            exit 1
+          end));
+  print_endline "persist-policy gate: ok";
+  Report.Json.(
+    Obj
+      [
+        ("ops", Int ops);
+        ("max_recovery_ms", Float recovery_ms);
+        ( "rows",
+          List
+            (List.map
+               (fun (name, fl, fe, ns, rec_ms) ->
+                 Obj
+                   [
+                     ("name", String name);
+                     ("flushes_per_op", Float fl);
+                     ("fences_per_op", Float fe);
+                     ("sim_ns_per_op", Float ns);
+                     ("recovery_ms", Float rec_ms);
+                   ])
+               rows) );
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Kill9: real fork+SIGKILL durability sweep on the file backend       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1033,6 +1189,8 @@ let () =
   run "telemetry" (wants "telemetry")
     (telemetry_section ~scale:(min scale 10_000) ~baseline:!baseline);
   run "faults" (wants "faults") (fun () -> faults_section ());
+  run "persist" (wants "persist")
+    (persist_section ~scale:(min scale 10_000) ~baseline:!baseline);
   run "killtest" (wants "killtest") (killtest_section ~baseline:!baseline);
   run "ctree" (wants "ctree") (fun () -> ctree ~scale);
   run "ablations" (wants "ablations") (fun () -> ablations ~scale);

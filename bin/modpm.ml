@@ -41,6 +41,23 @@ let scale_arg =
   let doc = "Number of operations (the paper runs 1,000,000)." in
   Arg.(value & opt int 10_000 & info [ "ops"; "n" ] ~doc)
 
+(* --persist: commit policy for the crash harnesses.  "full" maps to None
+   (the structures' default) so policy-free workloads stay untouched. *)
+let persist_arg =
+  let doc =
+    "Commit policy for the workload's structure: $(b,full) (persist every \
+     node eagerly, the default) or $(b,backup) (persist only the backup \
+     data and a bounded op log; recovery reconstructs the interior nodes)."
+  in
+  Arg.(value & opt string "full" & info [ "persist" ] ~docv:"POLICY" ~doc)
+
+let parse_persist = function
+  | "full" -> None
+  | "backup" -> Some Pmalloc.Heap.Backup
+  | s ->
+      Printf.eprintf "unknown --persist %S (full|backup)\n" s;
+      exit 2
+
 let check_workload name =
   if not (List.mem name Workloads.Runner.names) then begin
     Printf.eprintf "unknown workload %S; expected one of: %s\n" name
@@ -180,7 +197,8 @@ let crash_cmd =
 
 let crashtest_cmd =
   let run action workload ops stride samples seed max_points quick replay mode
-      sseed shrink jobs full_snapshots faults json_out baseline =
+      sseed shrink jobs full_snapshots faults json_out baseline persist =
+    let persist = parse_persist persist in
     (match action with
     | None | Some "sweep" -> ()
     | Some other ->
@@ -205,7 +223,7 @@ let crashtest_cmd =
       }
     in
     let build name =
-      try Crashtest.Workload.build name ~ops
+      try Crashtest.Workload.build ?persist name ~ops
       with Invalid_argument msg ->
         prerr_endline msg;
         exit 2
@@ -255,11 +273,13 @@ let crashtest_cmd =
     | None ->
         let names =
           match workload with
-          (* Under --faults, "all"/"mod" restrict to the seven basic
-             structures: the STM's count-then-entries log protocol is not
-             torn-write-safe by design, so fault injection over it would
-             only report expected violations. *)
-          | ("all" | "mod") when faults -> Crashtest.Workload.basic_names
+          (* Under --faults or --persist backup, "all"/"mod" restrict to
+             the seven basic structures: the STM's count-then-entries log
+             protocol is not torn-write-safe by design, and only the
+             basic structures (plus "batched") support the Backup
+             policy. *)
+          | ("all" | "mod") when faults || persist <> None ->
+              Crashtest.Workload.basic_names
           | "all" -> Crashtest.Workload.names
           | "mod" -> Crashtest.Workload.mod_names
           | n -> [ n ]
@@ -350,6 +370,11 @@ let crashtest_cmd =
                       | Pmem.Region.Full_copy -> "full-copy") );
                   ("jobs", Int jobs);
                   ("faults", Bool faults);
+                  ( "persist",
+                    String
+                      (match persist with
+                      | Some Pmalloc.Heap.Backup -> "backup"
+                      | _ -> "full") );
                   ("wall_seconds", Float total_wall);
                   ("points_tested", Int total_points);
                   ("points_per_sec", Float points_per_sec);
@@ -554,7 +579,7 @@ let crashtest_cmd =
     Term.(
       const run $ action $ workload $ ops $ stride $ samples $ seed
       $ max_points $ quick $ replay $ mode $ sseed $ shrink $ jobs
-      $ full_snapshots $ faults $ json_out $ baseline)
+      $ full_snapshots $ faults $ json_out $ baseline $ persist_arg)
 
 (* -- check ------------------------------------------------------------- *)
 
@@ -778,8 +803,9 @@ let kill9_workloads arg =
   names
 
 let serve_cmd =
-  let run file workload ops capacity kill_commit kill_phase =
+  let run file workload ops capacity kill_commit kill_phase persist =
     ignore (kill9_workloads workload : string list);
+    let persist = parse_persist persist in
     let kill_at =
       match (kill_commit, kill_phase) with
       | None, _ -> None
@@ -790,8 +816,8 @@ let serve_cmd =
               Printf.eprintf "--kill-phase: %s\n" e;
               exit 2)
     in
-    Crashtest.Kill9.serve ~capacity_words:capacity ?kill_at ~path:file
-      ~workload ~ops ~ack_fd:Unix.stdout ()
+    Crashtest.Kill9.serve ~capacity_words:capacity ?kill_at ?persist
+      ~path:file ~workload ~ops ~ack_fd:Unix.stdout ()
   in
   let file =
     Arg.(
@@ -837,11 +863,28 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ file $ workload $ ops $ capacity $ kill_commit $ kill_phase)
+      const run $ file $ workload $ ops $ capacity $ kill_commit $ kill_phase
+      $ persist_arg)
 
 let killtest_cmd =
-  let run workload kills ops seed dir keep json_out baseline =
+  let run workload kills ops seed dir keep json_out baseline persist =
+    let persist = parse_persist persist in
     let names = kill9_workloads workload in
+    let names =
+      (* siblings needs multi-slot commit points, which the Backup policy
+         rejects; drop it from "all" sweeps under --persist backup *)
+      if persist = None then names
+      else
+        List.filter
+          (fun n -> List.mem n Crashtest.Workload.backup_names)
+          names
+    in
+    (if names = [] then begin
+       Printf.eprintf
+         "no selected kill9 workload supports --persist backup (expected %s)\n"
+         (String.concat ", " Crashtest.Workload.backup_names);
+       exit 2
+     end);
     let dir =
       match dir with Some d -> d | None -> Filename.get_temp_dir_name ()
     in
@@ -852,7 +895,7 @@ let killtest_cmd =
         (fun name ->
           let r =
             Crashtest.Kill9.run ~dir ~ops ~seed ~keep ~log:prerr_endline
-              ~workload:name ~kills:per ()
+              ?persist ~workload:name ~kills:per ()
           in
           Format.printf "%a@." Crashtest.Kill9.pp_result r;
           List.iteri
@@ -897,6 +940,11 @@ let killtest_cmd =
               ("schema", String "modpm-kill9/1");
               ("ops", Int ops);
               ("seed", Int seed);
+              ( "persist",
+                String
+                  (match persist with
+                  | Some Pmalloc.Heap.Backup -> "backup"
+                  | _ -> "full") );
               ("trials", Int trials);
               ("violations", Int violations);
               ("escaped", Int escaped);
@@ -1029,7 +1077,7 @@ let killtest_cmd =
   Cmd.v (Cmd.info "killtest" ~doc)
     Term.(
       const run $ workload $ kills $ ops $ seed $ dir $ keep $ json_out
-      $ baseline)
+      $ baseline $ persist_arg)
 
 let fsck_cmd =
   let run image repair_flag =

@@ -62,7 +62,7 @@ let entry t slot =
 let pending t ~slot =
   match List.find_opt (fun e -> e.e_slot = slot) t.entries with
   | Some { staged = Some v; _ } -> v
-  | _ -> Pmalloc.Heap.root_get t.heap slot
+  | _ -> Commit.current_of t.heap ~slot
 
 let pending_field t ~slot ~field =
   let from_parent () =
@@ -82,7 +82,9 @@ let pending_field t ~slot ~field =
 
 (* Stage one pure update against the whole version of [slot].  [f] maps
    the pending version to its successor shadow; returning the input word
-   unchanged (e.g. removing an absent key) stages nothing. *)
+   unchanged (e.g. removing an absent key) stages nothing.  On a Backup
+   slot the update runs inside the backup bracket so its shadows stay
+   volatile-clean until the commit's checkpoint. *)
 let stage t ~slot f =
   let e = entry t slot in
   if e.fields <> [] then
@@ -92,9 +94,17 @@ let stage t ~slot f =
   let cur =
     match e.staged with
     | Some v -> v
-    | None -> Pmalloc.Heap.root_get t.heap slot
+    | None -> Commit.current_of t.heap ~slot
   in
-  let next = f cur in
+  let next =
+    match Pmalloc.Heap.get_policy t.heap slot with
+    | Pmalloc.Heap.Full -> f cur
+    | Pmalloc.Heap.Backup ->
+        Pmalloc.Heap.enter_backup_update t.heap;
+        Fun.protect
+          ~finally:(fun () -> Pmalloc.Heap.exit_backup_update t.heap)
+          (fun () -> f cur)
+  in
   if next <> cur then begin
     (match e.staged with
     | Some prev -> e.intermediates <- prev :: e.intermediates
@@ -107,6 +117,11 @@ let stage t ~slot f =
    object in [slot]; the fresh parent is built once, at commit. *)
 let stage_field t ~slot ~field f =
   let e = entry t slot in
+  if Pmalloc.Heap.get_policy t.heap slot = Pmalloc.Heap.Backup then
+    invalid_arg
+      (Printf.sprintf
+         "Batch.stage_field: slot %d commits as Backup; sibling commits \
+          require the Full policy" slot);
   if e.staged <> None then
     invalid_arg
       (Printf.sprintf
@@ -170,11 +185,31 @@ let commit_now t =
     | [ _ ] -> Siblings
     | _ -> Unrelated
   in
+  (* Backup slots batch naturally through a checkpoint: the staged ops
+     already share one ordering point.  Multi-slot commit points write
+     through roots directly, which only the Full protocol supports. *)
+  (match (point, touched) with
+  | (Siblings | Unrelated), entries ->
+      List.iter
+        (fun e ->
+          if Pmalloc.Heap.get_policy t.heap e.e_slot = Pmalloc.Heap.Backup then
+            invalid_arg
+              (Printf.sprintf
+                 "Batch.commit: slot %d commits as Backup; %s commits require \
+                  the Full policy"
+                 e.e_slot (commit_point_name point)))
+        entries
+  | (Empty | Single), _ -> ());
   (match (point, touched) with
   | Empty, _ -> ()
-  | Single, [ e ] ->
-      Commit.single ~intermediates:(List.rev e.intermediates) t.heap
-        ~slot:e.e_slot (Option.get e.staged)
+  | Single, [ e ] -> (
+      let intermediates = List.rev e.intermediates in
+      let latest = Option.get e.staged in
+      match Pmalloc.Heap.get_policy t.heap e.e_slot with
+      | Pmalloc.Heap.Full ->
+          Commit.single ~intermediates t.heap ~slot:e.e_slot latest
+      | Pmalloc.Heap.Backup ->
+          Commit.checkpoint ~intermediates t.heap ~slot:e.e_slot latest)
   | Siblings, [ e ] ->
       Commit.siblings t.heap ~slot:e.e_slot e.fields;
       List.iter (Commit.release_version t.heap) (List.rev e.intermediates)

@@ -48,6 +48,178 @@ let single ?(intermediates = []) ?(reclaim = true) heap ~slot latest =
     List.iter (release_version heap) intermediates
   end
 
+(* -- "Don't Persist All": the Backup commit policy ----------------------- *)
+
+(* A Backup-policy slot's root points at a 4-word descriptor
+   [magic; nonce; anchor; log] ({!Pmalloc.Backup}).  Committing an
+   operation appends one checksummed entry to the log -- a single clwb --
+   instead of flushing the whole shadow path; interior nodes stay
+   volatile-clean (parked in the heap's backlog) until the next
+   {!checkpoint} re-anchors the structure.  After a crash the volatile
+   current version is rebuilt by replaying the log's valid prefix from
+   the anchor ({!reconstruct}). *)
+
+(* The installed version a reader should see: the durable root for Full
+   slots, the volatile (log-covered) current version for Backup slots. *)
+let current_of heap ~slot =
+  match Pmalloc.Heap.get_policy heap slot with
+  | Pmalloc.Heap.Full -> Pmalloc.Heap.root_get heap slot
+  | Pmalloc.Heap.Backup -> (
+      match Pmalloc.Heap.backup_state heap slot with
+      | Some st -> st.Pmalloc.Heap.b_current
+      | None ->
+          failwith
+            (Printf.sprintf
+               "slot %d: Backup policy but no volatile state; call the \
+                structure's reconstruct first"
+               slot))
+
+(* Build and flush a fresh descriptor + empty op log anchored at
+   [anchor].  No fence here: the caller's CommitSingle drains the
+   descriptor, log-header and policy clwbs before swinging the root, so
+   a durable descriptor root implies all of them are durable.  Must run
+   outside any backup-update bracket (the descriptor itself needs its
+   eager flush). *)
+let build_descriptor heap ~slot anchor =
+  let log =
+    Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw
+      ~words:Pmalloc.Backup.log_alloc_words
+  in
+  (* header lines only: entries validate through their own nonce-bound
+     checksums, so the garbage body needs no scrub *)
+  Pmalloc.Heap.clwb_range heap
+    (Pmalloc.Block.header_of_body log)
+    Pmalloc.Block.header_words;
+  let nonce = Pmalloc.Heap.next_root_seq heap slot in
+  let desc = Pfds.Node.alloc heap ~words:Pmalloc.Backup.desc_words in
+  Pfds.Node.set heap desc Pmalloc.Backup.d_magic Pmalloc.Backup.magic_word;
+  Pfds.Node.set heap desc Pmalloc.Backup.d_nonce (Pmem.Word.of_int nonce);
+  Pfds.Node.set_shared heap desc Pmalloc.Backup.d_anchor anchor;
+  Pfds.Node.set heap desc Pmalloc.Backup.d_log (Pmem.Word.of_ptr log);
+  Pfds.Node.finish heap desc;
+  (desc, log, nonce)
+
+(* Re-anchor a Backup slot at [latest]: flush everything the bracket
+   suppressed, install a fresh descriptor + empty log with one
+   CommitSingle, and reset the volatile state.  Ownership of [latest]
+   transfers: the descriptor takes an anchor reference and the volatile
+   current keeps the caller's. *)
+let checkpoint ?(intermediates = []) heap ~slot latest =
+  Pmalloc.Heap.flush_backlog heap;
+  let desc, log, nonce = build_descriptor heap ~slot latest in
+  let old = Pmalloc.Heap.backup_state heap slot in
+  (* releases the old descriptor, cascading into the old anchor and log *)
+  single ~intermediates heap ~slot (Pmem.Word.of_ptr desc);
+  (match old with
+  | Some st
+    when Pmem.Word.bits st.Pmalloc.Heap.b_current <> Pmem.Word.bits latest ->
+      release_version heap st.Pmalloc.Heap.b_current
+  | _ -> ());
+  Pmalloc.Heap.install_backup_state heap slot ~current:latest ~count:0 ~nonce
+    ~desc ~log
+
+(* Promote a slot to the Backup policy: durably flip its policy word,
+   then install a descriptor anchored at whatever version the slot
+   holds (null for an empty structure).  The policy word's clwb drains
+   at the promotion commit's fence, before the root swing's own clwb is
+   launched -- so a crash can leave Backup-policy + pre-promotion root
+   (re-promoted on next open, see [reconstruct]) but never a descriptor
+   root with a Full policy word. *)
+let enable heap ~slot =
+  let root = Pmalloc.Heap.root_get heap slot in
+  Pmalloc.Heap.set_policy_durable heap slot Pmalloc.Heap.Backup;
+  let desc, log, nonce = build_descriptor heap ~slot root in
+  (* the volatile current keeps a reference of its own, alongside the
+     anchor reference the descriptor just took *)
+  if Pmem.Word.is_ptr root && not (Pmem.Word.is_null root) then
+    Pmalloc.Heap.retain heap (Pmem.Word.to_ptr root);
+  single heap ~slot (Pmem.Word.of_ptr desc);
+  Pmalloc.Heap.install_backup_state heap slot ~current:root ~count:0 ~nonce
+    ~desc ~log
+
+(* The Backup commit: one log entry, one clwb, zero shadow flushes.
+   The fence comes FIRST -- it drains the {e previous} entry's clwb,
+   giving exactly Full commit's epoch-durability window (op k becomes
+   durable at op k+1's commit, or at any explicit fence).  Appending
+   and fencing in the same commit would make op k durable before its
+   caller is told it happened, which the kill-9 oracle rightly flags:
+   a crash between the fence and the acknowledgement would expose a
+   state the application never observed. *)
+let backup_append ?(intermediates = []) heap st ~opcode ~a0 ~a1 ~latest =
+  Pmalloc.Heap.sfence heap;
+  mark_commit heap (fun () ->
+      Pmalloc.Backup.append heap ~log:st.Pmalloc.Heap.b_log
+        ~nonce:st.Pmalloc.Heap.b_nonce ~index:st.Pmalloc.Heap.b_count ~opcode
+        ~a0 ~a1);
+  st.Pmalloc.Heap.b_count <- st.Pmalloc.Heap.b_count + 1;
+  let old = st.Pmalloc.Heap.b_current in
+  st.Pmalloc.Heap.b_current <- latest;
+  if Pmem.Word.bits old <> Pmem.Word.bits latest then release_version heap old;
+  List.iter (release_version heap) intermediates
+
+(* Rebuild a Backup slot's volatile current version after a crash (or on
+   first open by a fresh process): read the descriptor, replay the log's
+   valid entry prefix from the anchor through the structure's [apply],
+   and install the result.  Idempotent; no durable writes -- the replayed
+   versions stay volatile-clean exactly as the originals did, covered by
+   the same log entries. *)
+let reconstruct heap ~slot ~apply =
+  match Pmalloc.Heap.get_policy heap slot with
+  | Pmalloc.Heap.Full -> ()
+  | Pmalloc.Heap.Backup -> (
+      match Pmalloc.Heap.backup_state heap slot with
+      | Some _ -> ()
+      | None ->
+          let root = Pmalloc.Heap.root_get heap slot in
+          let is_desc =
+            Pmem.Word.is_ptr root
+            && (not (Pmem.Word.is_null root))
+            && Pmalloc.Backup.is_magic
+                 (Pmalloc.Heap.load heap
+                    (Pmem.Word.to_ptr root + Pmalloc.Backup.d_magic))
+          in
+          if not is_desc then
+            (* promotion tear: the policy word persisted but the
+               descriptor swing did not; the root is the pre-promotion
+               (Full-shaped, possibly null) version.  Promote again. *)
+            enable heap ~slot
+          else begin
+            let body = Pmem.Word.to_ptr root in
+            let nonce =
+              Pmem.Word.to_int
+                (Pmalloc.Heap.load heap (body + Pmalloc.Backup.d_nonce))
+            in
+            let anchor =
+              Pmalloc.Heap.load heap (body + Pmalloc.Backup.d_anchor)
+            in
+            let log =
+              Pmem.Word.to_ptr
+                (Pmalloc.Heap.load heap (body + Pmalloc.Backup.d_log))
+            in
+            let entries =
+              Pmalloc.Backup.valid_entries
+                ~load:(Pmalloc.Heap.load heap)
+                ~log ~nonce
+            in
+            if Pmem.Word.is_ptr anchor && not (Pmem.Word.is_null anchor) then
+              Pmalloc.Heap.retain heap (Pmem.Word.to_ptr anchor);
+            let current = ref anchor in
+            Pmalloc.Heap.enter_backup_update heap;
+            Fun.protect
+              ~finally:(fun () -> Pmalloc.Heap.exit_backup_update heap)
+              (fun () ->
+                List.iter
+                  (fun (opcode, a0, a1) ->
+                    let next = apply !current ~opcode ~a0 ~a1 in
+                    if Pmem.Word.bits next <> Pmem.Word.bits !current then begin
+                      release_version heap !current;
+                      current := next
+                    end)
+                  entries);
+            Pmalloc.Heap.install_backup_state heap slot ~current:!current
+              ~count:(List.length entries) ~nonce ~desc:body ~log
+          end)
+
 (* The Update half of CommitSiblings: build and flush a fresh parent that
    points at the [fields] shadows and shares every other field of the old
    parent.  Returns the owned fresh-parent word; no fence here, so batched

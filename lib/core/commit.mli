@@ -43,3 +43,63 @@ val unrelated :
 
 val release_version : Pmalloc.Heap.t -> Pmem.Word.t -> unit
 (** Drop one reference to a version (no-op on null/scalar words). *)
+
+(** {1 "Don't Persist All": the Backup commit policy}
+
+    A Backup-policy slot's root holds a descriptor [magic; nonce;
+    anchor; log] ({!Pmalloc.Backup}); commits append one checksummed log
+    entry (a single clwb) instead of flushing the shadow path, and the
+    volatile current version is rebuilt after a crash by replaying the
+    log from the anchor.  Structures drive these through
+    {!Handle.commit}'s [?entry] and their own [reconstruct]. *)
+
+val current_of : Pmalloc.Heap.t -> slot:int -> Pmem.Word.t
+(** The version a reader should see: the durable root for Full slots,
+    the volatile current version for Backup slots.  Raises [Failure] on
+    a Backup slot whose state has not been reconstructed yet. *)
+
+val enable : Pmalloc.Heap.t -> slot:int -> unit
+(** Promote a slot to the Backup policy: durably flip its policy word,
+    then commit a descriptor anchored at the slot's present version
+    (null for an empty structure) and install fresh volatile state.
+    One fence.  A crash mid-promotion leaves either the old Full state
+    or Backup-policy + pre-promotion root, which [reconstruct]
+    re-promotes. *)
+
+val backup_append :
+  ?intermediates:Pmem.Word.t list ->
+  Pmalloc.Heap.t ->
+  Pmalloc.Heap.backup_state ->
+  opcode:int ->
+  a0:Pmem.Word.t ->
+  a1:Pmem.Word.t ->
+  latest:Pmem.Word.t ->
+  unit
+(** The Backup commit: fence (draining the {e previous} entry's clwb --
+    the same epoch-durability window as a Full commit), append + clwb
+    one log entry, advance the volatile current to [latest] and release
+    the superseded versions. *)
+
+val checkpoint :
+  ?intermediates:Pmem.Word.t list ->
+  Pmalloc.Heap.t ->
+  slot:int ->
+  Pmem.Word.t ->
+  unit
+(** Re-anchor a Backup slot at the given version: flush the backlogged
+    interior nodes, commit a fresh descriptor + empty op log with one
+    CommitSingle, reset the volatile state.  Used when the log fills or
+    an operation's arguments cannot ride in a log entry. *)
+
+val reconstruct :
+  Pmalloc.Heap.t ->
+  slot:int ->
+  apply:
+    (Pmem.Word.t -> opcode:int -> a0:Pmem.Word.t -> a1:Pmem.Word.t ->
+     Pmem.Word.t) ->
+  unit
+(** Rebuild a Backup slot's volatile current version: replay the log's
+    valid prefix from the anchor through [apply] (the structure's pure
+    op dispatcher, returning the owned successor version).  Idempotent,
+    no durable writes; a no-op on Full slots.  An interrupted promotion
+    (Backup policy, non-descriptor root) is re-promoted here. *)

@@ -22,16 +22,6 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
   let span_n t op n f =
     Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
-  (* A null version is a valid (empty) map, so opening just binds the
-     slot; the first insert installs the first node. *)
-  let open_or_create heap ~slot =
-    ignore heap;
-    Handle.make heap ~slot
-
-  let open_result heap ~slot =
-    Handle.open_slot heap ~slot
-      ~validate:(Handle.expect_shape ~expected:"CHAMP node (scanned block)")
-
   let handle t = t
   let empty_version _heap = T.empty
 
@@ -45,6 +35,42 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
      absent; callers skip the commit in that case. *)
   let remove_pure heap version key = T.remove heap version key
 
+  (* -- Backup-policy op log ---------------------------------------------- *)
+
+  let op_insert = 0
+  let op_remove = 1
+
+  let apply heap version ~opcode ~a0 ~a1 =
+    match opcode with
+    | 0 -> insert_pure heap version (K.read heap a0) (V.read heap a1)
+    | 1 -> fst (remove_pure heap version (K.read heap a0))
+    | _ -> Printf.ksprintf failwith "dmap: unknown log opcode %d" opcode
+
+  let reconstruct heap ~slot = Commit.reconstruct heap ~slot ~apply:(apply heap)
+
+  (* A null version is a valid (empty) map, so opening just binds the
+     slot; the first insert installs the first node. *)
+  let open_or_create ?persist heap ~slot =
+    let t = Handle.make heap ~slot in
+    (match (persist, Pmalloc.Heap.get_policy heap slot) with
+    | Some Pmalloc.Heap.Full, Pmalloc.Heap.Backup ->
+        invalid_arg "Dmap.open_or_create: slot is committed as Backup"
+    | (None | Some Pmalloc.Heap.Full), Pmalloc.Heap.Full -> ()
+    | Some Pmalloc.Heap.Backup, Pmalloc.Heap.Full -> Commit.enable heap ~slot
+    | _, Pmalloc.Heap.Backup -> reconstruct heap ~slot);
+    t
+
+  let open_result heap ~slot =
+    match
+      Handle.open_slot heap ~slot
+        ~validate:(Handle.expect_shape ~expected:"CHAMP node (scanned block)")
+    with
+    | Error _ as e -> e
+    | Ok h ->
+        if Pmalloc.Heap.get_policy heap slot = Pmalloc.Heap.Backup then
+          reconstruct heap ~slot;
+        Ok h
+
   let find_in heap version key = T.find heap version key
   let mem_in heap version key = T.mem heap version key
   let card_of heap version = T.cardinal heap version
@@ -56,13 +82,28 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
   let insert t key value =
     span t "insert" (fun () ->
         let heap = Handle.heap t in
-        Handle.commit t (insert_pure heap (Handle.current t) key value))
+        let shadow =
+          Handle.pure t (fun cur -> insert_pure heap cur key value)
+        in
+        let entry =
+          match (K.log_word key, V.log_word value) with
+          | Some kw, Some vw -> Some (op_insert, kw, vw)
+          | _ -> None
+        in
+        Handle.commit ?entry t shadow)
 
   let remove t key =
     span t "remove" (fun () ->
         let heap = Handle.heap t in
-        let shadow, removed = remove_pure heap (Handle.current t) key in
-        if removed then Handle.commit t shadow;
+        let shadow, removed =
+          Handle.pure t (fun cur -> remove_pure heap cur key)
+        in
+        let entry =
+          match K.log_word key with
+          | Some kw -> Some (op_remove, kw, Pmem.Word.of_int 0)
+          | None -> None
+        in
+        if removed then Handle.commit ?entry t shadow;
         removed)
 
   (* -- Group commit: N updates, one one-fence FASE ----------------------- *)

@@ -10,10 +10,14 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) : sig
 
   val structure : string
 
-  val open_or_create : Pmalloc.Heap.t -> slot:int -> t
-  (** Bind [slot]; a null slot is a valid empty map. *)
+  val open_or_create :
+    ?persist:Pmalloc.Heap.policy -> Pmalloc.Heap.t -> slot:int -> t
+  (** Bind [slot]; a null slot is a valid empty map.  [~persist:Backup]
+      promotes the slot to the "Don't Persist All" commit policy (see
+      {!Intf.DURABLE}). *)
 
   val open_result : Pmalloc.Heap.t -> slot:int -> (t, Error.t) result
+  val reconstruct : Pmalloc.Heap.t -> slot:int -> unit
   val handle : t -> Handle.t
   val empty_version : Pmalloc.Heap.t -> Pmem.Word.t
 

@@ -16,25 +16,59 @@ let span t op f =
 let span_n t op n f =
   Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
-(* A null version is a valid (empty) heap. *)
-let open_or_create heap ~slot = Handle.make heap ~slot
-
-let open_result heap ~slot =
-  Handle.open_slot heap ~slot
-    ~validate:
-      (Handle.expect_shape ~expected:"leftist-heap node (4 scanned words)"
-         ~words:4)
-
 let handle t = t
 let empty_version _heap = Pfds.Pheap.empty
 let insert_pure = Pfds.Pheap.insert
 let delete_min_pure = Pfds.Pheap.delete_min
 let add_pure = insert_pure
 
+(* -- Backup-policy op log -------------------------------------------------- *)
+
+let op_insert = 0
+let op_delete_min = 1
+
+let apply heap version ~opcode ~a0 ~a1 =
+  ignore a1;
+  match opcode with
+  | 0 -> Pfds.Pheap.insert heap version (Pmem.Word.to_int a0)
+  | 1 -> (
+      match Pfds.Pheap.delete_min heap version with
+      | Some (_, shadow) -> shadow
+      | None -> version)
+  | _ -> Printf.ksprintf failwith "dpqueue: unknown log opcode %d" opcode
+
+let reconstruct heap ~slot = Commit.reconstruct heap ~slot ~apply:(apply heap)
+
+(* A null version is a valid (empty) heap. *)
+let open_or_create ?persist heap ~slot =
+  let t = Handle.make heap ~slot in
+  (match (persist, Pmalloc.Heap.get_policy heap slot) with
+  | Some Pmalloc.Heap.Full, Pmalloc.Heap.Backup ->
+      invalid_arg "Dpqueue.open_or_create: slot is committed as Backup"
+  | (None | Some Pmalloc.Heap.Full), Pmalloc.Heap.Full -> ()
+  | Some Pmalloc.Heap.Backup, Pmalloc.Heap.Full -> Commit.enable heap ~slot
+  | _, Pmalloc.Heap.Backup -> reconstruct heap ~slot);
+  t
+
+let open_result heap ~slot =
+  match
+    Handle.open_slot heap ~slot
+      ~validate:
+        (Handle.expect_shape ~expected:"leftist-heap node (4 scanned words)"
+           ~words:4)
+  with
+  | Error _ as e -> e
+  | Ok h ->
+      if Pmalloc.Heap.get_policy heap slot = Pmalloc.Heap.Backup then
+        reconstruct heap ~slot;
+      Ok h
+
 let insert t p =
   span t "insert" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t (Pfds.Pheap.insert heap (Handle.current t) p))
+      let shadow = Handle.pure t (fun cur -> Pfds.Pheap.insert heap cur p) in
+      Handle.commit ~entry:(op_insert, Pmem.Word.of_int p, Pmem.Word.of_int 0) t
+        shadow)
 
 let find_min t =
   span t "find_min" (fun () ->
@@ -43,10 +77,12 @@ let find_min t =
 let delete_min t =
   span t "delete_min" (fun () ->
       let heap = Handle.heap t in
-      match Pfds.Pheap.delete_min heap (Handle.current t) with
+      match Handle.pure t (fun cur -> Pfds.Pheap.delete_min heap cur) with
       | None -> None
       | Some (p, shadow) ->
-          Handle.commit t shadow;
+          Handle.commit
+            ~entry:(op_delete_min, Pmem.Word.of_int 0, Pmem.Word.of_int 0)
+            t shadow;
           Some p)
 
 (* Group commit: insert N priorities in one one-fence FASE. *)

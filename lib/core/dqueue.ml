@@ -12,10 +12,47 @@ let span t op f =
 let span_n t op n f =
   Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
-let open_or_create heap ~slot =
+let handle t = t
+let empty_version heap = Pfds.Pqueue.create heap
+let enqueue_pure = Pfds.Pqueue.enqueue
+let dequeue_pure = Pfds.Pqueue.dequeue
+let add_pure = enqueue_pure
+
+(* -- Backup-policy op log -------------------------------------------------- *)
+
+let op_enqueue = 0
+let op_dequeue = 1
+
+let apply heap version ~opcode ~a0 ~a1 =
+  ignore a1;
+  match opcode with
+  | 0 -> Pfds.Pqueue.enqueue heap version a0
+  | 1 -> (
+      match Pfds.Pqueue.dequeue heap version with
+      | Some (_, shadow) -> shadow
+      | None -> version)
+  | _ -> Printf.ksprintf failwith "dqueue: unknown log opcode %d" opcode
+
+let reconstruct heap ~slot = Commit.reconstruct heap ~slot ~apply:(apply heap)
+
+let entry_of_elt op w =
+  if Pmem.Word.is_ptr w then None else Some (op, w, Pmem.Word.of_int 0)
+
+let open_or_create ?persist heap ~slot =
   let h = Handle.make heap ~slot in
-  if not (Handle.is_initialized h) then
-    Handle.initialize h (Pfds.Pqueue.create heap);
+  (match (persist, Pmalloc.Heap.get_policy heap slot) with
+  | Some Pmalloc.Heap.Full, Pmalloc.Heap.Backup ->
+      invalid_arg "Dqueue.open_or_create: slot is committed as Backup"
+  | (None | Some Pmalloc.Heap.Full), Pmalloc.Heap.Full ->
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Pqueue.create heap)
+  | Some Pmalloc.Heap.Backup, Pmalloc.Heap.Full ->
+      (* install the empty descriptor under the Full protocol, then
+         promote: the promotion commit anchors it *)
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Pqueue.create heap);
+      Commit.enable heap ~slot
+  | _, Pmalloc.Heap.Backup -> reconstruct heap ~slot);
   h
 
 let open_result heap ~slot =
@@ -27,28 +64,27 @@ let open_result heap ~slot =
   with
   | Error _ as e -> e
   | Ok h ->
-      if not (Handle.is_initialized h) then
-        Handle.initialize h (Pfds.Pqueue.create heap);
+      (if Pmalloc.Heap.get_policy heap slot = Pmalloc.Heap.Backup then
+         reconstruct heap ~slot
+       else if not (Handle.is_initialized h) then
+         Handle.initialize h (Pfds.Pqueue.create heap));
       Ok h
-
-let handle t = t
-let empty_version heap = Pfds.Pqueue.create heap
-let enqueue_pure = Pfds.Pqueue.enqueue
-let dequeue_pure = Pfds.Pqueue.dequeue
-let add_pure = enqueue_pure
 
 let enqueue t w =
   span t "enqueue" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t (Pfds.Pqueue.enqueue heap (Handle.current t) w))
+      let shadow = Handle.pure t (fun cur -> Pfds.Pqueue.enqueue heap cur w) in
+      Handle.commit ?entry:(entry_of_elt op_enqueue w) t shadow)
 
 let dequeue t =
   span t "dequeue" (fun () ->
       let heap = Handle.heap t in
-      match Pfds.Pqueue.dequeue heap (Handle.current t) with
+      match Handle.pure t (fun cur -> Pfds.Pqueue.dequeue heap cur) with
       | None -> None
       | Some (v, shadow) ->
-          Handle.commit t shadow;
+          Handle.commit
+            ~entry:(op_dequeue, Pmem.Word.of_int 0, Pmem.Word.of_int 0)
+            t shadow;
           Some v)
 
 (* Group commit: enqueue N elements in one one-fence FASE. *)

@@ -15,9 +15,41 @@ let span t op f =
 let span_n t op n f =
   Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
-let open_or_create heap ~slot =
+let handle t = t
+
+(* -- Backup-policy op log -------------------------------------------------- *)
+
+let op_push_back = 0
+let op_set = 1
+let op_restrict = 2
+
+let apply heap version ~opcode ~a0 ~a1 =
+  match opcode with
+  | 0 -> Pfds.Rrb.push_back heap version a0
+  | 1 -> Pfds.Rrb.set heap version (Pmem.Word.to_int a0) a1
+  | 2 ->
+      Pfds.Rrb.slice heap version ~pos:(Pmem.Word.to_int a0)
+        ~len:(Pmem.Word.to_int a1)
+  | _ -> Printf.ksprintf failwith "dseq: unknown log opcode %d" opcode
+
+let reconstruct heap ~slot = Commit.reconstruct heap ~slot ~apply:(apply heap)
+
+let entry_of_elt op w =
+  if Pmem.Word.is_ptr w then None else Some (op, w, Pmem.Word.of_int 0)
+
+let open_or_create ?persist heap ~slot =
   let h = Handle.make heap ~slot in
-  if not (Handle.is_initialized h) then Handle.initialize h (Pfds.Rrb.create heap);
+  (match (persist, Pmalloc.Heap.get_policy heap slot) with
+  | Some Pmalloc.Heap.Full, Pmalloc.Heap.Backup ->
+      invalid_arg "Dseq.open_or_create: slot is committed as Backup"
+  | (None | Some Pmalloc.Heap.Full), Pmalloc.Heap.Full ->
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Rrb.create heap)
+  | Some Pmalloc.Heap.Backup, Pmalloc.Heap.Full ->
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Rrb.create heap);
+      Commit.enable heap ~slot
+  | _, Pmalloc.Heap.Backup -> reconstruct heap ~slot);
   h
 
 let open_result heap ~slot =
@@ -29,11 +61,11 @@ let open_result heap ~slot =
   with
   | Error _ as e -> e
   | Ok h ->
-      if not (Handle.is_initialized h) then
-        Handle.initialize h (Pfds.Rrb.create heap);
+      (if Pmalloc.Heap.get_policy heap slot = Pmalloc.Heap.Backup then
+         reconstruct heap ~slot
+       else if not (Handle.is_initialized h) then
+         Handle.initialize h (Pfds.Rrb.create heap));
       Ok h
-
-let handle t = t
 
 (* -- Composition interface ------------------------------------------------ *)
 
@@ -51,25 +83,40 @@ let add_pure heap version w = Pfds.Rrb.push_back heap version w
 let push_back t w =
   span t "push_back" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t (Pfds.Rrb.push_back heap (Handle.current t) w))
+      let shadow = Handle.pure t (fun cur -> Pfds.Rrb.push_back heap cur w) in
+      Handle.commit ?entry:(entry_of_elt op_push_back w) t shadow)
 
 let set t i w =
   span t "set" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t (Pfds.Rrb.set heap (Handle.current t) i w))
+      let shadow = Handle.pure t (fun cur -> Pfds.Rrb.set heap cur i w) in
+      let entry =
+        if Pmem.Word.is_ptr w then None else Some (op_set, Pmem.Word.of_int i, w)
+      in
+      Handle.commit ?entry t shadow)
 
-(* Append another durable sequence's current contents, failure-atomically. *)
+(* Append another durable sequence's current contents, failure-atomically.
+   The other handle's version is not expressible in a log entry, so a
+   Backup slot takes a checkpoint here. *)
 let append t other =
   span t "append" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t
-        (Pfds.Rrb.concat heap (Handle.current t) (Handle.current other)))
+      let shadow =
+        Handle.pure t (fun cur ->
+            Pfds.Rrb.concat heap cur (Handle.current other))
+      in
+      Handle.commit t shadow)
 
 (* Keep only [pos, pos+len), failure-atomically. *)
 let restrict t ~pos ~len =
   span t "restrict" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t (Pfds.Rrb.slice heap (Handle.current t) ~pos ~len))
+      let shadow =
+        Handle.pure t (fun cur -> Pfds.Rrb.slice heap cur ~pos ~len)
+      in
+      Handle.commit
+        ~entry:(op_restrict, Pmem.Word.of_int pos, Pmem.Word.of_int len)
+        t shadow)
 
 (* Group commit: push N elements in one one-fence FASE. *)
 let push_back_many t ws =

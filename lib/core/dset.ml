@@ -20,6 +20,7 @@ module Make (K : Pfds.Kv.CODEC) = struct
 
   let open_or_create = M.open_or_create
   let open_result = M.open_result
+  let reconstruct = M.reconstruct
   let handle t = t
   let empty_version = M.empty_version
   let add_pure heap version key = M.insert_pure heap version key ()

@@ -15,26 +15,64 @@ let span t op f =
 let span_n t op n f =
   Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
-(* A null version is a valid (empty) stack, so opening just binds the
-   slot; the first push installs the first node. *)
-let open_or_create heap ~slot = Handle.make heap ~slot
-
-let open_result heap ~slot =
-  Handle.open_slot heap ~slot
-    ~validate:
-      (Handle.expect_shape ~expected:"stack cons cell (2 scanned words)"
-         ~words:2)
-
 let handle t = t
 let empty_version _heap = Pfds.Pstack.empty
 let push_pure = Pfds.Pstack.push
 let pop_pure = Pfds.Pstack.pop
 let add_pure = push_pure
 
+(* -- Backup-policy op log -------------------------------------------------- *)
+
+let op_push = 0
+let op_pop = 1
+
+let apply heap version ~opcode ~a0 ~a1 =
+  ignore a1;
+  match opcode with
+  | 0 -> Pfds.Pstack.push heap version a0
+  | 1 -> (
+      match Pfds.Pstack.pop heap version with
+      | Some (_, shadow) -> shadow
+      | None -> version)
+  | _ -> Printf.ksprintf failwith "dstack: unknown log opcode %d" opcode
+
+let reconstruct heap ~slot = Commit.reconstruct heap ~slot ~apply:(apply heap)
+
+(* Only scalar elements can ride in a log entry; a pointer-valued push
+   (blob element) forces a checkpoint instead. *)
+let entry_of_elt op w =
+  if Pmem.Word.is_ptr w then None else Some (op, w, Pmem.Word.of_int 0)
+
+(* A null version is a valid (empty) stack, so opening just binds the
+   slot; the first push installs the first node. *)
+let open_or_create ?persist heap ~slot =
+  let t = Handle.make heap ~slot in
+  (match (persist, Pmalloc.Heap.get_policy heap slot) with
+  | Some Pmalloc.Heap.Full, Pmalloc.Heap.Backup ->
+      invalid_arg "Dstack.open_or_create: slot is committed as Backup"
+  | (None | Some Pmalloc.Heap.Full), Pmalloc.Heap.Full -> ()
+  | Some Pmalloc.Heap.Backup, Pmalloc.Heap.Full -> Commit.enable heap ~slot
+  | _, Pmalloc.Heap.Backup -> reconstruct heap ~slot);
+  t
+
+let open_result heap ~slot =
+  match
+    Handle.open_slot heap ~slot
+      ~validate:
+        (Handle.expect_shape ~expected:"stack cons cell (2 scanned words)"
+           ~words:2)
+  with
+  | Error _ as e -> e
+  | Ok h ->
+      if Pmalloc.Heap.get_policy heap slot = Pmalloc.Heap.Backup then
+        reconstruct heap ~slot;
+      Ok h
+
 let push t w =
   span t "push" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t (Pfds.Pstack.push heap (Handle.current t) w))
+      let shadow = Handle.pure t (fun cur -> Pfds.Pstack.push heap cur w) in
+      Handle.commit ?entry:(entry_of_elt op_push w) t shadow)
 
 (* Pop returns the value word of the popped element; for inline scalars
    this is the value itself.  For blob-valued stacks, read the payload via
@@ -43,10 +81,11 @@ let push t w =
 let pop t =
   span t "pop" (fun () ->
       let heap = Handle.heap t in
-      match Pfds.Pstack.pop heap (Handle.current t) with
+      match Handle.pure t (fun cur -> Pfds.Pstack.pop heap cur) with
       | None -> None
       | Some (v, shadow) ->
-          Handle.commit t shadow;
+          Handle.commit ~entry:(op_pop, Pmem.Word.of_int 0, Pmem.Word.of_int 0)
+            t shadow;
           Some v)
 
 (* Group commit: push N elements in one one-fence FASE. *)

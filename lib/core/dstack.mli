@@ -9,8 +9,10 @@ type t = Handle.t
 type elt = Pmem.Word.t
 
 val structure : string
-val open_or_create : Pmalloc.Heap.t -> slot:int -> t
+val open_or_create :
+  ?persist:Pmalloc.Heap.policy -> Pmalloc.Heap.t -> slot:int -> t
 val open_result : Pmalloc.Heap.t -> slot:int -> (t, Error.t) result
+val reconstruct : Pmalloc.Heap.t -> slot:int -> unit
 val handle : t -> Handle.t
 val empty_version : Pmalloc.Heap.t -> Pmem.Word.t
 

@@ -15,10 +15,48 @@ let span t op f =
 let span_n t op n f =
   Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
 
-let open_or_create heap ~slot =
+let handle t = t
+
+(* -- Backup-policy op log -------------------------------------------------- *)
+
+let op_push_back = 0
+let op_set = 1
+let op_pop_back = 2
+let op_swap = 3
+
+let apply heap version ~opcode ~a0 ~a1 =
+  match opcode with
+  | 0 -> Pfds.Pvec.push_back heap version a0
+  | 1 -> Pfds.Pvec.set heap version (Pmem.Word.to_int a0) a1
+  | 2 -> snd (Pfds.Pvec.pop_back heap version)
+  | 3 ->
+      let i = Pmem.Word.to_int a0 and j = Pmem.Word.to_int a1 in
+      let vi = Pfds.Pvec.get heap version i in
+      let vj = Pfds.Pvec.get heap version j in
+      let shadow = Pfds.Pvec.set heap version i vj in
+      let shadow_shadow = Pfds.Pvec.set heap shadow j vi in
+      Commit.release_version heap shadow;
+      shadow_shadow
+  | _ -> Printf.ksprintf failwith "dvec: unknown log opcode %d" opcode
+
+let reconstruct heap ~slot = Commit.reconstruct heap ~slot ~apply:(apply heap)
+
+let entry_of_elt op w =
+  if Pmem.Word.is_ptr w then None else Some (op, w, Pmem.Word.of_int 0)
+
+let open_or_create ?persist heap ~slot =
   let h = Handle.make heap ~slot in
-  if not (Handle.is_initialized h) then
-    Handle.initialize h (Pfds.Pvec.create heap);
+  (match (persist, Pmalloc.Heap.get_policy heap slot) with
+  | Some Pmalloc.Heap.Full, Pmalloc.Heap.Backup ->
+      invalid_arg "Dvec.open_or_create: slot is committed as Backup"
+  | (None | Some Pmalloc.Heap.Full), Pmalloc.Heap.Full ->
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Pvec.create heap)
+  | Some Pmalloc.Heap.Backup, Pmalloc.Heap.Full ->
+      if not (Handle.is_initialized h) then
+        Handle.initialize h (Pfds.Pvec.create heap);
+      Commit.enable heap ~slot
+  | _, Pmalloc.Heap.Backup -> reconstruct heap ~slot);
   h
 
 let open_result heap ~slot =
@@ -30,11 +68,11 @@ let open_result heap ~slot =
   with
   | Error _ as e -> e
   | Ok h ->
-      if not (Handle.is_initialized h) then
-        Handle.initialize h (Pfds.Pvec.create heap);
+      (if Pmalloc.Heap.get_policy heap slot = Pmalloc.Heap.Backup then
+         reconstruct heap ~slot
+       else if not (Handle.is_initialized h) then
+         Handle.initialize h (Pfds.Pvec.create heap));
       Ok h
-
-let handle t = t
 
 (* -- Composition interface ------------------------------------------------ *)
 
@@ -51,32 +89,45 @@ let add_pure = push_back_pure
 let push_back t w =
   span t "push_back" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t (Pfds.Pvec.push_back heap (Handle.current t) w))
+      let shadow = Handle.pure t (fun cur -> Pfds.Pvec.push_back heap cur w) in
+      Handle.commit ?entry:(entry_of_elt op_push_back w) t shadow)
 
 let set t i w =
   span t "set" (fun () ->
       let heap = Handle.heap t in
-      Handle.commit t (Pfds.Pvec.set heap (Handle.current t) i w))
+      let shadow = Handle.pure t (fun cur -> Pfds.Pvec.set heap cur i w) in
+      let entry =
+        if Pmem.Word.is_ptr w then None else Some (op_set, Pmem.Word.of_int i, w)
+      in
+      Handle.commit ?entry t shadow)
 
 let pop_back t =
   span t "pop_back" (fun () ->
       let heap = Handle.heap t in
-      let v, shadow = Pfds.Pvec.pop_back heap (Handle.current t) in
-      Handle.commit t shadow;
+      let v, shadow = Handle.pure t (fun cur -> Pfds.Pvec.pop_back heap cur) in
+      Handle.commit
+        ~entry:(op_pop_back, Pmem.Word.of_int 0, Pmem.Word.of_int 0)
+        t shadow;
       v)
 
 (* Swap two elements failure-atomically: Figure 7b.  The first update
    produces VectorPtrShadow, the second VectorPtrShadowShadow; Commit
-   installs the latter and reclaims the intermediate. *)
+   installs the latter and reclaims the intermediate.  Under Backup the
+   whole multi-update FASE is one log entry: replay re-derives both
+   element values from the version it rebuilds. *)
 let swap t i j =
   span t "swap" (fun () ->
       let heap = Handle.heap t in
-      let v = Handle.current t in
-      let vi = Pfds.Pvec.get heap v i in
-      let vj = Pfds.Pvec.get heap v j in
-      let shadow = Pfds.Pvec.set heap v i vj in
-      let shadow_shadow = Pfds.Pvec.set heap shadow j vi in
-      Handle.commit ~intermediates:[ shadow ] t shadow_shadow)
+      let shadow, shadow_shadow =
+        Handle.pure t (fun v ->
+            let vi = Pfds.Pvec.get heap v i in
+            let vj = Pfds.Pvec.get heap v j in
+            let shadow = Pfds.Pvec.set heap v i vj in
+            (shadow, Pfds.Pvec.set heap shadow j vi))
+      in
+      Handle.commit ~intermediates:[ shadow ]
+        ~entry:(op_swap, Pmem.Word.of_int i, Pmem.Word.of_int j)
+        t shadow_shadow)
 
 (* Group commit: push N elements in one one-fence FASE, intermediate
    shadows reclaimed at the commit (the batched form of Figure 7b). *)

@@ -12,22 +12,62 @@ type t = { heap : Pmalloc.Heap.t; slot : int }
 let make heap ~slot = { heap; slot }
 let heap t = t.heap
 let slot t = t.slot
-let current t = Pmalloc.Heap.root_get t.heap t.slot
+
+(* Policy-aware: the durable root for Full slots, the volatile
+   (log-covered) current version for Backup slots. *)
+let current t = Commit.current_of t.heap ~slot:t.slot
 let is_initialized t = not (Pmem.Word.is_null (current t))
 
-(* Install an initial version into an empty slot, failure-atomically. *)
+(* Install an initial version into an empty slot, failure-atomically.
+   Only meaningful while the slot commits as Full (structures initialize
+   before promoting to Backup). *)
 let initialize t version =
   if is_initialized t then invalid_arg "Handle.initialize: slot already bound";
+  if Pmalloc.Heap.get_policy t.heap t.slot = Pmalloc.Heap.Backup then
+    invalid_arg "Handle.initialize: slot already commits as Backup";
   Commit.single t.heap ~slot:t.slot version
 
-let commit ?intermediates t version =
-  Commit.single ?intermediates t.heap ~slot:t.slot version
+(* Run a pure update against the current version.  Under Backup the
+   bracket suppresses the shadows' clwbs into the checkpoint backlog --
+   that is the whole point of the policy. *)
+let pure t f =
+  match Pmalloc.Heap.get_policy t.heap t.slot with
+  | Pmalloc.Heap.Full -> f (current t)
+  | Pmalloc.Heap.Backup ->
+      Pmalloc.Heap.enter_backup_update t.heap;
+      Fun.protect
+        ~finally:(fun () -> Pmalloc.Heap.exit_backup_update t.heap)
+        (fun () -> f (current t))
+
+(* [entry] describes the operation as a Backup log record; [None] (blob
+   arguments, multi-structure ops) forces a checkpoint on Backup slots.
+   Full slots ignore it and CommitSingle as always. *)
+let commit ?intermediates ?entry t version =
+  match Pmalloc.Heap.get_policy t.heap t.slot with
+  | Pmalloc.Heap.Full -> Commit.single ?intermediates t.heap ~slot:t.slot version
+  | Pmalloc.Heap.Backup -> (
+      let st =
+        match Pmalloc.Heap.backup_state t.heap t.slot with
+        | Some st -> st
+        | None -> failwith "Handle.commit: Backup slot not reconstructed"
+      in
+      match entry with
+      | Some (opcode, a0, a1)
+        when st.Pmalloc.Heap.b_count < Pmalloc.Backup.log_capacity ->
+          Commit.backup_append ?intermediates t.heap st ~opcode ~a0 ~a1
+            ~latest:version
+      | _ -> Commit.checkpoint ?intermediates t.heap ~slot:t.slot version)
 
 (* -- Validated open path ------------------------------------------------- *)
 
+(* Validators below look at the durable root directly (not the
+   policy-aware [current]): on a Backup slot they run before the
+   volatile state exists. *)
+let durable_root t = Pmalloc.Heap.root_get t.heap t.slot
+
 let describe_root t =
   let alloc = Pmalloc.Heap.allocator t.heap in
-  let body = Pmem.Word.to_ptr (current t) in
+  let body = Pmem.Word.to_ptr (durable_root t) in
   Printf.sprintf "%s block, %d words"
     (match Pmalloc.Allocator.kind_of alloc body with
     | Pmalloc.Block.Scanned -> "scanned"
@@ -36,15 +76,27 @@ let describe_root t =
 
 (* Best-effort shape check for a non-null root known to point at an
    allocated block: every MOD version root is a Scanned block, and the
-   descriptor-rooted structures have a fixed descriptor word count. *)
+   descriptor-rooted structures have a fixed descriptor word count.
+   On a Backup slot the durable root is the policy descriptor, not a
+   structure version, so the check validates the descriptor shape
+   instead; the structure's own version is volatile until [reconstruct]
+   replays the log.  (An interrupted promotion leaves a Full-shaped
+   root under the Backup policy word -- that still gets the structure
+   check.) *)
 let expect_shape ~expected ?words t =
   let alloc = Pmalloc.Heap.allocator t.heap in
-  let body = Pmem.Word.to_ptr (current t) in
+  let body = Pmem.Word.to_ptr (durable_root t) in
+  let is_descriptor =
+    Pmalloc.Heap.get_policy t.heap t.slot = Pmalloc.Heap.Backup
+    && Pmalloc.Backup.is_magic
+         (Pmalloc.Heap.load t.heap (body + Pmalloc.Backup.d_magic))
+  in
   let kind_ok = Pmalloc.Allocator.kind_of alloc body = Pmalloc.Block.Scanned in
   let words_ok =
-    match words with
-    | None -> true
-    | Some n -> Pmalloc.Allocator.used_of alloc body = n
+    match (is_descriptor, words) with
+    | true, _ -> Pmalloc.Allocator.used_of alloc body = Pmalloc.Backup.desc_words
+    | false, None -> true
+    | false, Some n -> Pmalloc.Allocator.used_of alloc body = n
   in
   if kind_ok && words_ok then Ok t
   else
@@ -57,7 +109,7 @@ let open_slot ?validate heap ~slot =
     Error (Error.Slot_out_of_range { slot; limit })
   else
     let t = { heap; slot } in
-    match current t with
+    match durable_root t with
     | exception Pmalloc.Heap.Torn_root { slot } ->
         Error
           (Error.Torn_root

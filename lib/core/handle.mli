@@ -14,15 +14,32 @@ val heap : t -> Pmalloc.Heap.t
 val slot : t -> int
 
 val current : t -> Pmem.Word.t
-(** The installed durable version (null if none). *)
+(** The installed version (null if none): the durable root for a Full
+    slot, the volatile log-covered version for a Backup slot (raises
+    [Failure] there until the structure's [reconstruct] ran). *)
 
 val is_initialized : t -> bool
 
 val initialize : t -> Pmem.Word.t -> unit
-(** Install an initial version into an empty slot, failure-atomically. *)
+(** Install an initial version into an empty slot, failure-atomically.
+    [Invalid_argument] on Backup slots -- structures initialize before
+    promoting. *)
 
-val commit : ?intermediates:Pmem.Word.t list -> t -> Pmem.Word.t -> unit
-(** CommitSingle against this handle's slot. *)
+val pure : t -> (Pmem.Word.t -> 'a) -> 'a
+(** Run a pure update against {!current}.  On a Backup slot the update
+    runs inside the backup bracket, so its shadows' clwbs are parked in
+    the checkpoint backlog instead of issued. *)
+
+val commit :
+  ?intermediates:Pmem.Word.t list ->
+  ?entry:int * Pmem.Word.t * Pmem.Word.t ->
+  t ->
+  Pmem.Word.t ->
+  unit
+(** Install a version.  Full slot: CommitSingle.  Backup slot: append
+    the [(opcode, a0, a1)] log [entry] ({!Commit.backup_append}) when
+    one is given and the log has room, otherwise {!Commit.checkpoint}.
+    [entry] is ignored on Full slots. *)
 
 (** {1 Validated open path}
 

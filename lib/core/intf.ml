@@ -28,14 +28,25 @@ module type DURABLE = sig
   val structure : string
   (** Telemetry label; also the structure's name in exported metrics. *)
 
-  val open_or_create : Pmalloc.Heap.t -> slot:int -> t
+  val open_or_create :
+    ?persist:Pmalloc.Heap.policy -> Pmalloc.Heap.t -> slot:int -> t
   (** Bind [slot], installing an empty version if the slot is null.
-      No validation: trusts the slot's contents. *)
+      No validation: trusts the slot's contents.  [persist] selects the
+      commit policy: omitted, the slot's durable policy word governs
+      (and a Backup slot is reconstructed); [Backup] promotes a Full
+      slot; [Full] on a Backup-committed slot is [Invalid_argument] --
+      demotion would silently drop the log's tail. *)
 
   val open_result : Pmalloc.Heap.t -> slot:int -> (t, Error.t) result
-  (** Like [open_or_create], but validates the slot first: range check,
-      pointer check, and a best-effort shape check of the root block
-      against this structure's layout. *)
+  (** Like [open_or_create] (following the stored policy), but validates
+      the slot first: range check, pointer check, and a best-effort
+      shape check of the root block against this structure's layout
+      (the Backup descriptor's, when the slot commits as Backup). *)
+
+  val reconstruct : Pmalloc.Heap.t -> slot:int -> unit
+  (** Rebuild a Backup slot's volatile current version by replaying its
+      op log from the checkpoint anchor ({!Commit.reconstruct}).
+      Idempotent; a no-op on Full slots. *)
 
   val handle : t -> Handle.t
 

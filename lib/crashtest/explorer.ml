@@ -255,7 +255,7 @@ let arm_fault_kind region ~k ~seed =
       Pmem.Region.arm_media_fault region ~line:secondary_line
   | _ ->
       let first_heap_line =
-        Pmalloc.Heap.root_directory_words / Pmem.Config.words_per_line
+        Pmalloc.Heap.heap_start_words / Pmem.Config.words_per_line
       in
       let nlines =
         Pmem.Region.capacity_words region / Pmem.Config.words_per_line

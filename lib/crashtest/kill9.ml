@@ -61,9 +61,9 @@ let write_line fd s =
    then "done <file-commits>" after a final fence pins the image to the
    last state.  [kill_at] arms a self-SIGKILL inside the given file
    batch, for deterministic mid-writeback kills. *)
-let serve ?(capacity_words = 1 lsl 16) ?kill_at ~path ~workload ~ops
+let serve ?(capacity_words = 1 lsl 16) ?kill_at ?persist ~path ~workload ~ops
     ~ack_fd () =
-  let w = Workload.build workload ~ops in
+  let w = Workload.build ?persist workload ~ops in
   let heap = Pmalloc.Heap.create ~capacity_words ~file:path () in
   (match kill_at with
   | None -> ()
@@ -227,7 +227,7 @@ let parse_acks lines =
 (* One forked kill trial: spawn the worker on a fresh image, execute the
    kill plan, fsck the raw post-mortem image, reopen it, and judge the
    recovered state. *)
-let trial ~dir ~keep ~capacity_words (w : Workload.t) ~index plan =
+let trial ~dir ~keep ~capacity_words ?persist (w : Workload.t) ~index plan =
   let path = Filename.concat dir (Printf.sprintf "kill_%04d.img" index) in
   let rfd, wfd = Unix.pipe ~cloexec:false () in
   let kill_at =
@@ -239,8 +239,8 @@ let trial ~dir ~keep ~capacity_words (w : Workload.t) ~index plan =
   | 0 -> (
       Unix.close rfd;
       match
-        serve ~capacity_words ?kill_at ~path ~workload:w.Workload.name
-          ~ops:w.Workload.ops ~ack_fd:wfd ()
+        serve ~capacity_words ?kill_at ?persist ~path
+          ~workload:w.Workload.name ~ops:w.Workload.ops ~ack_fd:wfd ()
       with
       | () -> Unix._exit 0
       | exception e ->
@@ -342,17 +342,17 @@ let phases =
   |]
 
 let run ?(dir = Filename.get_temp_dir_name ()) ?(ops = 60) ?(seed = 7)
-    ?(keep = false) ?(capacity_words = 1 lsl 16) ?(log = ignore) ~workload
-    ~kills () =
+    ?(keep = false) ?(capacity_words = 1 lsl 16) ?(log = ignore) ?persist
+    ~workload ~kills () =
   if not (List.mem workload names) then
     invalid_arg
       (Printf.sprintf "Kill9.run: unsupported workload %S (expected %s)"
          workload (String.concat ", " names));
-  let w = Workload.build workload ~ops in
+  let w = Workload.build ?persist workload ~ops in
   let rng = Random.State.make [| seed; Hashtbl.hash workload |] in
   let t0 = Unix.gettimeofday () in
   (* calibration trial: complete run, exact final state, commit count *)
-  let calib = trial ~dir ~keep ~capacity_words w ~index:0 Complete in
+  let calib = trial ~dir ~keep ~capacity_words ?persist w ~index:0 Complete in
   let wall0 = Unix.gettimeofday () -. t0 in
   let commits =
     (* every state-changing op commits one batch; the calibration ack
@@ -374,7 +374,7 @@ let run ?(dir = Filename.get_temp_dir_name ()) ?(ops = 60) ?(seed = 7)
   in
   let trials = ref [ calib ] in
   for i = 1 to kills do
-    let t = trial ~dir ~keep ~capacity_words w ~index:i (make_plan i) in
+    let t = trial ~dir ~keep ~capacity_words ?persist w ~index:i (make_plan i) in
     trials := t :: !trials;
     if i mod 25 = 0 then
       log (Printf.sprintf "kill9 %s: %d/%d trials" workload i kills)

@@ -34,6 +34,17 @@ type t = {
 
 let seed_of name ~ops = (Hashtbl.hash name * 65599) + ops
 
+(* Backup-policy plumbing.  A workload built with [~persist:Backup] runs
+   the same script against the same model (seeds key off the canonical
+   name), but the structure commits under the "don't persist all" policy:
+   interior nodes stay volatile-clean and recovery replays the slot's op
+   log.  Dumps therefore reconstruct before reading -- a no-op under Full
+   -- because the kill-9 harness dumps a freshly reopened heap and the
+   explorer dumps after recovery cleared the volatile backup state.  The
+   log append is an in-place write pattern by design, so the Section 5.4
+   MOD trace invariant is only checked under Full. *)
+let is_backup = function Some Pmalloc.Heap.Backup -> true | _ -> false
+
 (* -- canonical renderings ------------------------------------------------- *)
 
 let render_ints l =
@@ -82,24 +93,26 @@ let map_model script =
        script)
 
 let dump_map heap =
+  Imap.reconstruct heap ~slot:0;
   let h = Mod_core.Handle.make heap ~slot:0 in
   render_pairs
     (IntMap.bindings (Imap.fold h IntMap.add IntMap.empty))
 
-let map_workload ~ops =
+let map_workload ?persist ~ops () =
   let script = map_script ~ops (seed_of "map" ~ops) in
   let arr = Array.of_list script in
   {
     name = "map";
     ops;
     negative = false;
-    check_trace = true;
+    check_trace = not (is_backup persist);
     model = map_model script;
     make =
       (fun heap ->
         let h = Mod_core.Handle.make heap ~slot:0 in
         {
-          init = (fun () -> ());
+          init =
+            (fun () -> ignore (Imap.open_or_create ?persist heap ~slot:0));
           run_op =
             (fun i ->
               match arr.(i) with
@@ -118,7 +131,7 @@ let map_workload ~ops =
 let map_nofence_workload ~ops =
   let script = map_script ~ops (seed_of "map" ~ops) in
   let arr = Array.of_list script in
-  let base = map_workload ~ops in
+  let base = map_workload ~ops () in
   let broken_commit heap version =
     let old = Pmalloc.Heap.root_get heap 0 in
     (* missing ordering point: no sfence before the root swing *)
@@ -156,7 +169,7 @@ module IntSet = Set.Make (Int)
 
 type set_op = Sadd of int | Sremove of int
 
-let set_workload ~ops =
+let set_workload ?persist ~ops () =
   let rng = Random.State.make [| seed_of "set" ~ops |] in
   let script =
     List.init ops (fun _ ->
@@ -174,6 +187,7 @@ let set_workload ~ops =
          script)
   in
   let dump heap =
+    Iset.reconstruct heap ~slot:0;
     let h = Mod_core.Handle.make heap ~slot:0 in
     render_ints (IntSet.elements (Iset.fold h IntSet.add IntSet.empty))
   in
@@ -181,13 +195,14 @@ let set_workload ~ops =
     name = "set";
     ops;
     negative = false;
-    check_trace = true;
+    check_trace = not (is_backup persist);
     model;
     make =
       (fun heap ->
         let h = Mod_core.Handle.make heap ~slot:0 in
         {
-          init = (fun () -> ());
+          init =
+            (fun () -> ignore (Iset.open_or_create ?persist heap ~slot:0));
           run_op =
             (fun i ->
               match arr.(i) with
@@ -212,7 +227,7 @@ let sq_script name ~ops =
   in
   gen 0 0 []
 
-let stack_workload ~ops =
+let stack_workload ?persist ~ops () =
   let script = sq_script "stack" ~ops in
   let arr = Array.of_list script in
   let model =
@@ -224,6 +239,7 @@ let stack_workload ~ops =
          script)
   in
   let dump heap =
+    Mod_core.Dstack.reconstruct heap ~slot:0;
     let h = Mod_core.Handle.make heap ~slot:0 in
     render_ints (List.map Pmem.Word.to_int (Mod_core.Dstack.to_list h))
   in
@@ -231,13 +247,15 @@ let stack_workload ~ops =
     name = "stack";
     ops;
     negative = false;
-    check_trace = true;
+    check_trace = not (is_backup persist);
     model;
     make =
       (fun heap ->
         let h = Mod_core.Handle.make heap ~slot:0 in
         {
-          init = (fun () -> ());
+          init =
+            (fun () ->
+              ignore (Mod_core.Dstack.open_or_create ?persist heap ~slot:0));
           run_op =
             (fun i ->
               match arr.(i) with
@@ -248,7 +266,7 @@ let stack_workload ~ops =
         });
   }
 
-let queue_workload ~ops =
+let queue_workload ?persist ~ops () =
   let script = sq_script "queue" ~ops in
   let arr = Array.of_list script in
   let model =
@@ -260,6 +278,7 @@ let queue_workload ~ops =
          script)
   in
   let dump heap =
+    Mod_core.Dqueue.reconstruct heap ~slot:0;
     let h = Mod_core.Handle.make heap ~slot:0 in
     if not (Mod_core.Handle.is_initialized h) then render_ints []
     else
@@ -269,7 +288,7 @@ let queue_workload ~ops =
     name = "queue";
     ops;
     negative = false;
-    check_trace = true;
+    check_trace = not (is_backup persist);
     model;
     make =
       (fun heap ->
@@ -277,7 +296,7 @@ let queue_workload ~ops =
         {
           init =
             (fun () ->
-              ignore (Mod_core.Dqueue.open_or_create heap ~slot:0));
+              ignore (Mod_core.Dqueue.open_or_create ?persist heap ~slot:0));
           run_op =
             (fun i ->
               match arr.(i) with
@@ -317,10 +336,11 @@ let vec_like_states script =
   in
   Array.map render_ints (prefix_states ~init:[] ~apply script)
 
-let vec_workload ~ops =
+let vec_workload ?persist ~ops () =
   let script = vec_script "vec" ~ops in
   let arr = Array.of_list script in
   let dump heap =
+    Mod_core.Dvec.reconstruct heap ~slot:0;
     let h = Mod_core.Handle.make heap ~slot:0 in
     if not (Mod_core.Handle.is_initialized h) then render_ints []
     else render_ints (List.map Pmem.Word.to_int (Mod_core.Dvec.to_list h))
@@ -329,14 +349,15 @@ let vec_workload ~ops =
     name = "vec";
     ops;
     negative = false;
-    check_trace = true;
+    check_trace = not (is_backup persist);
     model = vec_like_states script;
     make =
       (fun heap ->
         let h = Mod_core.Handle.make heap ~slot:0 in
         {
           init =
-            (fun () -> ignore (Mod_core.Dvec.open_or_create heap ~slot:0));
+            (fun () ->
+              ignore (Mod_core.Dvec.open_or_create ?persist heap ~slot:0));
           run_op =
             (fun i ->
               match arr.(i) with
@@ -348,10 +369,11 @@ let vec_workload ~ops =
         });
   }
 
-let seq_workload ~ops =
+let seq_workload ?persist ~ops () =
   let script = vec_script "seq" ~ops in
   let arr = Array.of_list script in
   let dump heap =
+    Mod_core.Dseq.reconstruct heap ~slot:0;
     let h = Mod_core.Handle.make heap ~slot:0 in
     if not (Mod_core.Handle.is_initialized h) then render_ints []
     else render_ints (List.map Pmem.Word.to_int (Mod_core.Dseq.to_list h))
@@ -360,14 +382,15 @@ let seq_workload ~ops =
     name = "seq";
     ops;
     negative = false;
-    check_trace = true;
+    check_trace = not (is_backup persist);
     model = vec_like_states script;
     make =
       (fun heap ->
         let h = Mod_core.Handle.make heap ~slot:0 in
         {
           init =
-            (fun () -> ignore (Mod_core.Dseq.open_or_create heap ~slot:0));
+            (fun () ->
+              ignore (Mod_core.Dseq.open_or_create ?persist heap ~slot:0));
           run_op =
             (fun i ->
               match arr.(i) with
@@ -385,7 +408,7 @@ let seq_workload ~ops =
 
 type pq_op = Pinsert of int | Pdelete_min
 
-let pqueue_workload ~ops =
+let pqueue_workload ?persist ~ops () =
   let rng = Random.State.make [| seed_of "pqueue" ~ops |] in
   let rec gen i size acc =
     if i = ops then List.rev acc
@@ -404,6 +427,7 @@ let pqueue_workload ~ops =
          script)
   in
   let dump heap =
+    Mod_core.Dpqueue.reconstruct heap ~slot:0;
     let h = Mod_core.Handle.make heap ~slot:0 in
     render_ints
       (Pfds.Pheap.to_sorted_list_model heap (Mod_core.Handle.current h))
@@ -412,13 +436,15 @@ let pqueue_workload ~ops =
     name = "pqueue";
     ops;
     negative = false;
-    check_trace = true;
+    check_trace = not (is_backup persist);
     model;
     make =
       (fun heap ->
         let h = Mod_core.Handle.make heap ~slot:0 in
         {
-          init = (fun () -> ());
+          init =
+            (fun () ->
+              ignore (Mod_core.Dpqueue.open_or_create ?persist heap ~slot:0));
           run_op =
             (fun i ->
               match arr.(i) with
@@ -437,7 +463,7 @@ let pqueue_workload ~ops =
    state before the whole group or after it, never in between. *)
 let batch_group = 3
 
-let batched_workload ~ops =
+let batched_workload ?persist ~ops () =
   let script =
     map_script ~ops:(ops * batch_group) (seed_of "batched" ~ops)
   in
@@ -462,13 +488,14 @@ let batched_workload ~ops =
     name = "batched";
     ops;
     negative = false;
-    check_trace = true;
+    check_trace = not (is_backup persist);
     model;
     make =
       (fun heap ->
         let b = Mod_core.Batch.create heap in
         {
-          init = (fun () -> ());
+          init =
+            (fun () -> ignore (Imap.open_or_create ?persist heap ~slot:0));
           run_op =
             (fun i ->
               Array.iter
@@ -725,16 +752,30 @@ let stm_names = [ "stm14"; "stm15" ]
 let negative_names = [ "stm-broken"; "map-nofence" ]
 let names = mod_names @ stm_names @ negative_names
 
-let build name ~ops =
+(* The workloads that can run under [~persist:Backup]: the seven basic
+   structures plus the single-slot batched group commit (whose Single
+   commit point becomes a checkpoint).  Siblings/unrelated need
+   multi-slot commit points and stage_field, which the Backup policy
+   rejects; the STM and negative controls are policy-free baselines. *)
+let backup_names = basic_names @ [ "batched" ]
+
+let build ?persist name ~ops =
+  (if is_backup persist && not (List.mem name backup_names) then
+     invalid_arg
+       (Printf.sprintf
+          "Workload.build: workload %S does not support the Backup policy \
+           (expected %s)"
+          name
+          (String.concat ", " backup_names)));
   match name with
-  | "map" -> map_workload ~ops
-  | "queue" -> queue_workload ~ops
-  | "stack" -> stack_workload ~ops
-  | "vec" -> vec_workload ~ops
-  | "set" -> set_workload ~ops
-  | "pqueue" -> pqueue_workload ~ops
-  | "seq" -> seq_workload ~ops
-  | "batched" -> batched_workload ~ops
+  | "map" -> map_workload ?persist ~ops ()
+  | "queue" -> queue_workload ?persist ~ops ()
+  | "stack" -> stack_workload ?persist ~ops ()
+  | "vec" -> vec_workload ?persist ~ops ()
+  | "set" -> set_workload ?persist ~ops ()
+  | "pqueue" -> pqueue_workload ?persist ~ops ()
+  | "seq" -> seq_workload ?persist ~ops ()
+  | "batched" -> batched_workload ?persist ~ops ()
   | "siblings" -> siblings_workload ~ops
   | "unrelated" -> unrelated_workload ~ops
   | "stm14" -> stm_workload "stm14" Pmstm.Tx.V1_4 ~broken:false ~ops

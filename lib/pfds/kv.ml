@@ -15,6 +15,12 @@ module type CODEC = sig
   val hash : t -> int
   val write : Pmalloc.Heap.t -> t -> Pmem.Word.t
   val read : Pmalloc.Heap.t -> Pmem.Word.t -> t
+
+  val log_word : t -> Pmem.Word.t option
+  (* [Some w] when the value round-trips through the scalar word [w]
+     without touching the heap -- such values can ride in a Backup op-log
+     entry.  [None] (blob codecs) forces the Backup commit path to
+     checkpoint instead, since a log entry cannot own heap storage. *)
 end
 
 (* Hashes must fit a tagged scalar word (61 bits, positive) because the
@@ -37,6 +43,7 @@ module Int : CODEC with type t = int = struct
   let hash = mix_int
   let write _heap v = Pmem.Word.of_int v
   let read _heap w = Pmem.Word.to_int w
+  let log_word v = Some (Pmem.Word.of_int v)
 end
 
 (* Unit values: sets are maps to unit, stored as scalar 0. *)
@@ -47,6 +54,7 @@ module Unit : CODEC with type t = unit = struct
   let hash () = 0
   let write _heap () = Pmem.Word.of_int 0
   let read _heap _w = ()
+  let log_word () = Some (Pmem.Word.of_int 0)
 end
 
 (* FNV-1a over the bytes; cheap and adequate for trie dispersal. *)
@@ -102,4 +110,7 @@ module String_blob : CODEC with type t = string = struct
       done
     done;
     Bytes.to_string buf
+
+  (* Blob values live in the heap; a log entry cannot carry them. *)
+  let log_word _ = None
 end

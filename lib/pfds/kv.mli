@@ -16,6 +16,11 @@ module type CODEC = sig
 
   val write : Pmalloc.Heap.t -> t -> Pmem.Word.t
   val read : Pmalloc.Heap.t -> Pmem.Word.t -> t
+
+  val log_word : t -> Pmem.Word.t option
+  (** [Some w] when the value round-trips through the scalar word [w]
+      without heap storage, making it eligible for a Backup op-log
+      entry; [None] (blob codecs) forces a checkpoint commit. *)
 end
 
 val hash_mask : int

@@ -106,7 +106,7 @@ let slot_value words slot =
    bodies visited, or a description of the first violation. *)
 let walk_root words ~visited root =
   let cap = Array.length words in
-  let heap_start = Heap.root_directory_words in
+  let heap_start = Heap.heap_start_words in
   let pending = Stack.create () in
   let newly = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -164,6 +164,64 @@ let walk_root words ~visited root =
       | Ok () -> Ok ()
       | Error _ as e -> e)
 
+(* -- commit-policy / Backup-descriptor validation ------------------------- *)
+
+let policy_of words slot =
+  let off = Heap.policy_off slot in
+  if off >= Array.length words then Heap.Full
+  else
+    let w = Pmem.Word.raw words.(off) in
+    if (not (Pmem.Word.is_ptr w)) && Pmem.Word.to_int w = 1 then Heap.Backup
+    else Heap.Full
+
+(* Shape-check the descriptor a Backup slot's root points at and count
+   its log's committed entries.  The generic reachability walk already
+   proves the descriptor, the anchor subtree and the log block are
+   well-formed blocks; this enforces the Backup-specific layout on top:
+   a 4-word Scanned body [magic; nonce; anchor; log->Raw].  An image
+   whose interiors were never flushed still passes everything here --
+   interior-absent is Clean by design; a damaged anchor (leaf-absent) or
+   log pointer is Corrupt. *)
+let check_descriptor words body =
+  let cap = Array.length words in
+  let header = Block.header_of_body body in
+  let word i = Pmem.Word.raw words.(body + i) in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match Block.decode_info (Pmem.Word.raw words.(header)) with
+  | exception _ -> fail "unreadable descriptor header at %d" header
+  | _, kind, _ ->
+      if kind <> Block.Scanned then fail "descriptor block is not Scanned"
+      else if
+        Block.decode_used (Pmem.Word.raw words.(header + 1))
+        <> Backup.desc_words
+      then fail "descriptor is not %d words" Backup.desc_words
+      else if not (Backup.is_magic (word Backup.d_magic)) then
+        fail "descriptor magic mismatch"
+      else
+        let nonce_w = word Backup.d_nonce in
+        let anchor = word Backup.d_anchor in
+        let log_w = word Backup.d_log in
+        if Pmem.Word.is_ptr nonce_w || Pmem.Word.to_int nonce_w < 0 then
+          fail "descriptor nonce is not a non-negative scalar"
+        else if not (Pmem.Word.is_ptr anchor) then
+          fail "descriptor anchor is a scalar"
+        else if (not (Pmem.Word.is_ptr log_w)) || Pmem.Word.is_null log_w then
+          fail "descriptor log pointer missing"
+        else
+          let log = Pmem.Word.to_ptr log_w in
+          let lheader = Block.header_of_body log in
+          match Block.decode_info (Pmem.Word.raw words.(lheader)) with
+          | exception _ -> fail "unreadable log header at %d" lheader
+          | _, lkind, _ ->
+              if lkind <> Block.Raw then fail "op log is not a Raw block"
+              else
+                let load off =
+                  if off >= 0 && off < cap then Pmem.Word.raw words.(off)
+                  else Pmem.Word.zero
+                in
+                let nonce = Pmem.Word.to_int nonce_w in
+                Ok (List.length (Backup.valid_entries ~load ~log ~nonce))
+
 (* Validate every slot's graph.  A failed slot poisons [visited] with the
    blocks it reached before failing; to keep slots independent we re-walk
    with a fresh table per slot and merge only successful walks. *)
@@ -176,13 +234,31 @@ let walk_all words =
     | None -> ()
     | Some w ->
         if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then begin
+          let body = Pmem.Word.to_ptr w in
           let visited = Hashtbl.create 256 in
-          match walk_root words ~visited (Pmem.Word.to_ptr w) with
+          (match walk_root words ~visited body with
           | Ok () ->
               Hashtbl.iter (fun b () -> Hashtbl.replace merged b ()) visited
           | Error m ->
               bad := slot :: !bad;
-              details := Printf.sprintf "slot %d: %s" slot m :: !details
+              details := Printf.sprintf "slot %d: %s" slot m :: !details);
+          (* Backup slots: the root must be a well-formed descriptor
+             (the only exception is a crash between the policy write and
+             the descriptor swing, which leaves the pre-promotion root
+             -- a valid Full-shaped state the open path re-promotes). *)
+          if
+            policy_of words slot = Heap.Backup
+            && (not (List.mem slot !bad))
+            && Block.header_of_body body >= Heap.heap_start_words
+            && body < Array.length words
+            && Backup.is_magic (Pmem.Word.raw words.(body + Backup.d_magic))
+          then
+            match check_descriptor words body with
+            | Ok _entries -> ()
+            | Error m ->
+                bad := slot :: !bad;
+                details :=
+                  Printf.sprintf "slot %d (backup): %s" slot m :: !details
         end
         else if not (Pmem.Word.is_ptr w) then begin
           (* a scalar in a root slot is not a version of anything *)
@@ -220,11 +296,11 @@ let check path =
       let checksum_ok = img.Pmem.Backing.i_checksum_ok in
       if not checksum_ok then
         push "image checksum mismatch: content corrupted out-of-band";
-      if Array.length words < Heap.root_directory_words then
-        push "image smaller than the root directory";
+      if Array.length words < Heap.heap_start_words then
+        push "image smaller than the root + policy directory";
       let degraded_slots = ref [] in
       let dead = ref [] in
-      if Array.length words >= Heap.root_directory_words then
+      if Array.length words >= Heap.heap_start_words then
         for slot = Heap.root_slots - 1 downto 0 do
           match slot_status words slot with
           | Dual -> ()
@@ -237,7 +313,7 @@ let check path =
               push "slot %d: both record copies invalid" slot
         done;
       let live_blocks, unreachable, walk_details =
-        if Array.length words >= Heap.root_directory_words then
+        if Array.length words >= Heap.heap_start_words then
           walk_all words
         else (0, [], [])
       in
@@ -250,7 +326,7 @@ let check path =
         if
           (not checksum_ok)
           || !dead <> [] || unreachable <> []
-          || Array.length words < Heap.root_directory_words
+          || Array.length words < Heap.heap_start_words
         then Corrupt
         else if
           !degraded_slots <> [] || img.Pmem.Backing.i_journal <> Jnone
@@ -277,9 +353,14 @@ let write_record words ~slot ~copy ~seq v =
   words.(off + 1) <- seq;
   words.(off + 2) <- Heap.record_checksum ~slot ~seq v
 
+(* Nulling a slot must also demote its policy word: a quarantined Backup
+   slot has lost its descriptor, and leaving the policy at Backup would
+   make the reopened null slot look like an interrupted promotion. *)
 let quarantine words slot =
   write_record words ~slot ~copy:0 ~seq:0 Pmem.Word.null;
-  write_record words ~slot ~copy:1 ~seq:0 Pmem.Word.null
+  write_record words ~slot ~copy:1 ~seq:0 Pmem.Word.null;
+  if Heap.policy_off slot < Array.length words then
+    words.(Heap.policy_off slot) <- Pmem.Word.bits (Pmem.Word.of_int 0)
 
 (* Repair = resolve journal (inspect already applied/ignored it), restore
    dual-copy redundancy, quarantine dead or unwalkable slots, atomically
@@ -293,8 +374,8 @@ let repair path =
       corrupt_of_bad_image p detail
   | img ->
       let words = Array.copy img.Pmem.Backing.i_words in
-      if Array.length words < Heap.root_directory_words then
-        corrupt_of_bad_image path "image smaller than the root directory"
+      if Array.length words < Heap.heap_start_words then
+        corrupt_of_bad_image path "image smaller than the root + policy directory"
       else begin
         let touched = ref (img.Pmem.Backing.i_journal <> Jnone) in
         let quarantined = ref [] in

@@ -32,6 +32,20 @@ let root_directory_words = 2 * copy_bank_words
 
 let copy_off ~copy slot = (copy * copy_bank_words) + (copy_stride * slot)
 
+(* "Don't Persist All" commit policy, one durable word per slot right
+   after the record banks: 0 = Full (every shadow node flushed before
+   the fence), 1 = Backup (only the op log and checkpoint anchors are
+   flushed; interior nodes stay volatile-clean and are reconstructed at
+   recovery by replaying the log).  The word is written once, when a
+   slot is promoted, with an ordinary store + clwb drained by the
+   promotion commit's fence. *)
+type policy = Full | Backup
+
+let policy_name = function Full -> "full" | Backup -> "backup"
+let policy_words = root_slots
+let policy_off slot = root_directory_words + slot
+let heap_start_words = root_directory_words + policy_words
+
 (* Avalanche mix (murmur3-finalizer flavoured, 63-bit) binding the root
    value to its slot and sequence number: a stale-but-valid copy from
    another slot or an earlier epoch of this slot still fails validation.
@@ -50,6 +64,21 @@ let checksum ~slot ~seq w =
 
 exception Torn_root of { slot : int }
 
+(* Volatile per-slot state of a Backup-policy structure.  The durable
+   side is a 4-word descriptor node the root slot points at (magic,
+   nonce, anchor version, op-log pointer; see {!Backup}); this record
+   caches what replaying the log would rebuild, so the hot path never
+   re-reads the log.  Lost at crash/reset; rebuilt by the structure's
+   [reconstruct] after recovery. *)
+type backup_state = {
+  mutable b_current : Pmem.Word.t;
+      (* root of the live (possibly never-flushed) version *)
+  mutable b_count : int;  (* valid entries appended to the durable log *)
+  b_nonce : int;  (* the nonce every valid entry's checksum is bound to *)
+  b_desc : int;  (* descriptor body offset *)
+  b_log : int;  (* op-log (Raw block) body offset *)
+}
+
 type t = {
   region : Pmem.Region.t;
   allocator : Allocator.t;
@@ -57,6 +86,14 @@ type t = {
      bad record copy, and how often the surviving copy rescued the slot *)
   mutable root_torn_detected : int;
   mutable root_fallbacks : int;
+  (* commit-policy machinery (volatile; durable policy words are the
+     source of truth, this is a cache refreshed by recovery) *)
+  policies : policy array;
+  backup : (int, backup_state) Hashtbl.t;
+  backlog : (int, unit) Hashtbl.t;
+      (* Scanned bodies whose flush was suppressed inside a Backup
+         update; flushed in bulk at the next checkpoint *)
+  mutable backup_depth : int;
 }
 
 let region t = t.region
@@ -163,14 +200,18 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
   let t =
     {
       region;
-      allocator = Allocator.create region ~heap_start:root_directory_words;
+      allocator = Allocator.create region ~heap_start:heap_start_words;
       root_torn_detected = 0;
       root_fallbacks = 0;
+      policies = Array.make root_slots Full;
+      backup = Hashtbl.create 8;
+      backlog = Hashtbl.create 64;
+      backup_depth = 0;
     }
   in
   (* Fresh heap: both copies of every record are durable, valid null
      pointers at sequence 0 (the tie breaks toward overwriting copy 0
-     first). *)
+     first), and every policy word durably Full. *)
   for slot = 0 to root_slots - 1 do
     List.iter
       (fun copy ->
@@ -179,9 +220,10 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
         Pmem.Region.store region (off + 1) (Pmem.Word.raw 0);
         Pmem.Region.store region (off + 2)
           (Pmem.Word.raw (checksum ~slot ~seq:0 Pmem.Word.null)))
-      [ 0; 1 ]
+      [ 0; 1 ];
+    Pmem.Region.store region (policy_off slot) (Pmem.Word.raw 0)
   done;
-  Pmem.Region.clwb_range region 0 root_directory_words;
+  Pmem.Region.clwb_range region 0 heap_start_words;
   Pmem.Region.sfence region;
   Pmem.Stats.reset (Pmem.Region.stats region);
   Pmem.Trace.clear (Pmem.Region.trace region);
@@ -201,11 +243,96 @@ let root_set t slot w =
   | (off, _) :: _ -> Pmem.Region.clwb t.region off
   | [] -> assert false
 
+(* -- commit policy ------------------------------------------------------- *)
+
+let get_policy t slot =
+  check_slot slot;
+  t.policies.(slot)
+
+(* Re-read the durable policy words into the volatile cache (recovery,
+   reopen).  A media fault on a policy line propagates: the caller is
+   the recovery path, which wraps it as a typed degradation. *)
+let refresh_policies t =
+  for slot = 0 to root_slots - 1 do
+    let w = Pmem.Region.load t.region (policy_off slot) in
+    t.policies.(slot) <-
+      (if (not (Pmem.Word.is_ptr w)) && Pmem.Word.to_int w = 1 then Backup
+       else Full)
+  done
+
+(* Record the policy durably: a single store + clwb, ordered by the
+   promotion commit's fence ({!sfence} inside [Commit.single]), which
+   runs strictly before the descriptor root swing can persist -- so a
+   durable descriptor root implies a durable Backup policy word. *)
+let set_policy_durable t slot policy =
+  check_slot slot;
+  Pmem.Region.store t.region (policy_off slot)
+    (Pmem.Word.of_int (match policy with Full -> 0 | Backup -> 1));
+  Pmem.Region.clwb t.region (policy_off slot);
+  t.policies.(slot) <- policy
+
+let backup_state t slot =
+  check_slot slot;
+  Hashtbl.find_opt t.backup slot
+
+let install_backup_state t slot ~current ~count ~nonce ~desc ~log =
+  check_slot slot;
+  Hashtbl.replace t.backup slot
+    { b_current = current; b_count = count; b_nonce = nonce; b_desc = desc;
+      b_log = log }
+
+let clear_backup_state t slot =
+  check_slot slot;
+  Hashtbl.remove t.backup slot
+
+let clear_backup_runtime t =
+  Hashtbl.reset t.backup;
+  Hashtbl.reset t.backlog;
+  t.backup_depth <- 0
+
+(* The sequence number {!root_set} will stamp on this slot's next record
+   update -- used as the nonce binding a fresh op log to its descriptor,
+   so stale-but-checksummed entries from a recycled log block can never
+   validate. *)
+let next_root_seq t slot =
+  check_slot slot;
+  snd (target_copy t slot)
+
+let enter_backup_update t = t.backup_depth <- t.backup_depth + 1
+
+let exit_backup_update t =
+  if t.backup_depth <= 0 then invalid_arg "Heap.exit_backup_update: not inside";
+  t.backup_depth <- t.backup_depth - 1
+
+let in_backup_update t = t.backup_depth > 0
+
 let alloc t ~kind ~words = Allocator.alloc t.allocator ~kind ~words
 let free t body = Allocator.free t.allocator body
 let release t body = Allocator.release t.allocator body
 let retain t body = Allocator.retain t.allocator body
-let flush_block t body = Allocator.flush_block t.allocator body
+
+(* Inside a Backup update, Scanned shadow nodes skip their clwbs (that is
+   the whole point of the policy: the op log carries durability) and are
+   parked in the backlog for the next checkpoint, which must make the
+   checkpoint anchor fully durable.  Raw blocks (string blobs) always
+   flush eagerly -- the log only records scalar arguments, so blob
+   payloads must be durable the moment a logged op can reference them. *)
+let flush_block t body =
+  if t.backup_depth > 0 && Allocator.kind_of t.allocator body = Block.Scanned
+  then Hashtbl.replace t.backlog body ()
+  else Allocator.flush_block t.allocator body
+
+(* Flush every backlogged node that is still live.  Nodes released since
+   their suppressed flush (superseded intermediate versions) are skipped;
+   flushing only live blocks keeps the checkpoint cost proportional to
+   the surviving update, not to churn. *)
+let flush_backlog t =
+  Hashtbl.iter
+    (fun body () ->
+      if Allocator.is_allocated t.allocator body then
+        Allocator.flush_block t.allocator body)
+    t.backlog;
+  Hashtbl.reset t.backlog
 
 let load t off = Pmem.Region.load t.region off
 let store t off w = Pmem.Region.store t.region off w
@@ -232,7 +359,9 @@ let reset_fresh t ~pristine =
   Pmem.Region.restore t.region pristine;
   Allocator.reset_fresh t.allocator;
   t.root_torn_detected <- 0;
-  t.root_fallbacks <- 0
+  t.root_fallbacks <- 0;
+  Array.fill t.policies 0 root_slots Full;
+  clear_backup_runtime t
 
 (* -- file-backed heaps --------------------------------------------------- *)
 
@@ -244,23 +373,27 @@ let reset_fresh t ~pristine =
    exactly as after a simulated crash. *)
 let open_file ?(trace = false) ?(seed = 42) ~path () =
   let region, journal = Pmem.Region.open_file ~trace ~seed ~path () in
-  if Pmem.Region.capacity_words region < root_directory_words then
+  if Pmem.Region.capacity_words region < heap_start_words then
     raise
       (Pmem.Backing.Bad_image
          {
            path;
            detail =
              Printf.sprintf "image holds %d words, smaller than the %d-word \
-                             root directory"
+                             root + policy directory"
                (Pmem.Region.capacity_words region)
-               root_directory_words;
+               heap_start_words;
          });
   let t =
     {
       region;
-      allocator = Allocator.create region ~heap_start:root_directory_words;
+      allocator = Allocator.create region ~heap_start:heap_start_words;
       root_torn_detected = 0;
       root_fallbacks = 0;
+      policies = Array.make root_slots Full;
+      backup = Hashtbl.create 8;
+      backlog = Hashtbl.create 64;
+      backup_depth = 0;
     }
   in
   (t, journal)

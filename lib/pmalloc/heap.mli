@@ -21,6 +21,28 @@ val root_directory_words : int
     faults can invalidate at most that copy, and {!root_get} falls back
     to the survivor. *)
 
+type policy = Full | Backup
+(** Per-slot commit policy ("Don't Persist All").  [Full] is the paper's
+    MOD protocol: every shadow node is clwb'd before the commit fence.
+    [Backup] persists only a per-op log entry plus periodic checkpoint
+    anchors; interior nodes stay volatile-clean and the structure is
+    reconstructed after a crash by replaying the log from the anchor. *)
+
+val policy_name : policy -> string
+
+val policy_words : int
+(** One durable policy word per slot, stored at
+    [root_directory_words + slot]: 0 = Full, 1 = Backup.  Written once at
+    promotion, ordered before the descriptor root swing by the promotion
+    commit's fence. *)
+
+val policy_off : int -> int
+(** Word offset of slot [s]'s durable policy word (offline inspection). *)
+
+val heap_start_words : int
+(** First word of the block heap: the root directory plus the policy
+    directory ([root_directory_words + policy_words]). *)
+
 exception Torn_root of { slot : int }
 (** Raised by {!root_get} when {e both} copies of a slot's record fail
     checksum validation: the root is detectably corrupt and there is no
@@ -110,7 +132,63 @@ val release : t -> int -> unit
 
 val retain : t -> int -> unit
 val flush_block : t -> int -> unit
-(** clwb every cacheline of a block (header + initialized body); no fence. *)
+(** clwb every cacheline of a block (header + initialized body); no
+    fence.  Inside a Backup update bracket ({!enter_backup_update}),
+    Scanned blocks skip their clwbs and are parked in the backlog for
+    the next checkpoint instead; Raw blocks always flush eagerly. *)
+
+(** {1 Commit-policy state}
+
+    The durable policy words are the source of truth; the per-slot
+    Backup runtime state below is volatile, cleared by recovery and
+    {!reset_fresh}, and rebuilt by the owning structure's log replay. *)
+
+val get_policy : t -> int -> policy
+(** The cached policy of a slot (refreshed from the durable words by
+    recovery; [Full] on a freshly created or reopened heap until then). *)
+
+val refresh_policies : t -> unit
+(** Re-read the durable policy words into the cache.  Propagates
+    [Media_fault] if a policy line is armed -- callers on the recovery
+    path surface it as a typed degradation. *)
+
+val set_policy_durable : t -> int -> policy -> unit
+(** Store + clwb the slot's policy word and update the cache.  The write
+    is ordered by the caller's next fence. *)
+
+type backup_state = {
+  mutable b_current : Pmem.Word.t;
+      (** root of the live (possibly never-flushed) version *)
+  mutable b_count : int;  (** valid entries appended to the durable log *)
+  b_nonce : int;  (** nonce every valid entry's checksum is bound to *)
+  b_desc : int;  (** descriptor body offset *)
+  b_log : int;  (** op-log (Raw block) body offset *)
+}
+
+val backup_state : t -> int -> backup_state option
+val install_backup_state :
+  t -> int -> current:Pmem.Word.t -> count:int -> nonce:int -> desc:int ->
+  log:int -> unit
+
+val clear_backup_state : t -> int -> unit
+val clear_backup_runtime : t -> unit
+(** Drop all volatile Backup state (per-slot states, backlog, bracket
+    depth) -- recovery calls this before any replay. *)
+
+val next_root_seq : t -> int -> int
+(** The sequence number the slot's next {!root_set} will stamp -- the
+    nonce a fresh op log is bound to. *)
+
+val enter_backup_update : t -> unit
+val exit_backup_update : t -> unit
+(** Bracket a Backup-policy pure update: while the depth is positive,
+    {!flush_block} suppresses Scanned flushes into the backlog. *)
+
+val in_backup_update : t -> bool
+
+val flush_backlog : t -> unit
+(** clwb every backlogged node still allocated (checkpoint step), then
+    clear the backlog. *)
 
 val load : t -> int -> Pmem.Word.t
 val store : t -> int -> Pmem.Word.t -> unit

@@ -40,6 +40,14 @@ let pp_report ppf r =
 let recover heap =
   let region = Heap.region heap in
   let allocator = Heap.allocator heap in
+  (* Volatile commit-policy state died with the crash; re-read the
+     durable policy words (a media fault here propagates and is surfaced
+     typed by the recovery wrapper).  Backup slots' volatile current
+     versions are rebuilt later, by each structure's log replay -- the
+     graph walk below only needs the descriptor/anchor/log blocks, which
+     are ordinary reachable nodes. *)
+  Heap.clear_backup_runtime heap;
+  Heap.refresh_policies heap;
   (* Media scrub is only useful when faults can actually fire; without
      armed faults every load succeeds, so skip the extra payload reads
      (raw blocks can be large -- e.g. the PM-STM undo log). *)
@@ -99,7 +107,7 @@ let recover heap =
   let frontier =
     List.fold_left
       (fun acc (h, cap, _, _) -> max acc (h + cap))
-      Heap.root_directory_words blocks
+      Heap.heap_start_words blocks
   in
   Allocator.recovery_reset allocator ~frontier;
   let live_words = ref 0 in
@@ -110,7 +118,7 @@ let recover heap =
     blocks;
   let extents = ref 0 in
   let reclaimed = ref 0 in
-  let cursor = ref Heap.root_directory_words in
+  let cursor = ref Heap.heap_start_words in
   let reclaim_gap gap_start gap_end =
     let size = gap_end - gap_start in
     if size >= Block.min_capacity then begin

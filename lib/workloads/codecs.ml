@@ -13,6 +13,7 @@ module Val32 : Pfds.Kv.CODEC with type t = int = struct
   let to_string v = Printf.sprintf "%032d" (abs v)
   let write heap v = Pfds.Kv.String_blob.write heap (to_string v)
   let read heap w = int_of_string (Pfds.Kv.String_blob.read heap w)
+  let log_word _ = None
 end
 
 let key16 rng =

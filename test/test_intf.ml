@@ -14,8 +14,15 @@ module Conf (D : Mod_core.Intf.DURABLE) (E : sig
   val mk : int -> D.elt
 end) =
 struct
-  let run () =
+  (* With [?persist:Backup] the slot is promoted before the suite runs,
+     so every check below exercises the Backup commit path (op-log
+     appends, checkpoint on add_many's batch) and the descriptor-aware
+     open/validate path. *)
+  let run ?persist () =
     let heap = mk_heap () in
+    (match persist with
+    | None -> ()
+    | Some p -> ignore (D.open_or_create ~persist:p heap ~slot:0));
     let t =
       match D.open_result heap ~slot:0 with
       | Ok t -> t
@@ -146,14 +153,28 @@ let () =
     [
       ( "durable-conformance",
         [
-          Alcotest.test_case "dmap" `Quick Conf_map.run;
-          Alcotest.test_case "dset" `Quick Conf_set.run;
-          Alcotest.test_case "dvec" `Quick Conf_vec.run;
-          Alcotest.test_case "dstack" `Quick Conf_stack.run;
-          Alcotest.test_case "dqueue" `Quick Conf_queue.run;
-          Alcotest.test_case "dseq" `Quick Conf_seq.run;
-          Alcotest.test_case "dpqueue" `Quick Conf_pqueue.run;
+          Alcotest.test_case "dmap" `Quick (Conf_map.run ?persist:None);
+          Alcotest.test_case "dset" `Quick (Conf_set.run ?persist:None);
+          Alcotest.test_case "dvec" `Quick (Conf_vec.run ?persist:None);
+          Alcotest.test_case "dstack" `Quick (Conf_stack.run ?persist:None);
+          Alcotest.test_case "dqueue" `Quick (Conf_queue.run ?persist:None);
+          Alcotest.test_case "dseq" `Quick (Conf_seq.run ?persist:None);
+          Alcotest.test_case "dpqueue" `Quick (Conf_pqueue.run ?persist:None);
         ] );
+      ( "durable-conformance-backup",
+        (let backup = Pmalloc.Heap.Backup in
+         [
+           Alcotest.test_case "dmap" `Quick (Conf_map.run ~persist:backup);
+           Alcotest.test_case "dset" `Quick (Conf_set.run ~persist:backup);
+           Alcotest.test_case "dvec" `Quick (Conf_vec.run ~persist:backup);
+           Alcotest.test_case "dstack" `Quick
+             (Conf_stack.run ~persist:backup);
+           Alcotest.test_case "dqueue" `Quick
+             (Conf_queue.run ~persist:backup);
+           Alcotest.test_case "dseq" `Quick (Conf_seq.run ~persist:backup);
+           Alcotest.test_case "dpqueue" `Quick
+             (Conf_pqueue.run ~persist:backup);
+         ]) );
       ( "typed-errors",
         [
           Alcotest.test_case "scalar root" `Quick test_scalar_root;

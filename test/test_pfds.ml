@@ -110,6 +110,7 @@ module Colliding_key : Pfds.Kv.CODEC with type t = int = struct
   let hash k = k mod 3 (* at most 3 hash values: deep collisions *)
   let write _heap v = Pmem.Word.of_int v
   let read _heap w = Pmem.Word.to_int w
+  let log_word v = Some (Pmem.Word.of_int v)
 end
 
 module Champ_collide = Pfds.Champ.Make (Colliding_key) (Pfds.Kv.Int)

@@ -195,9 +195,198 @@ let crash_cmd =
 
 (* -- crashtest ---------------------------------------------------------- *)
 
+(* The concurrent sweep/replay path of the crashtest command: [writers]
+   interleaved writers per workload, every (schedule, crash point) pair
+   swept and judged by the concurrent durable-linearizability oracle. *)
+let crashtest_concurrent ~cfg ~writers ~ops ~workload ~replay ~mode ~sseed
+    ~schedule ~json_out ~baseline =
+  let cbuild name =
+    try Crashtest.Workload.cbuild name ~writers ~ops
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let parse_mode () =
+    match Crashtest.Explorer.mode_of_name mode with
+    | Ok m -> m
+    | Error e ->
+        prerr_endline e;
+        exit 2
+  in
+  match replay with
+  | Some crash_index -> (
+      let m = parse_mode () in
+      let sched =
+        match Crashtest.Interleave.schedule_of_name schedule with
+        | Ok s -> s
+        | Error e ->
+            prerr_endline e;
+            exit 2
+      in
+      let cw = cbuild workload in
+      match
+        Crashtest.Replay.creplay ~cfg cw ~schedule:sched ~crash_index ~mode:m
+          ?seed:sseed ()
+      with
+      | None ->
+          Printf.printf
+            "crash index %d is beyond the interleaving's last PM event\n"
+            crash_index
+      | Some Crashtest.Oracle.Consistent ->
+          Printf.printf
+            "replay %s (%d writers, schedule %s) @ event %d (mode %s): \
+             consistent\n"
+            workload writers schedule crash_index mode
+      | Some (Crashtest.Oracle.Violation d) ->
+          Printf.printf
+            "replay %s (%d writers, schedule %s) @ event %d (mode %s): \
+             VIOLATION\n\
+            \  %s\n"
+            workload writers schedule crash_index mode d;
+          exit 1)
+  | None ->
+      let names =
+        match workload with
+        | "all" -> Crashtest.Workload.concurrent_names
+        | n -> [ n ]
+      in
+      let bad = ref false in
+      let results = ref [] in
+      List.iter
+        (fun name ->
+          let cw = cbuild name in
+          let r = Crashtest.Explorer.explore_concurrent ~cfg cw in
+          results := (cw, r) :: !results;
+          Format.printf "%a@." Crashtest.Explorer.pp_cresult r;
+          let failed = not (Crashtest.Explorer.cok r) in
+          if cw.Crashtest.Workload.cnegative then
+            if not failed then begin
+              Format.printf
+                "  NEGATIVE CONTROL MISSED: expected an oracle violation, \
+                 none found@.";
+              bad := true
+            end
+            else
+              let f = List.hd r.Crashtest.Explorer.cr_failures in
+              Format.printf
+                "  negative control caught as expected; replay with:@.    %s@."
+                (Crashtest.Replay.ccommand f)
+          else if failed then begin
+            bad := true;
+            List.iteri
+              (fun i f ->
+                if i < 5 then
+                  Format.printf "  %a@.    replay: %s@."
+                    Crashtest.Explorer.pp_cfailure f
+                    (Crashtest.Replay.ccommand f))
+              r.Crashtest.Explorer.cr_failures
+          end)
+        names;
+      let results = List.rev !results in
+      let sum f = List.fold_left (fun a (_, r) -> a + f r) 0 results in
+      let total_points =
+        sum (fun r -> r.Crashtest.Explorer.cr_points_tested)
+      in
+      let positive_violations =
+        List.fold_left
+          (fun a ((cw : Crashtest.Workload.ct), r) ->
+            if cw.Crashtest.Workload.cnegative then a
+            else a + List.length r.Crashtest.Explorer.cr_failures)
+          0 results
+      in
+      let total_wall =
+        List.fold_left
+          (fun a (_, r) -> a +. r.Crashtest.Explorer.cr_wall_seconds)
+          0.0 results
+      in
+      let points_per_sec =
+        if total_wall <= 0.0 then 0.0
+        else float_of_int total_points /. total_wall
+      in
+      (match json_out with
+      | None -> ()
+      | Some path ->
+          let open Workloads.Report.Json in
+          let doc =
+            Obj
+              [
+                ("schema", String "modpm-crashtest-concurrent/1");
+                ("writers", Int writers);
+                ("ops", Int ops);
+                ("wall_seconds", Float total_wall);
+                ("points_tested", Int total_points);
+                ("points_per_sec", Float points_per_sec);
+                ("positive_violations", Int positive_violations);
+                ( "workloads",
+                  List
+                    (List.map
+                       (fun ((cw : Crashtest.Workload.ct), r) ->
+                         Obj
+                           [
+                             ( "workload",
+                               String r.Crashtest.Explorer.cr_workload );
+                             ("writers", Int r.Crashtest.Explorer.cr_writers);
+                             ("ops", Int r.Crashtest.Explorer.cr_ops);
+                             ( "negative",
+                               Bool cw.Crashtest.Workload.cnegative );
+                             ( "schedules",
+                               Int r.Crashtest.Explorer.cr_schedules );
+                             ( "total_events",
+                               Int r.Crashtest.Explorer.cr_total_events );
+                             ( "points_tested",
+                               Int r.Crashtest.Explorer.cr_points_tested );
+                             ( "crashes_sampled",
+                               Int r.Crashtest.Explorer.cr_crashes_sampled );
+                             ( "wall_seconds",
+                               Float r.Crashtest.Explorer.cr_wall_seconds );
+                             ( "failures",
+                               Int
+                                 (List.length
+                                    r.Crashtest.Explorer.cr_failures) );
+                             ("ok", Bool (Crashtest.Explorer.cok r));
+                           ])
+                       results) );
+              ]
+          in
+          to_file path doc;
+          Printf.printf "wrote %s\n" path);
+      (match baseline with
+      | None -> ()
+      | Some path -> (
+          let open Workloads.Report.Json in
+          match
+            let doc = of_file path in
+            Option.bind (member "concurrent" doc) (member "max_violations")
+            |> Fun.flip Option.bind to_number_opt
+          with
+          | exception Sys_error e ->
+              Printf.eprintf "baseline %s unreadable: %s\n" path e;
+              exit 2
+          | exception Parse_error e ->
+              Printf.eprintf "baseline %s: bad JSON: %s\n" path e;
+              exit 2
+          | None ->
+              Printf.eprintf "baseline %s has no concurrent.max_violations\n"
+                path;
+              exit 2
+          | Some max_v ->
+              Printf.printf
+                "concurrent sweep: %d positive-workload violation(s) vs \
+                 baseline bound %.0f\n"
+                positive_violations max_v;
+              if float_of_int positive_violations > max_v then begin
+                Printf.eprintf
+                  "CONCURRENT REGRESSION: %d violation(s) exceed the \
+                   committed bound (%.0f)\n"
+                  positive_violations max_v;
+                bad := true
+              end));
+      if !bad then exit 1
+
 let crashtest_cmd =
   let run action workload ops stride samples seed max_points quick replay mode
-      sseed shrink jobs full_snapshots faults json_out baseline persist =
+      sseed shrink jobs full_snapshots faults json_out baseline persist
+      writers schedule =
     let persist = parse_persist persist in
     (match action with
     | None | Some "sweep" -> ()
@@ -222,6 +411,22 @@ let crashtest_cmd =
         log = prerr_endline;
       }
     in
+    if writers > 0 then begin
+      if persist <> None then begin
+        prerr_endline
+          "--persist is not supported with --writers (Backup commits are \
+           serialized by log-append order, not a root CAS)";
+        exit 2
+      end;
+      if faults then begin
+        prerr_endline "--faults is not supported with --writers yet";
+        exit 2
+      end;
+      let workload = if workload = "mod" then "all" else workload in
+      crashtest_concurrent ~cfg ~writers ~ops ~workload ~replay ~mode ~sseed
+        ~schedule ~json_out ~baseline
+    end
+    else
     let build name =
       try Crashtest.Workload.build ?persist name ~ops
       with Invalid_argument msg ->
@@ -566,20 +771,45 @@ let crashtest_cmd =
       & info [ "baseline" ] ~docv:"FILE"
           ~doc:
             "Compare crash-points/sec against a committed baseline JSON and \
-             fail if it regressed more than 2x.")
+             fail if it regressed more than 2x.  With --writers, instead \
+             gate positive-workload violations against the baseline's \
+             concurrent.max_violations bound.")
+  in
+  let writers =
+    Arg.(
+      value & opt int 0
+      & info [ "writers" ]
+          ~doc:
+            (Printf.sprintf
+               "Concurrent sweep: run this many interleaved writers per \
+                workload (0 = sequential sweep).  Workloads: all, or one of \
+                %s; every (schedule, crash point) pair is judged by the \
+                concurrent durable-linearizability oracle."
+               (String.concat ", " Crashtest.Workload.concurrent_names)))
+  in
+  let schedule =
+    Arg.(
+      value & opt string "rr1"
+      & info [ "schedule" ]
+          ~doc:
+            "Interleaving schedule for a concurrent --replay: rrN \
+             (round-robin, quantum N) or seededN (seeded random walk).")
   in
   let doc =
     "Exhaustively explore the crash-state space of a workload: inject a \
      power failure after every PM event, recover, and check the recovered \
      state against the durable-linearizability oracle (plus the Section \
      5.4 trace invariants).  Negative controls (stm-broken, map-nofence) \
-     are expected to violate the oracle."
+     are expected to violate the oracle.  With --writers N, sweep N \
+     interleaved concurrent writers instead, across a panel of \
+     deterministic schedules."
   in
   Cmd.v (Cmd.info "crashtest" ~doc)
     Term.(
       const run $ action $ workload $ ops $ stride $ samples $ seed
       $ max_points $ quick $ replay $ mode $ sseed $ shrink $ jobs
-      $ full_snapshots $ faults $ json_out $ baseline $ persist_arg)
+      $ full_snapshots $ faults $ json_out $ baseline $ persist_arg
+      $ writers $ schedule)
 
 (* -- check ------------------------------------------------------------- *)
 

@@ -41,12 +41,88 @@ let mark_commit heap fn =
 let single ?(intermediates = []) ?(reclaim = true) heap ~slot latest =
   Pmalloc.Heap.sfence heap;
   (* the one ordering point *)
-  let old = Pmalloc.Heap.root_get heap slot in
-  mark_commit heap (fun () -> Pmalloc.Heap.root_set heap slot latest);
+  let old, old_seq = Pmalloc.Heap.root_get_versioned heap slot in
+  mark_commit heap (fun () ->
+      match Pmalloc.Heap.commit_mode heap with
+      | Pmalloc.Heap.Swing -> Pmalloc.Heap.root_set heap slot latest
+      | Pmalloc.Heap.Cas ->
+          (* single-writer degenerate: [expected] is the record read one
+             line up with no intervening PM event, so the CAS cannot
+             lose.  Routing it through [root_cas] exercises the exact
+             record-update path concurrent commits take. *)
+          if
+            not
+              (Pmalloc.Heap.root_cas heap slot ~expected:old
+                 ~expected_seq:old_seq ~desired:latest)
+          then failwith "Commit.single: CAS lost with no concurrent writer");
   if reclaim then begin
     release_version heap old;
     List.iter (release_version heap) intermediates
   end
+
+(* The lock-free concurrent commit: retry the shadow rebuild on root
+   conflict instead of holding a lock across the FASE.  [build old]
+   re-runs the pure update against the version the root currently
+   holds, returning [Some (latest, intermediates)] (ownership of both
+   passes in) or [None] when the op is a no-op against [old] (e.g.
+   removing an absent key) and nothing should be installed.  Each
+   attempt fences its shadows durable, then tries a single counted-CAS
+   root swing ({!Pmalloc.Heap.root_cas}, carrying the record sequence
+   read alongside [old] as the ABA tag); a lost CAS releases the
+   discarded shadows and rebuilds against the new root.  Returns the
+   number of build attempts (1 = no conflict).
+
+   [before_swing] runs after the fence, immediately before the CAS of
+   an attempt, and [after_swing] runs right after a winning CAS before
+   any reclamation; both must be straight-line OCaml with no PM events
+   (no store/clwb/sfence), because under the interleaving explorer any
+   PM event yields to the other writer.  The concurrent oracle uses
+   them to keep its pending/linearized bookkeeping exactly in step with
+   the root. *)
+let commit_cas ?(reclaim = true) ?(before_swing = ignore)
+    ?(after_swing = ignore) heap ~slot ~build =
+  let trace = Pmalloc.Heap.trace heap in
+  let rec attempt n =
+    let old, old_seq = Pmalloc.Heap.root_get_versioned heap slot in
+    match build old with
+    | None -> n
+    | Some (latest, intermediates)
+      when Pmem.Word.bits latest = Pmem.Word.bits old ->
+        (* the rebuild returned the input version un-owned (MOD pure
+           updates do this for no-ops): nothing to install or release
+           beyond the attempt's intermediates *)
+        if reclaim then List.iter (release_version heap) intermediates;
+        n
+    | Some (latest, intermediates) ->
+        Pmalloc.Heap.sfence heap;
+        (* shadows durable; from here to the CAS: no PM events *)
+        before_swing ();
+        Pmem.Trace.emit trace Pmem.Trace.Commit_begin;
+        let won =
+          Pmalloc.Heap.root_cas heap slot ~expected:old ~expected_seq:old_seq
+            ~desired:latest
+        in
+        Pmem.Trace.emit trace Pmem.Trace.Commit_end;
+        if won then begin
+          after_swing ();
+          let stats = Pmalloc.Heap.stats heap in
+          stats.Pmem.Stats.commits <- stats.Pmem.Stats.commits + 1;
+          if reclaim then begin
+            release_version heap old;
+            List.iter (release_version heap) intermediates
+          end;
+          n
+        end
+        else begin
+          (* conflict: another writer swung the root after our read.
+             Drop this attempt's shadows (reference counts keep shared
+             substructure alive) and rebuild against the new root. *)
+          release_version heap latest;
+          List.iter (release_version heap) intermediates;
+          attempt (n + 1)
+        end
+  in
+  attempt 1
 
 (* -- "Don't Persist All": the Backup commit policy ----------------------- *)
 

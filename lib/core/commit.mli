@@ -18,6 +18,36 @@ val single :
     superseded shadows of a multi-update FASE; [reclaim:false] is an
     ablation knob that leaves old versions to recovery GC. *)
 
+val commit_cas :
+  ?reclaim:bool ->
+  ?before_swing:(unit -> unit) ->
+  ?after_swing:(unit -> unit) ->
+  Pmalloc.Heap.t ->
+  slot:int ->
+  build:(Pmem.Word.t -> (Pmem.Word.t * Pmem.Word.t list) option) ->
+  int
+(** The lock-free concurrent commit: [build old] re-runs the pure
+    update against the root's current version, returning the owned
+    [(latest, intermediates)] shadow pair or [None] for a no-op; each
+    attempt fences the shadows durable and tries one hardware-CAS root
+    swing ({!Pmalloc.Heap.root_cas}), retrying the rebuild on conflict
+    instead of taking a lock.  Returns the number of build attempts
+    (1 = uncontended).  [before_swing] runs between an attempt's fence
+    and its CAS, [after_swing] directly after a winning CAS before any
+    reclamation; both must issue no PM events (under the interleaving
+    explorer every PM event is a preemption point) -- the concurrent
+    oracle hangs its pending/linearized bookkeeping on them.
+
+    Reclamation contract: with genuinely concurrent writers pass
+    [reclaim:false].  [reclaim:true] frees the superseded version the
+    instant the CAS wins, while a losing writer may still be mid-build
+    holding pointers into it -- the classic lock-free reclamation
+    hazard (there are no hazard pointers here).  Unreclaimed versions
+    are unreachable garbage that recovery GC scrubs; a lost attempt's
+    discarded shadow is always released immediately, which is safe
+    because its fresh nodes are private and its shared subtrees keep at
+    least their pre-build reference count. *)
+
 val siblings : Pmalloc.Heap.t -> slot:int -> (int * Pmem.Word.t) list -> unit
 (** CommitSiblings (Figure 8c): several datastructures under one parent
     object held in [slot].  [(field, shadow)] pairs replace parent fields;

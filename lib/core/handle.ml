@@ -58,6 +58,21 @@ let commit ?intermediates ?entry t version =
             ~latest:version
       | _ -> Commit.checkpoint ?intermediates t.heap ~slot:t.slot version)
 
+(* The concurrent commit path: rebuild-and-CAS until the root swing
+   wins (see {!Commit.commit_cas}).  Full-policy only -- a Backup
+   slot's commit order is defined by its op-log append order, which a
+   lock-free root CAS cannot serialize, so the combination is rejected
+   rather than silently downgraded. *)
+let update_cas ?reclaim ?before_swing ?after_swing t ~build =
+  match Pmalloc.Heap.get_policy t.heap t.slot with
+  | Pmalloc.Heap.Full ->
+      Commit.commit_cas ?reclaim ?before_swing ?after_swing t.heap
+        ~slot:t.slot ~build
+  | Pmalloc.Heap.Backup ->
+      invalid_arg
+        "Handle.update_cas: Backup policy serializes commits through its op \
+         log; the lock-free CAS root swing is Full-policy only"
+
 (* -- Validated open path ------------------------------------------------- *)
 
 (* Validators below look at the durable root directly (not the

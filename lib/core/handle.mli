@@ -41,6 +41,20 @@ val commit :
     one is given and the log has room, otherwise {!Commit.checkpoint}.
     [entry] is ignored on Full slots. *)
 
+val update_cas :
+  ?reclaim:bool ->
+  ?before_swing:(unit -> unit) ->
+  ?after_swing:(unit -> unit) ->
+  t ->
+  build:(Pmem.Word.t -> (Pmem.Word.t * Pmem.Word.t list) option) ->
+  int
+(** Concurrent commit against this slot: {!Commit.commit_cas} on a Full
+    slot (returns the attempt count); raises [Invalid_argument] on a
+    Backup slot, whose commit order is its op-log append order and
+    cannot be serialized by a lock-free root CAS.  Pass [reclaim:false]
+    whenever other writers can race this slot (see the reclamation
+    contract on {!Commit.commit_cas}). *)
+
 (** {1 Validated open path}
 
     [make] trusts the slot; [open_slot] checks it: in-range, and either

@@ -32,13 +32,17 @@ let typed_of_exn = function
       Some (Error.Bad_image { path; detail })
   | _ -> None
 
-let recover_exn ?stm heap =
+let recover_exn ?stm ?(norec = false) heap =
   match
     let stm_rolled_back =
       match stm with Some tx -> Pmstm.Tx.recover tx | None -> false
     in
+    (* a committed-but-unretired NOrec redo log replays forward (the
+       mirror image of the undo rollback above) before reachability *)
+    let norec_replayed = if norec then Pmstm.Norec.recover heap else false in
     let gc = Pmalloc.Recovery_gc.recover heap in
-    { stm_rolled_back; gc; crash_seed = None }
+    { stm_rolled_back = stm_rolled_back || norec_replayed; gc;
+      crash_seed = None }
   with
   | report -> report
   | exception e -> (
@@ -59,15 +63,17 @@ let wrap_corruption f =
   | exception e when typed_of_exn e <> None ->
       Error (Option.get (typed_of_exn e))
 
-let recover ?stm heap = wrap_corruption (fun () -> recover_exn ?stm heap)
+let recover ?stm ?norec heap =
+  wrap_corruption (fun () -> recover_exn ?stm ?norec heap)
 
-let crash_and_recover_exn ?mode ?seed ?torn ?stm heap =
+let crash_and_recover_exn ?mode ?seed ?torn ?stm ?norec heap =
   Pmalloc.Heap.crash ?mode ?seed ?torn heap;
   let crash_seed = Pmem.Region.last_crash_seed (Pmalloc.Heap.region heap) in
-  { (recover_exn ?stm heap) with crash_seed }
+  { (recover_exn ?stm ?norec heap) with crash_seed }
 
-let crash_and_recover ?mode ?seed ?torn ?stm heap =
-  wrap_corruption (fun () -> crash_and_recover_exn ?mode ?seed ?torn ?stm heap)
+let crash_and_recover ?mode ?seed ?torn ?stm ?norec heap =
+  wrap_corruption (fun () ->
+      crash_and_recover_exn ?mode ?seed ?torn ?stm ?norec heap)
 
 (* -- file-backed reopen -------------------------------------------------- *)
 

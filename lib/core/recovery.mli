@@ -15,7 +15,8 @@ type report = {
           injected by {!crash_and_recover}; replay it with [?seed] *)
 }
 
-val recover : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> (report, Error.t) result
+val recover :
+  ?stm:Pmstm.Tx.t -> ?norec:bool -> Pmalloc.Heap.t -> (report, Error.t) result
 (** Recovery against the current durable image (call after a crash).
     A durable image recovery cannot make sense of -- an unreadable undo
     log, an unscannable block graph -- comes back as
@@ -35,13 +36,16 @@ val crash_and_recover :
   ?seed:int ->
   ?torn:bool ->
   ?stm:Pmstm.Tx.t ->
+  ?norec:bool ->
   Pmalloc.Heap.t ->
   (report, Error.t) result
 (** Inject a power failure, then recover.  [seed] pins the [Randomize]
     survival outcomes; the seed actually used is in the report; [torn]
-    enables per-word torn-line persistence. *)
+    enables per-word torn-line persistence.  [norec:true] additionally
+    replays a committed-but-unretired {!Pmstm.Norec} redo log before
+    the reachability analysis. *)
 
-val recover_exn : ?stm:Pmstm.Tx.t -> Pmalloc.Heap.t -> report
+val recover_exn : ?stm:Pmstm.Tx.t -> ?norec:bool -> Pmalloc.Heap.t -> report
 (** {!recover}, raising {!Error.Error} on corruption.  The crash-test
     oracle uses this form: an unrecoverable image must fail loudly. *)
 
@@ -74,6 +78,7 @@ val crash_and_recover_exn :
   ?seed:int ->
   ?torn:bool ->
   ?stm:Pmstm.Tx.t ->
+  ?norec:bool ->
   Pmalloc.Heap.t ->
   report
 

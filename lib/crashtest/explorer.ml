@@ -571,6 +571,236 @@ let explore ?(cfg = default) (w : Workload.t) =
     failures = chunk.ch_failures;
   }
 
+(* -- concurrent sweeps --------------------------------------------------- *)
+
+(* A concurrent crash point is identified by (schedule, budget): the
+   interleaving is a pure function of the schedule, so re-running the
+   writers under the same schedule with the same budget reproduces the
+   same interrupted image bit-for-bit.  Sweeps are sequential (no fork):
+   a concurrent run is a few writers x a few ops, and the schedule axis
+   already multiplies the point count. *)
+
+type cfailure = {
+  cf_workload : string;
+  cf_writers : int;
+  cf_ops : int;  (** per writer *)
+  cf_schedule : Interleave.schedule;
+  cf_crash_index : int;  (** -1 = uncrashed-run final-state check *)
+  cf_mode : Pmem.Region.crash_mode;
+  cf_survival_seed : int option;
+  cf_detail : string;
+}
+
+type cresult = {
+  cr_workload : string;
+  cr_writers : int;
+  cr_ops : int;
+  cr_schedules : int;
+  cr_total_events : int;  (** summed over schedules *)
+  cr_points_tested : int;
+  cr_points_skipped : int;
+  cr_crashes_sampled : int;
+  cr_wall_seconds : float;
+  cr_failures : cfailure list;
+}
+
+let cok r = r.cr_failures = []
+
+let cpoints_per_sec r =
+  if r.cr_wall_seconds <= 0.0 then 0.0
+  else float_of_int r.cr_points_tested /. r.cr_wall_seconds
+
+(* The default schedule set: round-robin at co-prime quanta (tight
+   alternation through coarse slices) plus seeded random walks. *)
+let default_schedules =
+  [
+    Interleave.Round_robin 1;
+    Interleave.Round_robin 3;
+    Interleave.Round_robin 7;
+    Interleave.Seeded 1;
+    Interleave.Seeded 2;
+  ]
+
+(* Run the concurrent workload under [schedule] on a fresh (or rewound
+   scratch) heap; [budget] arms the crash scheduler exactly like the
+   sequential [run_until]. *)
+let crun_until ?scratch cfg (cw : Workload.ct) ~schedule ~budget =
+  let heap =
+    match scratch with
+    | Some s ->
+        Pmalloc.Heap.reset_fresh s.s_heap ~pristine:s.s_pristine;
+        s.s_heap
+    | None ->
+        Pmalloc.Heap.create ~capacity_words:cfg.capacity_words ~trace:true
+          ~seed:cfg.heap_seed ()
+  in
+  let region = Pmalloc.Heap.region heap in
+  let base_events = Pmem.Region.pm_events region in
+  (match budget with
+  | Some n -> Pmem.Region.set_crash_after region n
+  | None -> ());
+  let inst = cw.Workload.cmake heap in
+  match
+    inst.Workload.c_init ();
+    Interleave.run region ~schedule inst.Workload.c_writers
+  with
+  | () ->
+      Pmem.Region.clear_crash_point region;
+      `Completed (Pmem.Region.pm_events region - base_events, heap, inst)
+  | exception Pmem.Region.Crash_point -> `Crashed (heap, inst)
+
+let crecover_and_check (inst : Workload.cinstance) =
+  let recovered =
+    match
+      inst.Workload.c_recover ();
+      inst.Workload.c_dump ()
+    with
+    | s -> Ok s
+    | exception e -> Error e
+  in
+  Oracle.check_concurrent inst.Workload.c_tracker ~recovered
+
+(* Sample one concurrent crash point under every mode (and survival
+   seed), sharing the sequential sweep's seed streams so any failure
+   replays from its (schedule, crash index, mode, seed) tuple. *)
+let csample_point cfg (cw : Workload.ct) ~schedule ~crash_index heap inst =
+  let region = Pmalloc.Heap.region heap in
+  let snap = Pmem.Region.snapshot region in
+  let sampled = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun mode ->
+      let samples =
+        match mode with
+        | Pmem.Region.Randomize -> cfg.randomize_samples
+        | Pmem.Region.Drop_inflight | Pmem.Region.Keep_inflight -> 1
+      in
+      for k = 0 to samples - 1 do
+        Pmem.Region.restore region snap;
+        let seed =
+          match mode with
+          | Pmem.Region.Randomize -> Some (survival_seed cfg ~crash_index ~k)
+          | _ -> None
+        in
+        Pmalloc.Heap.crash ~mode ?seed heap;
+        incr sampled;
+        match crecover_and_check inst with
+        | Oracle.Consistent -> ()
+        | Oracle.Violation detail ->
+            failures :=
+              {
+                cf_workload = cw.Workload.cname;
+                cf_writers = cw.Workload.cwriters;
+                cf_ops = cw.Workload.cops;
+                cf_schedule = schedule;
+                cf_crash_index = crash_index;
+                cf_mode = mode;
+                cf_survival_seed = seed;
+                cf_detail = detail;
+              }
+              :: !failures
+      done)
+    cfg.modes;
+  (!sampled, List.rev !failures)
+
+let explore_concurrent ?(cfg = default) ?(schedules = default_schedules)
+    (cw : Workload.ct) =
+  let t0 = Unix.gettimeofday () in
+  let scratch =
+    match cfg.snapshot_mode with
+    | Pmem.Region.Journal -> Some (make_scratch cfg)
+    | Pmem.Region.Full_copy -> None
+  in
+  let tested = ref 0 in
+  let skipped = ref 0 in
+  let sampled = ref 0 in
+  let total = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun schedule ->
+      (* the uncrashed run: its final durable state must equal the
+         newest tracked model state (serializability), and it sizes the
+         budget sweep *)
+      let events =
+        match crun_until ?scratch cfg cw ~schedule ~budget:None with
+        | `Crashed _ -> assert false (* no budget armed *)
+        | `Completed (events, _heap, inst) ->
+            (match inst.Workload.c_dump () with
+            | final ->
+                let expect = Oracle.latest inst.Workload.c_tracker in
+                if final <> expect then
+                  failures :=
+                    {
+                      cf_workload = cw.Workload.cname;
+                      cf_writers = cw.Workload.cwriters;
+                      cf_ops = cw.Workload.cops;
+                      cf_schedule = schedule;
+                      cf_crash_index = -1;
+                      cf_mode = Pmem.Region.Keep_inflight;
+                      cf_survival_seed = None;
+                      cf_detail =
+                        Printf.sprintf
+                          "final state %s does not match the serialized \
+                           model %s"
+                          final expect;
+                    }
+                    :: !failures
+            | exception e ->
+                failures :=
+                  {
+                    cf_workload = cw.Workload.cname;
+                    cf_writers = cw.Workload.cwriters;
+                    cf_ops = cw.Workload.cops;
+                    cf_schedule = schedule;
+                    cf_crash_index = -1;
+                    cf_mode = Pmem.Region.Keep_inflight;
+                    cf_survival_seed = None;
+                    cf_detail =
+                      Printf.sprintf "reading the final state raised %s"
+                        (Printexc.to_string e);
+                  }
+                  :: !failures);
+            events
+      in
+      total := !total + events;
+      let bs = sweep_budgets cfg ~total_events:events in
+      List.iter
+        (fun budget ->
+          match crun_until ?scratch cfg cw ~schedule ~budget:(Some budget) with
+          | `Completed _ -> ()
+          | `Crashed (heap, inst) ->
+              incr tested;
+              let n, fs =
+                csample_point cfg cw ~schedule ~crash_index:budget heap inst
+              in
+              sampled := !sampled + n;
+              failures := List.rev_append fs !failures)
+        bs;
+      skipped := !skipped + max 0 (events - List.length bs))
+    schedules;
+  if !skipped > 0 then
+    cfg.log
+      (Printf.sprintf
+         "%s: tested %d of %d concurrent crash points (stride %d%s), %d \
+          skipped"
+         cw.Workload.cname !tested !total cfg.stride
+         (match cfg.max_points with
+         | Some m -> Printf.sprintf ", cap %d/schedule" m
+         | None -> "")
+         !skipped);
+  {
+    cr_workload = cw.Workload.cname;
+    cr_writers = cw.Workload.cwriters;
+    cr_ops = cw.Workload.cops;
+    cr_schedules = List.length schedules;
+    cr_total_events = !total;
+    cr_points_tested = !tested;
+    cr_points_skipped = !skipped;
+    cr_crashes_sampled = !sampled;
+    cr_wall_seconds = Unix.gettimeofday () -. t0;
+    cr_failures = List.rev !failures;
+  }
+
 let pp_failure ppf (f : failure) =
   Format.fprintf ppf "%s: crash after PM event %d (mode %s%s): %s"
     f.workload f.crash_index (mode_name f.mode)
@@ -603,3 +833,31 @@ let pp_result ppf r =
        Printf.sprintf ", %d shard(s) re-swept after worker death"
          r.shards_resequenced
      else "")
+
+let pp_cfailure ppf (f : cfailure) =
+  if f.cf_crash_index < 0 then
+    Format.fprintf ppf "%s (%d writers, schedule %s): %s" f.cf_workload
+      f.cf_writers
+      (Interleave.schedule_name f.cf_schedule)
+      f.cf_detail
+  else
+    Format.fprintf ppf
+      "%s (%d writers, schedule %s): crash after PM event %d (mode %s%s): %s"
+      f.cf_workload f.cf_writers
+      (Interleave.schedule_name f.cf_schedule)
+      f.cf_crash_index (mode_name f.cf_mode)
+      (match f.cf_survival_seed with
+      | Some s -> Printf.sprintf ", survival seed %d" s
+      | None -> "")
+      f.cf_detail
+
+let pp_cresult ppf r =
+  Format.fprintf ppf
+    "%-12s %d writers x %d ops, %d schedules, %5d events, %5d points tested \
+     (%d skipped), %6d crash samples in %.2fs (%.0f points/s), %s"
+    r.cr_workload r.cr_writers r.cr_ops r.cr_schedules r.cr_total_events
+    r.cr_points_tested r.cr_points_skipped r.cr_crashes_sampled
+    r.cr_wall_seconds (cpoints_per_sec r)
+    (match r.cr_failures with
+    | [] -> "oracle: ok"
+    | fs -> Printf.sprintf "oracle: %d violation(s)" (List.length fs))

@@ -1,0 +1,29 @@
+(** Deterministic interleaving of concurrent writers over one heap.
+
+    Writers are cooperative effect-based fibers; every PM event (store /
+    clwb / sfence) is a preemption point, wired through the
+    {!Pmem.Region} event hook.  Straight OCaml between PM events is
+    atomic; {!Pmem.Region.atomic} sections (the root-record CAS) never
+    preempt internally.  Any interleaving replays bit-for-bit from
+    [(schedule, writers, crash budget)]. *)
+
+type schedule =
+  | Round_robin of int  (** switch writers every [q] PM events *)
+  | Seeded of int  (** PRNG-driven writer choice at every PM event *)
+
+val schedule_name : schedule -> string
+(** Canonical spelling, e.g. ["rr3"], ["seeded17"] (CLI / JSON key). *)
+
+val schedule_of_name : string -> (schedule, string) result
+
+val yield : unit -> unit
+(** Cooperative yield without a PM event, for spin-waits
+    ({!Pmstm.Norec.set_yield}).  A no-op outside {!run}. *)
+
+val run : Pmem.Region.t -> schedule:schedule -> (unit -> unit) array -> unit
+(** Run the writers to completion, interleaved per [schedule].  A
+    writer's exception -- notably {!Pmem.Region.Crash_point} from an
+    armed crash budget -- propagates immediately; the other writers'
+    suspended fibers are abandoned (a power failure does not unwind the
+    other core's stack).  The event hook is always uninstalled on
+    exit. *)

@@ -58,3 +58,63 @@ let minimize ?cfg (f : Explorer.failure) =
     else match fails ops with Some f' -> f' | None -> go (ops * 2)
   in
   go 1
+
+(* -- concurrent failures -------------------------------------------------- *)
+
+(* A concurrent crash point is the pair (schedule, crash event index):
+   the interleaving is a pure function of the schedule, so re-running
+   the writers under the same schedule and budget reconstructs the same
+   interrupted image bit-for-bit.  [crash_index = -1] replays the
+   uncrashed serializability check instead of a crash. *)
+let creplay ?(cfg = Explorer.default) (cw : Workload.ct) ~schedule
+    ~crash_index ~mode ?seed () =
+  if crash_index < 0 then
+    match Explorer.crun_until cfg cw ~schedule ~budget:None with
+    | `Crashed _ -> None
+    | `Completed (_, _, inst) -> (
+        match inst.Workload.c_dump () with
+        | final ->
+            let expect = Oracle.latest inst.Workload.c_tracker in
+            Some
+              (if String.equal final expect then Oracle.Consistent
+               else
+                 Oracle.Violation
+                   (Printf.sprintf
+                      "final state %s does not match the serialized model %s"
+                      final expect))
+        | exception e ->
+            Some
+              (Oracle.Violation
+                 (Printf.sprintf "reading the final state raised %s"
+                    (Printexc.to_string e))))
+  else
+    match Explorer.crun_until cfg cw ~schedule ~budget:(Some crash_index) with
+    | `Completed _ -> None
+    | `Crashed (heap, inst) ->
+        Pmalloc.Heap.crash ~mode ?seed heap;
+        Some (Explorer.crecover_and_check inst)
+
+let ccommand (f : Explorer.cfailure) =
+  Printf.sprintf
+    "modpm crashtest --workload %s --writers %d --ops %d --schedule %s \
+     --replay %d --mode %s%s"
+    f.Explorer.cf_workload f.Explorer.cf_writers f.Explorer.cf_ops
+    (Interleave.schedule_name f.Explorer.cf_schedule)
+    f.Explorer.cf_crash_index
+    (Explorer.mode_name f.Explorer.cf_mode)
+    (match f.Explorer.cf_survival_seed with
+    | Some s -> Printf.sprintf " --survival-seed %d" s
+    | None -> "")
+
+let creproduces ?cfg (f : Explorer.cfailure) =
+  let cw =
+    Workload.cbuild f.Explorer.cf_workload ~writers:f.Explorer.cf_writers
+      ~ops:f.Explorer.cf_ops
+  in
+  match
+    creplay ?cfg cw ~schedule:f.Explorer.cf_schedule
+      ~crash_index:f.Explorer.cf_crash_index ~mode:f.Explorer.cf_mode
+      ?seed:f.Explorer.cf_survival_seed ()
+  with
+  | Some (Oracle.Violation _) -> true
+  | Some Oracle.Consistent | None -> false

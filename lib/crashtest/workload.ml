@@ -732,6 +732,317 @@ let stm_workload name version ~broken ~ops =
         });
   }
 
+(* -- concurrent workloads ------------------------------------------------- *)
+
+(* A concurrent workload scripts [cwriters] writers, each with its own
+   deterministic operation sequence over one shared structure; the
+   interleaving explorer runs them as cooperative fibers.  The shared
+   volatile model advances at each commit's linearization point -- the
+   {!Oracle.tracker} hooks fire inside the commit protocol, where the
+   simulator guarantees no preemption -- so the tracked history is the
+   exact total order the root-record CAS (or the NOrec sequence lock)
+   serialized. *)
+
+type cinstance = {
+  c_init : unit -> unit;  (** single-writer durable initialization *)
+  c_writers : (unit -> unit) array;  (** one closure per writer *)
+  c_tracker : Oracle.tracker;
+  c_dump : unit -> state;
+  c_recover : unit -> unit;
+}
+
+type ct = {
+  cname : string;
+  cwriters : int;
+  cops : int;  (** operations per writer *)
+  cnegative : bool;
+  cmake : Pmalloc.Heap.t -> cinstance;
+}
+
+(* Per-writer scripts draw from one small key range so writers genuinely
+   contend: overlapping keys force CAS retries and validation aborts. *)
+let cmap_scripts name ~writers ~ops =
+  Array.init writers (fun w ->
+      let rng =
+        Random.State.make
+          [| seed_of (Printf.sprintf "%s-w%d" name w) ~ops |]
+      in
+      Array.init ops (fun _ ->
+          let k = Random.State.int rng 12 in
+          if Random.State.int rng 3 < 2 then
+            Minsert (k, Random.State.int rng 1000)
+          else Mremove k))
+
+let render_map m = render_pairs (IntMap.bindings m)
+
+let cmap_workload ~writers ~ops =
+  let scripts = cmap_scripts "cmap" ~writers ~ops in
+  {
+    cname = "cmap";
+    cwriters = writers;
+    cops = ops;
+    cnegative = false;
+    cmake =
+      (fun heap ->
+        let tr = Oracle.tracker ~writers ~init:(render_map IntMap.empty) in
+        let model = ref IntMap.empty in
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        let run_op w op =
+          let apply m =
+            match op with
+            | Minsert (k, v) -> IntMap.add k v m
+            | Mremove k -> IntMap.remove k m
+          in
+          let build old =
+            match op with
+            | Minsert (k, v) -> Some (Imap.insert_pure heap old k v, [])
+            | Mremove k ->
+                let shadow, removed = Imap.remove_pure heap old k in
+                if removed then Some (shadow, []) else None
+          in
+          (* reclaim:false -- a racing writer may still be mid-build over
+             the superseded version; recovery GC scrubs the garbage *)
+          ignore
+            (Mod_core.Handle.update_cas h ~reclaim:false ~build
+               ~before_swing:(fun () ->
+                 Oracle.track_pending tr ~writer:w
+                   (render_map (apply !model)))
+               ~after_swing:(fun () ->
+                 model := apply !model;
+                 Oracle.track_commit tr ~writer:w (render_map !model))
+              : int)
+        in
+        {
+          c_init = (fun () -> ignore (Imap.open_or_create heap ~slot:0));
+          c_writers =
+            Array.init writers (fun w () ->
+                Array.iter (run_op w) scripts.(w));
+          c_tracker = tr;
+          c_dump = (fun () -> dump_map heap);
+          c_recover =
+            (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
+        });
+  }
+
+let cset_scripts ~writers ~ops =
+  Array.init writers (fun w ->
+      let rng =
+        Random.State.make
+          [| seed_of (Printf.sprintf "cset-w%d" w) ~ops |]
+      in
+      Array.init ops (fun _ ->
+          let k = Random.State.int rng 12 in
+          if Random.State.int rng 3 < 2 then Sadd k else Sremove k))
+
+let cset_workload ~writers ~ops =
+  let scripts = cset_scripts ~writers ~ops in
+  let render s = render_ints (IntSet.elements s) in
+  {
+    cname = "cset";
+    cwriters = writers;
+    cops = ops;
+    cnegative = false;
+    cmake =
+      (fun heap ->
+        let tr = Oracle.tracker ~writers ~init:(render IntSet.empty) in
+        let model = ref IntSet.empty in
+        let h = Mod_core.Handle.make heap ~slot:0 in
+        let run_op w op =
+          let apply s =
+            match op with
+            | Sadd k -> IntSet.add k s
+            | Sremove k -> IntSet.remove k s
+          in
+          let build old =
+            match op with
+            | Sadd k -> Some (Iset.add_pure heap old k, [])
+            | Sremove k ->
+                let shadow, removed = Iset.remove_pure heap old k in
+                if removed then Some (shadow, []) else None
+          in
+          ignore
+            (Mod_core.Handle.update_cas h ~reclaim:false ~build
+               ~before_swing:(fun () ->
+                 Oracle.track_pending tr ~writer:w (render (apply !model)))
+               ~after_swing:(fun () ->
+                 model := apply !model;
+                 Oracle.track_commit tr ~writer:w (render !model))
+              : int)
+        in
+        {
+          c_init = (fun () -> ignore (Iset.open_or_create heap ~slot:0));
+          c_writers =
+            Array.init writers (fun w () ->
+                Array.iter (run_op w) scripts.(w));
+          c_tracker = tr;
+          c_dump =
+            (fun () ->
+              Iset.reconstruct heap ~slot:0;
+              let h = Mod_core.Handle.make heap ~slot:0 in
+              render_ints
+                (IntSet.elements (Iset.fold h IntSet.add IntSet.empty)));
+          c_recover =
+            (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
+        });
+  }
+
+(* Two writers over the NOrec STM: read-modify-write increments of a
+   shared counter array, each commit serialized by the sequence lock and
+   made durable by the published redo log.  The model advances at the
+   publish fence (the durable linearization point). *)
+let cstm_norec_workload ~writers ~ops =
+  let scripts =
+    Array.init writers (fun w ->
+        let rng =
+          Random.State.make
+            [| seed_of (Printf.sprintf "cstm-w%d" w) ~ops |]
+        in
+        Array.init ops (fun _ ->
+            (Random.State.int rng stm_cells, 1 + Random.State.int rng 99)))
+  in
+  {
+    cname = "cstm-norec";
+    cwriters = writers;
+    cops = ops;
+    cnegative = false;
+    cmake =
+      (fun heap ->
+        let render c = render_ints (Array.to_list c) in
+        let model = Array.make stm_cells 0 in
+        let tr = Oracle.tracker ~writers ~init:(render model) in
+        let stm = ref None in
+        let body = ref (-1) in
+        let run_op w (idx, delta) =
+          let s = Option.get !stm in
+          let off = !body + idx in
+          Pmstm.Norec.run
+            ~before_publish:(fun () ->
+              let c = Array.copy model in
+              c.(idx) <- c.(idx) + delta;
+              Oracle.track_pending tr ~writer:w (render c))
+            ~after_publish:(fun () ->
+              model.(idx) <- model.(idx) + delta;
+              Oracle.track_commit tr ~writer:w (render model))
+            s
+            (fun tx ->
+              let v = Pmem.Word.to_int (Pmstm.Norec.read tx off) in
+              Pmstm.Norec.write tx off (Pmem.Word.of_int (v + delta)))
+        in
+        {
+          c_init =
+            (fun () ->
+              let b =
+                Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw
+                  ~words:stm_cells
+              in
+              for i = 0 to stm_cells - 1 do
+                Pmalloc.Heap.store heap (b + i) (Pmem.Word.of_int 0)
+              done;
+              Pmalloc.Heap.flush_block heap b;
+              Pmalloc.Heap.root_set heap 1 (Pmem.Word.of_ptr b);
+              Pmalloc.Heap.sfence heap;
+              body := b;
+              let s = Pmstm.Norec.create heap in
+              Pmstm.Norec.set_yield s Interleave.yield;
+              stm := Some s);
+          c_writers =
+            Array.init writers (fun w () ->
+                Array.iter (run_op w) scripts.(w));
+          c_tracker = tr;
+          c_dump =
+            (fun () ->
+              let root = Pmalloc.Heap.root_get heap 1 in
+              if Pmem.Word.is_null root then render (Array.make stm_cells 0)
+              else
+                let b = Pmem.Word.to_ptr root in
+                render_ints
+                  (List.init stm_cells (fun i ->
+                       Pmem.Word.to_int (Pmalloc.Heap.load heap (b + i)))));
+          c_recover =
+            (fun () ->
+              ignore (Mod_core.Recovery.recover_exn ~norec:true heap));
+        });
+  }
+
+(* The concurrent negative control: lock-free CAS commits whose
+   pre-swing sfence is missing, so the root record can become durable
+   while the shadow nodes it points at are still in flight.  The
+   concurrent oracle must catch it; losing attempts leak their shadows
+   on purpose (recovery reclaims them -- a real power failure would not
+   unwind the loser either). *)
+let cmap_nofence_cworkload ~writers ~ops =
+  let scripts = cmap_scripts "cmap" ~writers ~ops in
+  {
+    cname = "cmap-nofence";
+    cwriters = writers;
+    cops = ops;
+    cnegative = true;
+    cmake =
+      (fun heap ->
+        let tr = Oracle.tracker ~writers ~init:(render_map IntMap.empty) in
+        let model = ref IntMap.empty in
+        let run_op w op =
+          let apply m =
+            match op with
+            | Minsert (k, v) -> IntMap.add k v m
+            | Mremove k -> IntMap.remove k m
+          in
+          let rec attempt () =
+            let old, old_seq = Pmalloc.Heap.root_get_versioned heap 0 in
+            let shadow =
+              match op with
+              | Minsert (k, v) -> Some (Imap.insert_pure heap old k v)
+              | Mremove k ->
+                  let s, removed = Imap.remove_pure heap old k in
+                  if removed then Some s else None
+            in
+            match shadow with
+            | None -> ()
+            | Some shadow ->
+                (* missing ordering point: no sfence before the swing *)
+                Oracle.track_pending tr ~writer:w
+                  (render_map (apply !model));
+                if
+                  Pmalloc.Heap.root_cas heap 0 ~expected:old
+                    ~expected_seq:old_seq ~desired:shadow
+                then begin
+                  model := apply !model;
+                  Oracle.track_commit tr ~writer:w (render_map !model)
+                end
+                else attempt ()
+          in
+          attempt ()
+        in
+        {
+          c_init = (fun () -> ignore (Imap.open_or_create heap ~slot:0));
+          c_writers =
+            Array.init writers (fun w () ->
+                Array.iter (run_op w) scripts.(w));
+          c_tracker = tr;
+          c_dump = (fun () -> dump_map heap);
+          c_recover =
+            (fun () -> ignore (Mod_core.Recovery.recover_exn heap));
+        });
+  }
+
+let concurrent_positive_names = [ "cmap"; "cset"; "cstm-norec" ]
+let concurrent_negative_names = [ "cmap-nofence" ]
+let concurrent_names = concurrent_positive_names @ concurrent_negative_names
+
+let cbuild name ~writers ~ops =
+  if writers < 1 then invalid_arg "Workload.cbuild: writers must be >= 1";
+  match name with
+  | "cmap" -> cmap_workload ~writers ~ops
+  | "cset" -> cset_workload ~writers ~ops
+  | "cstm-norec" -> cstm_norec_workload ~writers ~ops
+  | "cmap-nofence" -> cmap_nofence_cworkload ~writers ~ops
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Workload.cbuild: unknown concurrent workload %S (expected %s)"
+           name
+           (String.concat ", " concurrent_names))
+
 (* -- registry ------------------------------------------------------------- *)
 
 let mod_names =

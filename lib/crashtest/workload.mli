@@ -1,0 +1,86 @@
+(** Deterministic workload scripts for the crash-point explorer.
+
+    A workload is a fixed, seed-determined sequence of operations
+    against one durable structure, paired with a purely volatile model
+    of the abstract state after every prefix of operations.  States are
+    rendered canonically (sorted, fully explicit) so the
+    durable-linearizability oracle can compare a recovered structure
+    against model prefixes with plain string equality. *)
+
+type state = string
+
+type instance = {
+  init : unit -> unit;  (** durable initialization (may commit) *)
+  run_op : int -> unit;  (** apply operation [i] through the structure *)
+  dump : unit -> state;  (** canonical view of the (recovered) state *)
+  recover : unit -> unit;  (** post-crash recovery for this workload *)
+}
+
+type t = {
+  name : string;
+  ops : int;
+  negative : bool;
+      (** negative control: the oracle is expected to report violations *)
+  check_trace : bool;
+      (** also run the Section 5.4 trace checker (MOD-only invariant) *)
+  model : state array;  (** [model.(i)] = state after [i] operations *)
+  make : Pmalloc.Heap.t -> instance;
+      (** per-heap instance; construction performs no PM work ([init]
+          does, so a crash can land inside initialization too) *)
+}
+
+(** {1 Registry} *)
+
+val mod_names : string list
+(** Workloads whose traces satisfy the Section 5.4 checker. *)
+
+val basic_names : string list
+(** One structure, one root slot -- the Backup-eligible subset. *)
+
+val stm_names : string list
+val negative_names : string list
+
+val names : string list
+(** Everything {!build} accepts. *)
+
+val backup_names : string list
+(** Workloads accepting [persist:Backup]. *)
+
+val build : ?persist:Pmalloc.Heap.policy -> string -> ops:int -> t
+(** Construct a registered workload.  [Invalid_argument] on an unknown
+    name or an unsupported [persist] policy. *)
+
+(** {1 Concurrent workloads}
+
+    A concurrent workload runs [cwriters] deterministic per-writer
+    scripts under the cooperative interleaving scheduler
+    ({!Interleave.run}); correctness is judged by the concurrent oracle
+    against the model states recorded in [c_tracker] at each commit's
+    linearization point. *)
+
+type cinstance = {
+  c_init : unit -> unit;  (** durable initialization (runs uninterleaved) *)
+  c_writers : (unit -> unit) array;  (** one fiber body per writer *)
+  c_tracker : Oracle.tracker;
+  c_dump : unit -> state;
+  c_recover : unit -> unit;
+}
+
+type ct = {
+  cname : string;
+  cwriters : int;
+  cops : int;  (** operations per writer *)
+  cnegative : bool;
+      (** the concurrent oracle is expected to catch this workload *)
+  cmake : Pmalloc.Heap.t -> cinstance;
+}
+
+val concurrent_positive_names : string list
+val concurrent_negative_names : string list
+
+val concurrent_names : string list
+(** Everything {!cbuild} accepts. *)
+
+val cbuild : string -> writers:int -> ops:int -> ct
+(** Construct a registered concurrent workload.  [Invalid_argument] on
+    an unknown name or [writers < 1]. *)

@@ -79,6 +79,14 @@ type backup_state = {
   b_log : int;  (* op-log (Raw block) body offset *)
 }
 
+(* How Full-policy commits install their root: [Swing] is the paper's
+   single-writer 8-byte store; [Cas] routes the same record update
+   through {!root_cas}, the lock-free path concurrent writers use.  A
+   volatile, whole-heap knob so the conformance suite can exercise every
+   structure's commits under the CAS discipline without per-structure
+   plumbing. *)
+type commit_mode = Swing | Cas
+
 type t = {
   region : Pmem.Region.t;
   allocator : Allocator.t;
@@ -86,6 +94,7 @@ type t = {
      bad record copy, and how often the surviving copy rescued the slot *)
   mutable root_torn_detected : int;
   mutable root_fallbacks : int;
+  mutable commit_mode : commit_mode;
   (* commit-policy machinery (volatile; durable policy words are the
      source of truth, this is a cache refreshed by recovery) *)
   policies : policy array;
@@ -102,6 +111,8 @@ let stats t = Pmem.Region.stats t.region
 let trace t = Pmem.Region.trace t.region
 let root_torn_detected t = t.root_torn_detected
 let root_fallbacks t = t.root_fallbacks
+let commit_mode t = t.commit_mode
+let set_commit_mode t mode = t.commit_mode <- mode
 
 let check_slot slot =
   if slot < 0 || slot >= root_slots then
@@ -136,14 +147,14 @@ let count_torn t = t.root_torn_detected <- t.root_torn_detected + 1
    commits stale.  Freshness of the survivor cannot be established, so a
    faulting record line surfaces as a typed [Media_fault] instead of a
    silently stale root. *)
-let root_get t slot =
+let root_get_versioned t slot =
   check_slot slot;
   match (read_copy t ~slot ~copy:0, read_copy t ~slot ~copy:1) with
-  | Ok (s0, v0), Ok (s1, v1) -> if s0 >= s1 then v0 else v1
-  | Ok (_, v), Error `Torn | Error `Torn, Ok (_, v) ->
+  | Ok (s0, v0), Ok (s1, v1) -> if s0 >= s1 then (v0, s0) else (v1, s1)
+  | Ok (s, v), Error `Torn | Error `Torn, Ok (s, v) ->
       count_torn t;
       t.root_fallbacks <- t.root_fallbacks + 1;
-      v
+      (v, s)
   | Error `Media, _ | _, Error `Media ->
       let copy =
         match read_copy t ~slot ~copy:0 with Error `Media -> 0 | _ -> 1
@@ -153,6 +164,8 @@ let root_get t slot =
       count_torn t;
       count_torn t;
       raise (Torn_root { slot })
+
+let root_get t slot = fst (root_get_versioned t slot)
 
 (* The copy [root_get] would serve (diagnostics/tests). *)
 let active_root_copy t slot =
@@ -203,6 +216,7 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
       allocator = Allocator.create region ~heap_start:heap_start_words;
       root_torn_detected = 0;
       root_fallbacks = 0;
+      commit_mode = Swing;
       policies = Array.make root_slots Full;
       backup = Hashtbl.create 8;
       backlog = Hashtbl.create 64;
@@ -242,6 +256,36 @@ let root_set t slot w =
   match stores with
   | (off, _) :: _ -> Pmem.Region.clwb t.region off
   | [] -> assert false
+
+(* Compare-and-swap on a root slot, modelling a double-word (pointer +
+   counter) hardware CAS on the root record.  The record's sequence
+   number doubles as the ABA tag: every successful update stamps
+   [1 + max seq] on the stale copy, so a root that has returned to a
+   bit-identical pointer value after intervening commits -- which
+   happens as soon as a superseded version is reclaimed and its address
+   reused by a later shadow -- still fails the compare.  A plain
+   value-compare CAS is unsound here for exactly that reason: a writer
+   that read root [P], built a shadow from [P]'s contents, and raced two
+   commits (away from and back to address [P]) would install a shadow
+   derived from a version that no longer exists.
+
+   The read-compare-write runs inside {!Pmem.Region.atomic}, so no other
+   simulated writer is scheduled between the load of the current record
+   and the record write -- but every PM event inside still counts
+   against the crash budget, and the record write keeps the ping-pong
+   discipline (only the stale copy is touched), so a crash landing
+   mid-CAS re-exposes the previous committed value exactly as under
+   {!root_set}. *)
+let root_cas t slot ~expected ~expected_seq ~desired =
+  check_slot slot;
+  Pmem.Region.atomic t.region (fun () ->
+      let cur, seq = root_get_versioned t slot in
+      if seq = expected_seq && Pmem.Word.bits cur = Pmem.Word.bits expected
+      then begin
+        root_set t slot desired;
+        true
+      end
+      else false)
 
 (* -- commit policy ------------------------------------------------------- *)
 
@@ -360,6 +404,7 @@ let reset_fresh t ~pristine =
   Allocator.reset_fresh t.allocator;
   t.root_torn_detected <- 0;
   t.root_fallbacks <- 0;
+  t.commit_mode <- Swing;
   Array.fill t.policies 0 root_slots Full;
   clear_backup_runtime t
 
@@ -390,6 +435,7 @@ let open_file ?(trace = false) ?(seed = 42) ~path () =
       allocator = Allocator.create region ~heap_start:heap_start_words;
       root_torn_detected = 0;
       root_fallbacks = 0;
+      commit_mode = Swing;
       policies = Array.make root_slots Full;
       backup = Hashtbl.create 8;
       backlog = Hashtbl.create 64;

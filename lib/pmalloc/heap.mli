@@ -90,12 +90,48 @@ val root_get : t -> int -> Pmem.Word.t
     {!Torn_root} (or re-raises [Media_fault]) only when both copies are
     unusable. *)
 
+val root_get_versioned : t -> int -> Pmem.Word.t * int
+(** {!root_get} plus the serving copy's sequence number -- the version
+    tag a caller must present to {!root_cas}.  The sequence increases by
+    at least one on every successful root update, so observing an
+    unchanged tag proves the slot was not written in between. *)
+
 val root_set : t -> int -> Pmem.Word.t -> unit
 (** The root update at the heart of Commit: write the {e stale} copy of
     the checksummed record (all three words inside one cacheline) and
     launch one weakly-ordered flush; the flush is ordered by the {e
     next} fence (epoch persistency) -- losing it in a crash merely
     re-exposes the other copy, the previous consistent version. *)
+
+type commit_mode = Swing | Cas
+(** How Full-policy commits install their root.  [Swing] is the paper's
+    single-writer 8-byte atomic store ({!root_set}); [Cas] routes the
+    same record update through {!root_cas}, the lock-free path
+    concurrent writers use.  Volatile, whole-heap; reset to [Swing] by
+    {!reset_fresh}. *)
+
+val commit_mode : t -> commit_mode
+val set_commit_mode : t -> commit_mode -> unit
+
+val root_cas :
+  t ->
+  int ->
+  expected:Pmem.Word.t ->
+  expected_seq:int ->
+  desired:Pmem.Word.t ->
+  bool
+(** Counted compare-and-swap on a root slot, modelling a double-word
+    (pointer + counter) hardware CAS: atomically (with respect to other
+    simulated writers -- see {!Pmem.Region.atomic}) compare the slot's
+    current record against [(expected, expected_seq)] (both from one
+    {!root_get_versioned}) and, on a match, write [desired] via the same
+    stale-copy ping-pong record update as {!root_set}.  Returns whether
+    the swap happened.  The sequence number is the ABA tag: a root that
+    raced back to a bit-identical pointer value (reclaimed address
+    reused by a later version) fails the compare, where a plain
+    value-compare would wrongly succeed and install a shadow built from
+    a dead version.  Crash-wise it is exactly a {!root_set}: a power cut
+    mid-record re-exposes the surviving copy. *)
 
 val root_record_stores : t -> int -> Pmem.Word.t -> (int * Pmem.Word.t) list
 (** [(offset, word)] stores that write slot [s]'s record for a given

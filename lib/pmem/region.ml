@@ -59,6 +59,13 @@ type t = {
   mutable events : int;
   mutable crash_budget : int; (* -1 = no crash scheduled *)
   mutable last_crash_seed : int option;
+  (* concurrency hook: called after every PM event that did not crash.
+     The interleaving explorer installs a scheduler yield here so two
+     writers' event streams can be woven deterministically.  [atomic]
+     suspends the hook (but not the crash budget) across a section that
+     models one indivisible hardware instruction, e.g. an 8-byte CAS. *)
+  mutable event_hook : (unit -> unit) option;
+  mutable hook_suspended : bool;
   (* snapshot journal (see [snapshot]) *)
   region_stamp : int;
   mutable snap_mode : snapshot_mode;
@@ -122,6 +129,8 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
     events = 0;
     crash_budget = -1;
     last_crash_seed = None;
+    event_hook = None;
+    hook_suspended = false;
     region_stamp = !next_stamp;
     snap_mode = Full_copy;
     j_on = false;
@@ -194,6 +203,23 @@ let tick t =
       t.crash_budget <- -1;
       raise Crash_point
     end
+  end;
+  match t.event_hook with
+  | Some hook when not t.hook_suspended -> hook ()
+  | _ -> ()
+
+let set_event_hook t hook = t.event_hook <- hook
+
+(* Run [f] with the event hook suspended: the section's PM events still
+   count against the crash budget (power can fail inside it) but no
+   other writer is scheduled between them.  This is how an 8-byte
+   hardware CAS is modelled: its read-compare-write is indivisible with
+   respect to other CPUs, yet a power cut can still land mid-record. *)
+let atomic t f =
+  if t.hook_suspended then f ()
+  else begin
+    t.hook_suspended <- true;
+    Fun.protect ~finally:(fun () -> t.hook_suspended <- false) f
   end
 
 let ensure_capacity t n =
@@ -331,10 +357,16 @@ let store t off w =
   | Clean -> t.state.(line) <- Dirty
   | Dirty -> ()
   | Flushing ->
-      (* The launched writeback raced with this store; the line must be
-         flushed again before it can be considered durable. *)
-      t.inflight <- t.inflight - 1;
-      t.state.(line) <- Dirty);
+      (* The store raced a writeback already launched by a clwb.  On
+         hardware the pre-clwb contents are durable by the next fence
+         regardless -- the writeback either completed before this store
+         or the store joined the line while it was still queued; model
+         the latter, so the fence drains the line with this store
+         included.  Downgrading to [Dirty] here would silently void the
+         clwb+fence guarantee of a neighbour block sharing the line
+         (false sharing): its commit would fence "durable" shadows whose
+         line a concurrent writer's allocation re-dirtied. *)
+      ());
   Trace.emit t.trace (Trace.Write { off });
   tick t
 
@@ -691,6 +723,8 @@ let open_file ?(trace = false) ?(seed = 42) ~path () =
       events = 0;
       crash_budget = -1;
       last_crash_seed = None;
+      event_hook = None;
+      hook_suspended = false;
       region_stamp = !next_stamp;
       snap_mode = Full_copy;
       j_on = false;

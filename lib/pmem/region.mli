@@ -128,6 +128,27 @@ val set_crash_after : t -> int -> unit
 val clear_crash_point : t -> unit
 (** Disarm a pending crash budget. *)
 
+(** {1 Event hook (concurrent interleaving)}
+
+    The crash scheduler's PM-event stream doubles as the preemption
+    grid for simulated concurrency: an installed hook runs after every
+    completed PM event (store / clwb / sfence) that did not crash, and
+    the interleaving explorer yields to another writer there.  Loads
+    are not PM events, so straight-line OCaml between two PM events is
+    atomic with respect to the other writer -- the granularity of real
+    store visibility on a TSO machine. *)
+
+val set_event_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear, with [None]) the post-event hook.  The hook runs
+    after the crash-budget check, so a crashing event never yields. *)
+
+val atomic : t -> (unit -> 'a) -> 'a
+(** [atomic t f] runs [f] with the event hook suspended: no other
+    writer is scheduled between [f]'s PM events, but the events still
+    count against the crash budget (a power cut can land inside).
+    Models a single indivisible hardware instruction such as an 8-byte
+    CAS.  Nested calls are flattened. *)
+
 type snapshot
 (** A rewind point for the memory image (volatile view, durable image,
     per-line durability state, simulated-time counters, RNG and trace

@@ -1,0 +1,31 @@
+(** PMDK-style transactional vector: a dense PM array updated in place.
+
+    The baseline the paper's vector and vec-swap workloads use -- a
+    flat, contiguous layout where an element update snapshots one word
+    and writes one word (Section 6.3: MOD's tree-based vector costs,
+    not benefits).  All mutators run inside an undo-logged {!Tx}
+    transaction; readers take the heap directly.  A structure is named
+    by its descriptor's body offset. *)
+
+val create : Tx.t -> capacity:int -> int
+(** Allocate an empty vector; returns the descriptor offset.
+    [Invalid_argument] when [capacity <= 0]. *)
+
+val size : Pmalloc.Heap.t -> int -> int
+val capacity : Pmalloc.Heap.t -> int -> int
+
+val get : Pmalloc.Heap.t -> int -> int -> Pmem.Word.t
+(** [get heap desc i]; [Invalid_argument] out of bounds. *)
+
+val set : Tx.t -> int -> int -> Pmem.Word.t -> unit
+(** Point update: snapshot one element word, overwrite it. *)
+
+val swap : Tx.t -> int -> int -> int -> unit
+(** Swap two elements in one transaction: two snapshots, two stores
+    (the vec-swap workload, emulating canneal's main loop). *)
+
+val grow : Tx.t -> int -> unit
+(** Double the capacity: fresh data block, copy, swap the pointer. *)
+
+val push_back : Tx.t -> int -> Pmem.Word.t -> unit
+val iter : Pmalloc.Heap.t -> int -> (Pmem.Word.t -> unit) -> unit

@@ -1,0 +1,24 @@
+(** PMDK-style transactional crit-bit tree (the paper's ctree baseline).
+
+    A binary radix tree over non-negative integer keys, updated in
+    place inside undo-logged {!Tx} transactions.  A structure is named
+    by its descriptor's body offset; value words are owned by the
+    tree. *)
+
+val create : Tx.t -> int
+(** Allocate an empty tree; returns the descriptor offset. *)
+
+val count : Pmalloc.Heap.t -> int -> int
+val cardinal : Pmalloc.Heap.t -> int -> int
+
+val find : Pmalloc.Heap.t -> int -> int -> Pmem.Word.t option
+val mem : Pmalloc.Heap.t -> int -> int -> bool
+
+val insert : Tx.t -> int -> int -> Pmem.Word.t -> bool
+(** Insert or update ([v] is an owned value word); [true] when a new
+    key was added.  [Invalid_argument] on negative keys. *)
+
+val remove : Tx.t -> int -> int -> bool
+(** Remove a key; [true] when it was present. *)
+
+val iter : Pmalloc.Heap.t -> int -> (int -> Pmem.Word.t -> unit) -> unit

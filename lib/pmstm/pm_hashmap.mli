@@ -1,0 +1,29 @@
+(** PMDK-style transactional hashmap (the paper's baseline map/set).
+
+    Modelled on PMDK's [hashmap_tx] example: a bucket array with
+    chained entry nodes, updated in place inside undo-logged {!Tx}
+    transactions -- the contiguous, cache-friendly layout the paper
+    credits for the baseline's lower L1D miss ratios (Section 6.5).
+    A structure is named by its descriptor's body offset. *)
+
+module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) : sig
+  type key = K.t
+  type value = V.t
+
+  val create : Tx.t -> nbuckets:int -> int
+  (** Allocate an empty map; returns the descriptor offset. *)
+
+  val count : Pmalloc.Heap.t -> int -> int
+  val cardinal : Pmalloc.Heap.t -> int -> int
+  val nbuckets : Pmalloc.Heap.t -> int -> int
+
+  val insert : Tx.t -> int -> key -> value -> bool
+  (** Insert or update; [true] when a new key was added. *)
+
+  val remove : Tx.t -> int -> key -> bool
+  (** Remove a key; [true] when it was present. *)
+
+  val find : Pmalloc.Heap.t -> int -> key -> value option
+  val mem : Pmalloc.Heap.t -> int -> key -> bool
+  val iter : Pmalloc.Heap.t -> int -> (key -> value -> unit) -> unit
+end

@@ -1,0 +1,16 @@
+(** PMDK-style transactional FIFO queue: a singly linked list with
+    head/tail descriptor words, updated in place inside undo-logged
+    {!Tx} transactions.  A structure is named by its descriptor's body
+    offset; each node is [value; next]. *)
+
+val create : Tx.t -> int
+(** Allocate an empty queue; returns the descriptor offset. *)
+
+val head : Pmalloc.Heap.t -> int -> Pmem.Word.t
+val tail : Pmalloc.Heap.t -> int -> Pmem.Word.t
+val is_empty : Pmalloc.Heap.t -> int -> bool
+val enqueue : Tx.t -> int -> Pmem.Word.t -> unit
+val dequeue : Tx.t -> int -> Pmem.Word.t option
+val iter : Pmalloc.Heap.t -> int -> (Pmem.Word.t -> unit) -> unit
+val length : Pmalloc.Heap.t -> int -> int
+val to_list : Pmalloc.Heap.t -> int -> Pmem.Word.t list

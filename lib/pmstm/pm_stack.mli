@@ -1,0 +1,15 @@
+(** PMDK-style transactional stack: a singly linked list whose
+    descriptor is the head word, updated in place inside undo-logged
+    {!Tx} transactions.  A structure is named by its descriptor's body
+    offset; each node is [value; next]. *)
+
+val create : Tx.t -> int
+(** Allocate an empty stack; returns the descriptor offset. *)
+
+val head : Pmalloc.Heap.t -> int -> Pmem.Word.t
+val is_empty : Pmalloc.Heap.t -> int -> bool
+val push : Tx.t -> int -> Pmem.Word.t -> unit
+val pop : Tx.t -> int -> Pmem.Word.t option
+val iter : Pmalloc.Heap.t -> int -> (Pmem.Word.t -> unit) -> unit
+val length : Pmalloc.Heap.t -> int -> int
+val to_list : Pmalloc.Heap.t -> int -> Pmem.Word.t list

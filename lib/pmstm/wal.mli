@@ -1,0 +1,41 @@
+(** Persistent undo log for the PMDK-style STM ({!Tx}).
+
+    Lives in a [Raw] PM block: word 0 holds the valid entry count (0 =
+    invalid), followed by self-describing entries
+    [target offset; word count; saved words ...].  An entry is visible
+    to recovery only once the durable count covers it, so a crash
+    mid-append is harmless; rollback restores snapshots newest-first. *)
+
+type t
+
+val create : Pmalloc.Heap.t -> capacity_words:int -> t
+(** Allocate the log block and durably zero its count word. *)
+
+val body : t -> int
+(** Body offset of the log block (for root-directory registration). *)
+
+val capacity : t -> int
+val entries : t -> int
+
+val reset : t -> unit
+(** Forget the volatile cursor/count (does not touch PM). *)
+
+val append : t -> off:int -> words:int -> (unit, [ `Log_full ]) result
+(** Snapshot a range into the log and flush the entry with unordered
+    clwbs (the caller decides when to fence).  [Error `Log_full]
+    appends nothing; existing entries stay valid. *)
+
+val touch_metadata : t -> unit
+(** Persist a log-metadata update (stage transitions): header store +
+    clwb, ordered by the caller. *)
+
+val invalidate : t -> unit
+(** Durably invalidate the log (store + clwb + sfence) and reset. *)
+
+val rollback : t -> entries_valid:int -> unit
+(** Apply the first [entries_valid] undo entries in reverse, restoring
+    the snapshots, then durably invalidate. *)
+
+val recover : t -> bool
+(** Crash recovery: roll back if the durable count is non-zero.
+    Returns whether a rollback happened. *)

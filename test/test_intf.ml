@@ -17,9 +17,12 @@ struct
   (* With [?persist:Backup] the slot is promoted before the suite runs,
      so every check below exercises the Backup commit path (op-log
      appends, checkpoint on add_many's batch) and the descriptor-aware
-     open/validate path. *)
-  let run ?persist () =
+     open/validate path.  With [~commit_mode:Cas] every Full-policy
+     commit routes its root swing through the counted-CAS record update
+     concurrent writers use, instead of the single-writer atomic store. *)
+  let run ?persist ?(commit_mode = Pmalloc.Heap.Swing) () =
     let heap = mk_heap () in
+    Pmalloc.Heap.set_commit_mode heap commit_mode;
     (match persist with
     | None -> ()
     | Some p -> ignore (D.open_or_create ~persist:p heap ~slot:0));
@@ -175,6 +178,45 @@ let () =
            Alcotest.test_case "dpqueue" `Quick
              (Conf_pqueue.run ~persist:backup);
          ]) );
+      ( "durable-conformance-cas",
+        (let cas = Pmalloc.Heap.Cas in
+         [
+           Alcotest.test_case "dmap" `Quick (Conf_map.run ~commit_mode:cas);
+           Alcotest.test_case "dset" `Quick (Conf_set.run ~commit_mode:cas);
+           Alcotest.test_case "dvec" `Quick (Conf_vec.run ~commit_mode:cas);
+           Alcotest.test_case "dstack" `Quick
+             (Conf_stack.run ~commit_mode:cas);
+           Alcotest.test_case "dqueue" `Quick
+             (Conf_queue.run ~commit_mode:cas);
+           Alcotest.test_case "dseq" `Quick (Conf_seq.run ~commit_mode:cas);
+           Alcotest.test_case "dpqueue" `Quick
+             (Conf_pqueue.run ~commit_mode:cas);
+         ]) );
+      (* Backup x concurrent commit: skipped by design, with the reason
+         encoded as the Invalid_argument the combination raises -- a
+         Backup slot's commit order is its op-log append order, which a
+         lock-free root CAS cannot serialize. *)
+      ( "durable-conformance-backup-cas",
+        [
+          Alcotest.test_case "backup slot rejects update_cas" `Quick
+            (fun () ->
+              let heap = mk_heap () in
+              let m = Imap.open_or_create heap ~slot:0 in
+              Imap.insert m 1 2;
+              Mod_core.Commit.enable heap ~slot:0;
+              let h = Mod_core.Handle.make heap ~slot:0 in
+              match
+                Mod_core.Handle.update_cas h ~build:(fun _ -> None)
+              with
+              | exception Invalid_argument msg ->
+                  Alcotest.(check bool)
+                    "reason names the policy" true
+                    (String.length msg > 0)
+              | (_ : int) ->
+                  Alcotest.fail
+                    "update_cas on a Backup slot should raise \
+                     Invalid_argument");
+        ] );
       ( "typed-errors",
         [
           Alcotest.test_case "scalar root" `Quick test_scalar_root;

@@ -18,8 +18,10 @@ let default_scale = 10_000
 let usage () =
   print_endline
     "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations batch \
-     telemetry faults persist killtest bechamel all";
-  print_endline "options: --scale N | --full | --json FILE | --baseline FILE";
+     telemetry faults persist killtest shard bechamel all";
+  print_endline
+    "options: --scale N | --full | --json FILE | --baseline FILE | --seed N \
+     | --shards N";
   exit 1
 
 (* Machine-readable counterpart of a Runner sweep entry (BENCH_*.json). *)
@@ -1067,6 +1069,128 @@ headline: hashmap outperforms ctree by %.0f%% -- the paper compares
     Obj [ ("hashmap_sim_ns", Float t_map); ("ctree_sim_ns", Float t_ctree) ])
 
 (* ------------------------------------------------------------------ *)
+(* Serving layer: sharded zipfian throughput + crash independence      *)
+(* ------------------------------------------------------------------ *)
+
+(* Both runs use the deterministic Inline mode so the speedup is a pure
+   function of (seed, nshards): sim_total(1 shard) is the
+   serial-equivalent cost of the whole loop, sim_makespan(N shards) is
+   the slowest shard's clock -- their ratio is the aggregate throughput
+   gain hash partitioning buys under zipfian skew, independent of how
+   many host cores the CI runner has. *)
+let shard_section ~seed ~nshards ~baseline () =
+  Report.section
+    "Serving layer: sharded zipfian loop (sim speedup) + single-shard crashes";
+  let requests = 8_000 in
+  let theta = 0.99 in
+  let run n =
+    let t = Shard.create ~mode:Shard.Inline ~seed ~nshards:n () in
+    let r =
+      Shard.run_load ~theta ~seed ~warmup:(requests / 10) t ~requests ()
+    in
+    Shard.close t;
+    r
+  in
+  let r1 = run 1 in
+  let rn = run nshards in
+  let speedup =
+    r1.Shard.lr_sim_total_ns /. rn.Shard.lr_sim_makespan_ns
+  in
+  Printf.printf
+    "zipfian theta=%.2f, %d requests: 1 shard %.3f sim-ms; %d shards \
+     makespan %.3f sim-ms => %.2fx aggregate speedup (%.0f req/sim-s)\n"
+    theta requests
+    (r1.Shard.lr_sim_total_ns /. 1e6)
+    nshards
+    (rn.Shard.lr_sim_makespan_ns /. 1e6)
+    speedup rn.Shard.lr_sim_req_s;
+  Printf.printf "  shard  executed   sim ms    p50 ns   p99 ns\n";
+  List.iter
+    (fun m ->
+      Printf.printf "  %5d  %8d  %7.3f  %8.0f %8.0f\n" m.Shard.m_id
+        m.Shard.m_executed
+        (m.Shard.m_sim_ns /. 1e6)
+        m.Shard.m_p50_ns m.Shard.m_p99_ns)
+    rn.Shard.lr_shards;
+  (* crash independence is a hard gate, baseline or not *)
+  let sw =
+    Shard.crash_sweep ~nshards ~requests:160 ~keyspace:256 ~stride:97
+      ~max_points:60 ~seed ()
+  in
+  Printf.printf
+    "single-shard crash sweep: %d points, %d consistent, %d violations, %d \
+     sibling perturbations\n"
+    sw.Shard.sw_points sw.Shard.sw_consistent
+    (List.length sw.Shard.sw_violations)
+    sw.Shard.sw_sibling_mismatches;
+  if not (Shard.sweep_ok sw) then begin
+    List.iter
+      (fun v -> Printf.eprintf "SHARD SWEEP FAIL: %s\n" v)
+      sw.Shard.sw_violations;
+    Printf.eprintf "SHARD SWEEP: crash independence violated\n";
+    exit 1
+  end;
+  (match baseline with
+  | None -> ()
+  | Some path -> (
+      let open Report.Json in
+      match
+        Option.bind
+          (Option.bind (member "shard" (of_file path))
+             (member "min_sim_speedup"))
+          to_number_opt
+      with
+      | exception Sys_error e ->
+          Printf.eprintf "baseline %s unreadable: %s\n" path e;
+          exit 1
+      | exception Parse_error e ->
+          Printf.eprintf "baseline %s: bad JSON: %s\n" path e;
+          exit 1
+      | None ->
+          Printf.eprintf "baseline %s has no shard.min_sim_speedup\n" path;
+          exit 1
+      | Some bound ->
+          Printf.printf "sim speedup %.2fx (baseline floor %.2fx)\n" speedup
+            bound;
+          if speedup < bound then begin
+            Printf.eprintf
+              "SHARD REGRESSION: %d-shard sim speedup %.2fx is below the \
+               committed floor %.2fx\n"
+              nshards speedup bound;
+            exit 1
+          end));
+  print_endline "shard serving gate: ok";
+  Report.Json.(
+    Obj
+      [
+        ("nshards", Int nshards);
+        ("requests", Int requests);
+        ("theta", Float theta);
+        ("seed", Int seed);
+        ("sim_total_1shard_ns", Float r1.Shard.lr_sim_total_ns);
+        ("sim_makespan_ns", Float rn.Shard.lr_sim_makespan_ns);
+        ("sim_speedup", Float speedup);
+        ("agg_req_per_sim_s", Float rn.Shard.lr_sim_req_s);
+        ("sweep_points", Int sw.Shard.sw_points);
+        ("sweep_violations", Int (List.length sw.Shard.sw_violations));
+        ( "sweep_sibling_mismatches",
+          Int sw.Shard.sw_sibling_mismatches );
+        ( "shards",
+          List
+            (List.map
+               (fun m ->
+                 Obj
+                   [
+                     ("id", Int m.Shard.m_id);
+                     ("executed", Int m.Shard.m_executed);
+                     ("sim_ns", Float m.Shard.m_sim_ns);
+                     ("p50_ns", Float m.Shard.m_p50_ns);
+                     ("p99_ns", Float m.Shard.m_p99_ns);
+                   ])
+               rn.Shard.lr_shards) );
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: host wall-clock of the simulator itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1136,11 +1260,19 @@ let () =
   let scale = ref default_scale in
   let json_out = ref None in
   let baseline = ref None in
+  let seed = ref 42 in
+  let shards = ref 4 in
   let sections = ref [] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
         scale := int_of_string n;
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed := int_of_string n;
+        parse rest
+    | "--shards" :: n :: rest ->
+        shards := int_of_string n;
         parse rest
     | "--full" :: rest ->
         scale := 1_000_000;
@@ -1192,6 +1324,8 @@ let () =
   run "persist" (wants "persist")
     (persist_section ~scale:(min scale 10_000) ~baseline:!baseline);
   run "killtest" (wants "killtest") (killtest_section ~baseline:!baseline);
+  run "shard" (wants "shard")
+    (shard_section ~seed:!seed ~nshards:!shards ~baseline:!baseline);
   run "ctree" (wants "ctree") (fun () -> ctree ~scale);
   run "ablations" (wants "ablations") (fun () -> ablations ~scale);
   run "bechamel" (wants "bechamel") (fun () -> bechamel ());

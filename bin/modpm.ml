@@ -4,16 +4,24 @@
      run         -- run a Table 2 workload on a backend, print measurements
      crash-test  -- randomized crash/recover rounds on a MOD map
      crashtest   -- exhaustive crash-point exploration with the
-                    durable-linearizability oracle (and --replay)
+                    durable-linearizability oracle (and --replay); with
+                    --shards N, the single-shard crash sweep instead
      check       -- run a workload under tracing and apply the Section 5.4
                     consistency checker
-     serve       -- kill-test worker: deterministic workload on a
-                    file-backed heap, acking durable ops on stdout
+     serve       -- with --shards N: the sharded multi-domain serving
+                    layer under a zipfian memcached-style loop; without:
+                    the kill-test worker (deterministic workload on a
+                    file-backed heap, acking durable ops on stdout)
      killtest    -- fork serve workers, SIGKILL them at random/deterministic
-                    points, reopen the image and check the oracle
+                    points, reopen the image and check the oracle; with
+                    --shards N, the file-backed single-shard sweep
      fsck        -- offline image checker/repairer
      fig4        -- the flush-concurrency microbenchmark
-     machine     -- print the simulated machine configuration *)
+     machine     -- print the simulated machine configuration
+
+   The cross-cutting flags (--persist, --writers, --json, --baseline,
+   --seed, --shards) are defined once in Cli and shared by every
+   subcommand that accepts them. *)
 
 open Cmdliner
 
@@ -40,23 +48,6 @@ let backend_arg =
 let scale_arg =
   let doc = "Number of operations (the paper runs 1,000,000)." in
   Arg.(value & opt int 10_000 & info [ "ops"; "n" ] ~doc)
-
-(* --persist: commit policy for the crash harnesses.  "full" maps to None
-   (the structures' default) so policy-free workloads stay untouched. *)
-let persist_arg =
-  let doc =
-    "Commit policy for the workload's structure: $(b,full) (persist every \
-     node eagerly, the default) or $(b,backup) (persist only the backup \
-     data and a bounded op log; recovery reconstructs the interior nodes)."
-  in
-  Arg.(value & opt string "full" & info [ "persist" ] ~docv:"POLICY" ~doc)
-
-let parse_persist = function
-  | "full" -> None
-  | "backup" -> Some Pmalloc.Heap.Backup
-  | s ->
-      Printf.eprintf "unknown --persist %S (full|backup)\n" s;
-      exit 2
 
 let check_workload name =
   if not (List.mem name Workloads.Runner.names) then begin
@@ -117,7 +108,7 @@ let metrics_out_arg =
     & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run name backend scale batch metrics metrics_out =
+  let run name backend scale batch metrics metrics_out persist seed json_out =
     check_workload name;
     if batch < 1 then begin
       Printf.eprintf "--batch must be >= 1\n";
@@ -130,7 +121,10 @@ let run_cmd =
         exit 2
     | _ -> ());
     let sink = Option.map (fun _ -> Telemetry.Sink.Memory) metrics in
-    let r = Workloads.Runner.run_one ~batch ?metrics:sink name backend ~scale in
+    let r =
+      Workloads.Runner.run_one ~batch ?metrics:sink ?persist ~seed name backend
+        ~scale
+    in
     Printf.printf "workload    %s\n" r.Workloads.Runner.workload;
     Printf.printf "backend     %s\n" (Workloads.Backend.kind_name r.backend);
     Printf.printf "operations  %d (batch %d)\n" r.ops r.batch;
@@ -148,6 +142,35 @@ let run_cmd =
     Printf.printf "L1D misses  %.2f%%\n" (100.0 *. r.miss_ratio);
     Printf.printf "live words  %d (high water %d)\n" r.live_words
       r.high_water_words;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let open Workloads.Report.Json in
+        let doc =
+          Obj
+            [
+              ("schema", String "modpm-run/1");
+              ("workload", String r.workload);
+              ("backend", String (Workloads.Backend.kind_name r.backend));
+              ("ops", Int r.ops);
+              ("batch", Int r.batch);
+              ( "persist",
+                String
+                  (match persist with
+                  | Some Pmalloc.Heap.Backup -> "backup"
+                  | _ -> "full") );
+              ("seed", Int seed);
+              ("sim_ns", Float r.ns_total);
+              ("ns_per_op", Float (Workloads.Runner.ns_per_op r));
+              ("fences_per_op", Float (Workloads.Runner.fences_per_op r));
+              ("flushes_per_op", Float (Workloads.Runner.flushes_per_op r));
+              ("miss_ratio", Float r.miss_ratio);
+              ("live_words", Int r.live_words);
+              ("high_water_words", Int r.high_water_words);
+            ]
+        in
+        to_file path doc;
+        Printf.printf "wrote %s\n" path);
     match (metrics, r.telemetry) with
     | Some format, Some report -> emit_metrics ~out:metrics_out format report
     | _ -> ()
@@ -156,7 +179,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ backend_arg $ scale_arg $ batch_arg
-      $ metrics_arg $ metrics_out_arg)
+      $ metrics_arg $ metrics_out_arg $ Cli.persist_arg $ Cli.seed_arg ()
+      $ Cli.json_arg)
 
 (* -- crash-test -------------------------------------------------------- *)
 
@@ -383,11 +407,69 @@ let crashtest_concurrent ~cfg ~writers ~ops ~workload ~replay ~mode ~sseed
               end));
       if !bad then exit 1
 
+(* --shards N: the single-shard crash sweep of the serving layer.  Kill
+   one shard (rotating targets) at swept PM-event budgets of its own
+   region, prove the dead shard recovers alone inside the oracle window
+   and that every sibling's dump is bit-identically untouched.  In
+   memory the crash is Heap.crash + Recovery.recover; with [file] the
+   crashed region is abandoned as kill -9 would leave it and the image
+   is reopened via Recovery.open_file. *)
+let shard_sweep ~nshards ~requests ~stride ~max_points ~seed ~file ~json_out =
+  if nshards < 1 then begin
+    Printf.eprintf "--shards must be >= 1\n";
+    exit 2
+  end;
+  let stride = if stride = 1 then 97 else stride in
+  let r =
+    Shard.crash_sweep ~nshards ~requests ~stride ?max_points ~seed ?file ()
+  in
+  Printf.printf
+    "shard sweep (%d shards, %s): %d crash points, %d consistent, %d \
+     violations, %d sibling perturbations%s\n"
+    r.Shard.sw_nshards
+    (match file with Some _ -> "file-backed" | None -> "in-memory")
+    r.Shard.sw_points r.Shard.sw_consistent
+    (List.length r.Shard.sw_violations)
+    r.Shard.sw_sibling_mismatches
+    (if r.Shard.sw_exhausted then " (script exhausted: full coverage)" else "");
+  List.iteri
+    (fun i v -> if i < 5 then Printf.printf "  VIOLATION %s\n" v)
+    r.Shard.sw_violations;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let open Workloads.Report.Json in
+      let doc =
+        Obj
+          [
+            ("schema", String "modpm-shard-sweep/1");
+            ("nshards", Int r.Shard.sw_nshards);
+            ("requests", Int requests);
+            ("seed", Int seed);
+            ( "backing",
+              String (match file with Some _ -> "file" | None -> "memory") );
+            ("points", Int r.Shard.sw_points);
+            ("consistent", Int r.Shard.sw_consistent);
+            ("violations", Int (List.length r.Shard.sw_violations));
+            ("sibling_mismatches", Int r.Shard.sw_sibling_mismatches);
+            ("exhausted", Bool r.Shard.sw_exhausted);
+            ("ok", Bool (Shard.sweep_ok r));
+          ]
+      in
+      to_file path doc;
+      Printf.printf "wrote %s\n" path);
+  if not (Shard.sweep_ok r) then exit 1
+
 let crashtest_cmd =
   let run action workload ops stride samples seed max_points quick replay mode
       sseed shrink jobs full_snapshots faults json_out baseline persist
-      writers schedule =
-    let persist = parse_persist persist in
+      writers schedule shards =
+    match shards with
+    | Some nshards ->
+        let requests = if quick then min (ops * 4) 64 else ops * 4 in
+        shard_sweep ~nshards ~requests ~stride ~max_points ~seed ~file:None
+          ~json_out
+    | None ->
     (match action with
     | None | Some "sweep" -> ()
     | Some other ->
@@ -687,11 +769,6 @@ let crashtest_cmd =
       & info [ "samples" ]
           ~doc:"Randomize-mode survival samples per crash point.")
   in
-  let seed =
-    Arg.(
-      value & opt int 1
-      & info [ "seed" ] ~doc:"Master seed survival seeds derive from.")
-  in
   let max_points =
     Arg.(
       value & opt (some int) None
@@ -759,34 +836,6 @@ let crashtest_cmd =
              corruption).  With workload all/mod, restricts the sweep to \
              the seven basic structures.")
   in
-  let json_out =
-    Arg.(
-      value & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write a machine-readable sweep summary to $(docv).")
-  in
-  let baseline =
-    Arg.(
-      value & opt (some string) None
-      & info [ "baseline" ] ~docv:"FILE"
-          ~doc:
-            "Compare crash-points/sec against a committed baseline JSON and \
-             fail if it regressed more than 2x.  With --writers, instead \
-             gate positive-workload violations against the baseline's \
-             concurrent.max_violations bound.")
-  in
-  let writers =
-    Arg.(
-      value & opt int 0
-      & info [ "writers" ]
-          ~doc:
-            (Printf.sprintf
-               "Concurrent sweep: run this many interleaved writers per \
-                workload (0 = sequential sweep).  Workloads: all, or one of \
-                %s; every (schedule, crash point) pair is judged by the \
-                concurrent durable-linearizability oracle."
-               (String.concat ", " Crashtest.Workload.concurrent_names)))
-  in
   let schedule =
     Arg.(
       value & opt string "rr1"
@@ -802,14 +851,16 @@ let crashtest_cmd =
      5.4 trace invariants).  Negative controls (stm-broken, map-nofence) \
      are expected to violate the oracle.  With --writers N, sweep N \
      interleaved concurrent writers instead, across a panel of \
-     deterministic schedules."
+     deterministic schedules.  With --shards N, run the serving layer's \
+     in-memory single-shard crash sweep (kill one shard, prove it \
+     recovers alone and its siblings are bit-identically untouched)."
   in
   Cmd.v (Cmd.info "crashtest" ~doc)
     Term.(
-      const run $ action $ workload $ ops $ stride $ samples $ seed
-      $ max_points $ quick $ replay $ mode $ sseed $ shrink $ jobs
-      $ full_snapshots $ faults $ json_out $ baseline $ persist_arg
-      $ writers $ schedule)
+      const run $ action $ workload $ ops $ stride $ samples
+      $ Cli.seed_arg () $ max_points $ quick $ replay $ mode $ sseed $ shrink
+      $ jobs $ full_snapshots $ faults $ Cli.json_arg $ Cli.baseline_arg
+      $ Cli.persist_arg $ Cli.writers_arg $ schedule $ Cli.shards_arg)
 
 (* -- check ------------------------------------------------------------- *)
 
@@ -915,20 +966,7 @@ let stats_demo () =
   let module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int) in
   let module Iset = Mod_core.Dset.Make (Pfds.Kv.Int) in
   let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 20) () in
-  let allocator = Pmalloc.Heap.allocator heap in
-  let gauges () =
-    {
-      Telemetry.g_live_words = Pmalloc.Allocator.live_words allocator;
-      g_free_words = Pmalloc.Allocator.free_words allocator;
-      g_deferred_words = Pmalloc.Allocator.deferred_words allocator;
-      g_high_water_words = Pmalloc.Allocator.high_water_words allocator;
-      g_alloc_words_total = Pmalloc.Allocator.alloc_words_total allocator;
-    }
-  in
-  let c =
-    Telemetry.install ~sink:Telemetry.Sink.Memory ~gauges
-      (Pmalloc.Heap.stats heap)
-  in
+  let c = Pmalloc.Heap.attach_telemetry ~sink:Telemetry.Sink.Memory heap in
   let n = 200 in
   let m = Imap.open_or_create heap ~slot:0 in
   for i = 1 to n do
@@ -975,7 +1013,6 @@ let stats_demo () =
     Mod_core.Dseq.push_back sq (Pmem.Word.of_int i)
   done;
   Mod_core.Dseq.push_back_many sq (List.init 32 (fun i -> Pmem.Word.of_int i));
-  Telemetry.uninstall ();
   Telemetry.report c
 
 let stats_cmd =
@@ -1032,37 +1069,142 @@ let kill9_workloads arg =
     names;
   names
 
+(* serve --shards N: the sharded serving layer under a zipfian
+   memcached-style loop.  Reports per-shard throughput and latency
+   percentiles; --json additionally writes the aggregate summary plus
+   one modpm-telemetry-v1 document per shard (validate each with
+   `modpm stats --validate`). *)
+let serve_sharded ~nshards ~file ~requests ~keyspace ~theta ~seed ~persist
+    ~inline ~capacity ~json_out =
+  if nshards < 1 then begin
+    Printf.eprintf "--shards must be >= 1\n";
+    exit 2
+  end;
+  let mode = if inline then Shard.Inline else Shard.Domains in
+  let t =
+    Shard.create ~mode ~capacity_words:capacity ~seed ?persist ?file ~nshards
+      ()
+  in
+  let warmup = min (max (requests / 10) 100) 2000 in
+  let r = Shard.run_load ~theta ~seed ~warmup ~keyspace t ~requests () in
+  Printf.printf "shards      %d (%s mode)\n" nshards (Shard.mode_name mode);
+  Printf.printf "requests    %d (zipfian theta=%.2f over %d keys, warmup %d)\n"
+    requests theta keyspace warmup;
+  Printf.printf "wall        %.3f s (%.0f req/s)\n" r.Shard.lr_wall_s
+    r.Shard.lr_wall_req_s;
+  Printf.printf "sim clock   makespan %.3f ms, serial-equivalent %.3f ms \
+                 (%.0f req/sim-s)\n"
+    (r.Shard.lr_sim_makespan_ns /. 1e6)
+    (r.Shard.lr_sim_total_ns /. 1e6)
+    r.Shard.lr_sim_req_s;
+  Printf.printf "  shard  routed  executed  stolen   sim ms    p50 ns   p99 ns\n";
+  List.iter
+    (fun m ->
+      Printf.printf "  %5d  %6d  %8d  %6d  %7.3f  %8.0f %8.0f\n"
+        m.Shard.m_id m.Shard.m_routed m.Shard.m_executed m.Shard.m_stolen
+        (m.Shard.m_sim_ns /. 1e6) m.Shard.m_p50_ns m.Shard.m_p99_ns)
+    r.Shard.lr_shards;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let open Workloads.Report.Json in
+      let doc =
+        Obj
+          [
+            ("schema", String "modpm-serve-shard/1");
+            ("nshards", Int nshards);
+            ("mode", String (Shard.mode_name mode));
+            ("requests", Int requests);
+            ("theta", Float theta);
+            ("keyspace", Int keyspace);
+            ("seed", Int seed);
+            ("wall_req_s", Float r.Shard.lr_wall_req_s);
+            ("sim_req_s", Float r.Shard.lr_sim_req_s);
+            ("sim_makespan_ns", Float r.Shard.lr_sim_makespan_ns);
+            ("sim_total_ns", Float r.Shard.lr_sim_total_ns);
+            ( "shards",
+              List
+                (List.map
+                   (fun m ->
+                     Obj
+                       [
+                         ("id", Int m.Shard.m_id);
+                         ("routed", Int m.Shard.m_routed);
+                         ("executed", Int m.Shard.m_executed);
+                         ("stolen", Int m.Shard.m_stolen);
+                         ("sim_ns", Float m.Shard.m_sim_ns);
+                         ("fences", Int m.Shard.m_fences);
+                         ("p50_ns", Float m.Shard.m_p50_ns);
+                         ("p99_ns", Float m.Shard.m_p99_ns);
+                       ])
+                   r.Shard.lr_shards) );
+          ]
+      in
+      to_file path doc;
+      Printf.printf "wrote %s\n" path;
+      (* one telemetry-v1 document per shard, for stats --validate *)
+      let base = Filename.remove_extension path in
+      List.iter
+        (fun m ->
+          let p = Printf.sprintf "%s.shard%d.json" base m.Shard.m_id in
+          let oc = open_out p in
+          output_string oc (Telemetry.Export.to_json m.Shard.m_report);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote %s\n" p)
+        r.Shard.lr_shards);
+  Shard.close t
+
 let serve_cmd =
-  let run file workload ops capacity kill_commit kill_phase persist =
-    ignore (kill9_workloads workload : string list);
-    let persist = parse_persist persist in
-    let kill_at =
-      match (kill_commit, kill_phase) with
-      | None, _ -> None
-      | Some c, phase -> (
-          match Pmem.Backing.phase_of_name phase with
-          | Ok p -> Some (c, p)
-          | Error e ->
-              Printf.eprintf "--kill-phase: %s\n" e;
-              exit 2)
-    in
-    Crashtest.Kill9.serve ~capacity_words:capacity ?kill_at ?persist
-      ~path:file ~workload ~ops ~ack_fd:Unix.stdout ()
+  let run file workload ops capacity kill_commit kill_phase persist shards
+      requests keyspace theta inline seed json_out =
+    match shards with
+    | Some nshards ->
+        serve_sharded ~nshards ~file ~requests ~keyspace ~theta ~seed ~persist
+          ~inline ~capacity:(max capacity (1 lsl 21)) ~json_out
+    | None ->
+        let file =
+          match file with
+          | Some f -> f
+          | None ->
+              Printf.eprintf
+                "serve without --shards is the kill-test worker and requires \
+                 --file IMAGE\n";
+              exit 2
+        in
+        ignore (kill9_workloads workload : string list);
+        let kill_at =
+          match (kill_commit, kill_phase) with
+          | None, _ -> None
+          | Some c, phase -> (
+              match Pmem.Backing.phase_of_name phase with
+              | Ok p -> Some (c, p)
+              | Error e ->
+                  Printf.eprintf "--kill-phase: %s\n" e;
+                  exit 2)
+        in
+        Crashtest.Kill9.serve ~capacity_words:capacity ?kill_at ?persist
+          ~path:file ~workload ~ops ~ack_fd:Unix.stdout ()
   in
   let file =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "file"; "f" ] ~docv:"IMAGE"
-          ~doc:"Heap image file to create and run against.")
+          ~doc:
+            "Heap image file to create and run against (required without \
+             $(b,--shards); with $(b,--shards N), optional base path -- \
+             shard $(i,i) is file-backed at $(docv).$(i,i)).")
   in
   let workload =
     Arg.(
       value & opt string "map"
       & info [ "workload"; "w" ]
-          ~doc:"Deterministic workload script to apply.")
+          ~doc:"Deterministic workload script to apply (worker mode).")
   in
-  let ops = Arg.(value & opt int 60 & info [ "ops" ] ~doc:"Operations.") in
+  let ops =
+    Arg.(value & opt int 60 & info [ "ops" ] ~doc:"Operations (worker mode).")
+  in
   let capacity =
     Arg.(
       value
@@ -1085,20 +1227,62 @@ let serve_cmd =
              commit marker), commit (marker durable, not applied), apply \
              (half-applied) or applied (before the journal truncate).")
   in
+  let requests =
+    Arg.(
+      value & opt int 20_000
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Measured requests for the sharded loop ($(b,--shards)).")
+  in
+  let keyspace =
+    Arg.(
+      value & opt int 10_000
+      & info [ "keyspace" ] ~docv:"K"
+          ~doc:"Distinct keys the zipfian loop draws from ($(b,--shards)).")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ]
+          ~doc:"Zipfian skew in [0,1); 0 = uniform ($(b,--shards)).")
+  in
+  let inline =
+    Arg.(
+      value & flag
+      & info [ "inline" ]
+          ~doc:
+            "Run the sharded loop on one domain (deterministic sim clocks) \
+             instead of one worker domain per shard.")
+  in
   let doc =
-    "Kill-test worker: apply a deterministic workload to a fresh file-backed \
-     heap, acking each durable operation on stdout.  Meant to be forked and \
-     SIGKILLed by $(b,modpm killtest); usable standalone for manual kill-9 \
-     experiments."
+    "With $(b,--shards N): serve a zipfian memcached-style loop across N \
+     shards, each owning its own heap, telemetry collector and (unless \
+     $(b,--inline)) its own domain, with per-shard work queues and work \
+     stealing; report per-shard throughput and p50/p99.  Without \
+     $(b,--shards): the kill-test worker -- apply a deterministic workload \
+     to a fresh file-backed heap, acking each durable operation on stdout \
+     (meant to be forked and SIGKILLed by $(b,modpm killtest))."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ file $ workload $ ops $ capacity $ kill_commit $ kill_phase
-      $ persist_arg)
+      $ Cli.persist_arg $ Cli.shards_arg $ requests $ keyspace $ theta
+      $ inline $ Cli.seed_arg ~default:42 () $ Cli.json_arg)
 
 let killtest_cmd =
-  let run workload kills ops seed dir keep json_out baseline persist =
-    let persist = parse_persist persist in
+  let run workload kills ops seed dir keep json_out baseline persist shards =
+    match shards with
+    | Some nshards ->
+        (* sharded kill test: file-backed single-shard crash sweep -- the
+           crashed shard's image is abandoned mid-writeback and reopened
+           through Recovery.open_file while its siblings keep serving *)
+        let dir =
+          match dir with Some d -> d | None -> Filename.get_temp_dir_name ()
+        in
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        let base = Filename.concat dir "modpm_shard_kill.img" in
+        shard_sweep ~nshards ~requests:(ops * 4) ~stride:97
+          ~max_points:(Some (max 1 kills)) ~seed ~file:(Some base) ~json_out
+    | None ->
     let names = kill9_workloads workload in
     let names =
       (* siblings needs multi-slot commit points, which the Backup policy
@@ -1266,7 +1450,6 @@ let killtest_cmd =
   let ops =
     Arg.(value & opt int 60 & info [ "ops" ] ~doc:"Operations per trial.")
   in
-  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
   let dir =
     Arg.(
       value
@@ -1279,35 +1462,22 @@ let killtest_cmd =
       value & flag
       & info [ "keep" ] ~doc:"Keep post-mortem images instead of deleting.")
   in
-  let json_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write a machine-readable summary to $(docv).")
-  in
-  let baseline =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "baseline" ] ~docv:"FILE"
-          ~doc:
-            "Bound reopen latency against a committed baseline JSON (fails \
-             beyond 10x its max_reopen_ms).")
-  in
   let doc =
     "Real kill-9 durability test: fork a worker applying a deterministic \
      workload to a file-backed heap, SIGKILL it -- at a random wall-clock \
      instant or deterministically inside the writeback protocol -- reopen \
      the image in the surviving process, and check the recovered state \
      against the durable-linearizability oracle.  Every post-mortem image \
-     is also classified by fsck.  Exits non-zero on any oracle violation \
-     or escaped exception."
+     is also classified by fsck.  With $(b,--shards N), instead sweep \
+     crashes of one file-backed shard and check its siblings are untouched \
+     while it recovers alone.  Exits non-zero on any oracle violation or \
+     escaped exception."
   in
   Cmd.v (Cmd.info "killtest" ~doc)
     Term.(
-      const run $ workload $ kills $ ops $ seed $ dir $ keep $ json_out
-      $ baseline $ persist_arg)
+      const run $ workload $ kills $ ops $ Cli.seed_arg ~default:7 () $ dir
+      $ keep $ Cli.json_arg $ Cli.baseline_arg $ Cli.persist_arg
+      $ Cli.shards_arg)
 
 let fsck_cmd =
   let run image repair_flag =

@@ -238,9 +238,7 @@ let commit_now t =
    per-FASE cost of each ordering strategy directly. *)
 let commit t =
   let ops = max 1 t.staged_ops in
-  Telemetry.span
-    (Pmalloc.Heap.stats t.heap)
-    ~structure:"batch"
+  Pmalloc.Heap.span t.heap ~structure:"batch"
     ~op:(commit_point_name (commit_point t))
     ~ops
     (fun () -> commit_now t)

@@ -17,10 +17,10 @@ module Make (K : Pfds.Kv.CODEC) (V : Pfds.Kv.CODEC) = struct
   let structure = "dmap"
 
   let span t op f =
-    Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+    Pmalloc.Heap.span (Handle.heap t) ~structure ~op f
 
   let span_n t op n f =
-    Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
+    Pmalloc.Heap.span (Handle.heap t) ~structure ~op ~ops:n f
 
   let handle t = t
   let empty_version _heap = T.empty

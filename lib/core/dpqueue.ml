@@ -11,10 +11,10 @@ type elt = int
 let structure = "dpqueue"
 
 let span t op f =
-  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+  Pmalloc.Heap.span (Handle.heap t) ~structure ~op f
 
 let span_n t op n f =
-  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
+  Pmalloc.Heap.span (Handle.heap t) ~structure ~op ~ops:n f
 
 let handle t = t
 let empty_version _heap = Pfds.Pheap.empty

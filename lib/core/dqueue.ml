@@ -7,10 +7,10 @@ type elt = Pmem.Word.t
 let structure = "dqueue"
 
 let span t op f =
-  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+  Pmalloc.Heap.span (Handle.heap t) ~structure ~op f
 
 let span_n t op n f =
-  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
+  Pmalloc.Heap.span (Handle.heap t) ~structure ~op ~ops:n f
 
 let handle t = t
 let empty_version heap = Pfds.Pqueue.create heap

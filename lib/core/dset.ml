@@ -13,10 +13,10 @@ module Make (K : Pfds.Kv.CODEC) = struct
      set traffic is attributed to "dset", never double counted as
      "dmap". *)
   let span t op f =
-    Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+    Pmalloc.Heap.span (Handle.heap t) ~structure ~op f
 
   let span_n t op n f =
-    Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
+    Pmalloc.Heap.span (Handle.heap t) ~structure ~op ~ops:n f
 
   let open_or_create = M.open_or_create
   let open_result = M.open_result

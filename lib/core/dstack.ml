@@ -10,10 +10,10 @@ type elt = Pmem.Word.t
 let structure = "dstack"
 
 let span t op f =
-  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op f
+  Pmalloc.Heap.span (Handle.heap t) ~structure ~op f
 
 let span_n t op n f =
-  Telemetry.span (Pmalloc.Heap.stats (Handle.heap t)) ~structure ~op ~ops:n f
+  Pmalloc.Heap.span (Handle.heap t) ~structure ~op ~ops:n f
 
 let handle t = t
 let empty_version _heap = Pfds.Pstack.empty

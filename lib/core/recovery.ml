@@ -95,8 +95,8 @@ let open_file ?trace ?seed ~path () =
       let t0 = Unix.gettimeofday () in
       let heap, journal = Pmalloc.Heap.open_file ?trace ?seed ~path () in
       match
-        Telemetry.span (Pmalloc.Heap.stats heap) ~structure:"heap" ~op:"reopen"
-          (fun () -> recover_exn heap)
+        Pmalloc.Heap.span heap ~structure:"heap" ~op:"reopen" (fun () ->
+            recover_exn heap)
       with
       | recovery ->
           {

@@ -103,12 +103,39 @@ type t = {
       (* Scanned bodies whose flush was suppressed inside a Backup
          update; flushed in bulk at the next checkpoint *)
   mutable backup_depth : int;
+  (* instance-scoped telemetry: the collector metering this heap, if
+     any.  Carried here (not in a process-wide ref) so N shard heaps in
+     one process each keep their own histograms and attribution. *)
+  mutable telemetry : Telemetry.t option;
 }
 
 let region t = t.region
 let allocator t = t.allocator
 let stats t = Pmem.Region.stats t.region
 let trace t = Pmem.Region.trace t.region
+let telemetry t = t.telemetry
+let set_telemetry t c = t.telemetry <- c
+
+let telemetry_gauges t () =
+  {
+    Telemetry.g_live_words = Allocator.live_words t.allocator;
+    g_free_words = Allocator.free_words t.allocator;
+    g_deferred_words = Allocator.deferred_words t.allocator;
+    g_high_water_words = Allocator.high_water_words t.allocator;
+    g_alloc_words_total = Allocator.alloc_words_total t.allocator;
+  }
+
+let attach_telemetry ?sink t =
+  let c =
+    Telemetry.create ?sink ~gauges:(telemetry_gauges t)
+      (Pmem.Region.stats t.region)
+  in
+  t.telemetry <- Some c;
+  c
+
+let span t ~structure ~op ?ops f =
+  Telemetry.span_on t.telemetry (Pmem.Region.stats t.region) ~structure ~op
+    ?ops f
 let root_torn_detected t = t.root_torn_detected
 let root_fallbacks t = t.root_fallbacks
 let commit_mode t = t.commit_mode
@@ -221,6 +248,7 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
       backup = Hashtbl.create 8;
       backlog = Hashtbl.create 64;
       backup_depth = 0;
+      telemetry = None;
     }
   in
   (* Fresh heap: both copies of every record are durable, valid null
@@ -406,7 +434,10 @@ let reset_fresh t ~pristine =
   t.root_fallbacks <- 0;
   t.commit_mode <- Swing;
   Array.fill t.policies 0 root_slots Full;
-  clear_backup_runtime t
+  clear_backup_runtime t;
+  (* the restore rewound the stats block under the collector; re-base it
+     so the first post-reset report doesn't see a negative delta *)
+  match t.telemetry with Some c -> Telemetry.reset c | None -> ()
 
 (* -- file-backed heaps --------------------------------------------------- *)
 
@@ -440,6 +471,7 @@ let open_file ?(trace = false) ?(seed = 42) ~path () =
       backup = Hashtbl.create 8;
       backlog = Hashtbl.create 64;
       backup_depth = 0;
+      telemetry = None;
     }
   in
   (t, journal)

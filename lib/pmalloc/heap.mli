@@ -82,6 +82,34 @@ val allocator : t -> Allocator.t
 val stats : t -> Pmem.Stats.t
 val trace : t -> Pmem.Trace.t
 
+(** {1 Instance-scoped telemetry}
+
+    A heap optionally carries the {!Telemetry.t} collector metering it.
+    Collectors are per-heap, not process-wide, so N shard heaps in one
+    process each keep their own histograms and fence-stall attribution;
+    the durable-structure entry points thread the collector through
+    {!span}. *)
+
+val telemetry : t -> Telemetry.t option
+(** The collector this heap carries, if any. *)
+
+val set_telemetry : t -> Telemetry.t option -> unit
+(** Attach (or detach) an existing collector.  The collector should
+    watch this heap's {!stats} block; {!attach_telemetry} guarantees
+    that. *)
+
+val attach_telemetry : ?sink:Telemetry.Sink.t -> t -> Telemetry.t
+(** Create a collector watching this heap's stats block, wire its
+    allocator-occupancy gauges, attach it, and return it.  Replaces any
+    previously attached collector.  Default sink: [Memory]. *)
+
+val span :
+  t -> structure:string -> op:string -> ?ops:int -> (unit -> 'a) -> 'a
+(** [span t ~structure ~op f] runs [f] under the heap's collector (see
+    {!Telemetry.span_on}); with no collector attached it falls back to
+    the deprecated process-wide one, and with neither it is a couple of
+    word reads. *)
+
 val root_get : t -> int -> Pmem.Word.t
 (** Read a root slot (a persistent pointer or null).  Validates both
     copies' checksums and serves the valid copy with the newest sequence

@@ -226,9 +226,7 @@ let commit ?(before_publish = ignore) ?(after_publish = ignore) tx =
   end
 
 let run ?before_publish ?after_publish stm f =
-  Telemetry.span
-    (Pmalloc.Heap.stats stm.heap)
-    ~structure:"norec" ~op:"run"
+  Pmalloc.Heap.span stm.heap ~structure:"norec" ~op:"run"
     (fun () ->
       let rec attempt () =
         let tx = begin_tx stm in

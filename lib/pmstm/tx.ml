@@ -250,10 +250,7 @@ let run_now t f =
    a structure-level span, e.g. CommitUnrelated inside a batch) from
    recording twice: only the outermost span owns the stats delta. *)
 let run t f =
-  Telemetry.span
-    (Pmalloc.Heap.stats t.heap)
-    ~structure:"tx" ~op:"run"
-    (fun () -> run_now t f)
+  Pmalloc.Heap.span t.heap ~structure:"tx" ~op:"run" (fun () -> run_now t f)
 
 (* Group commit, the PM-STM counterpart of [Mod_core.Batch]: one
    transaction covering [n] logical operations amortizes the snapshot

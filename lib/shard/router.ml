@@ -1,0 +1,80 @@
+(* Key routing and load synthesis for the sharded serving layer.
+
+   Routing must be a pure function of (key, nshards): every process that
+   ever serves an image set must agree on which shard owns a key, across
+   restarts and across the crash of any sibling.  FNV-1a over the key
+   bytes gives a cheap, well-mixed 63-bit hash with no per-process
+   state (OCaml's [Hashtbl.hash] is seedable and truncates long
+   strings, so it is exactly what this must not be). *)
+
+(* 64-bit FNV constants; the offset is written masked to OCaml's 63-bit
+   int (top bit dropped), which changes the hash values but none of the
+   mixing properties. *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let hash key =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime)
+    key;
+  !h land max_int
+
+let shard_of_key ~nshards key =
+  if nshards <= 0 then invalid_arg "Router.shard_of_key: nshards must be >= 1";
+  hash key mod nshards
+
+(* The driver's keyspace: fixed-width decimal keys, same shape as the
+   memcached workload's (16 bytes incl. the tag). *)
+let key_of_index i = Printf.sprintf "k%015d" i
+
+(* -- zipfian key popularity --------------------------------------------- *)
+
+(* YCSB's bounded zipfian generator (Gray et al.'s rejection-free
+   formula): item ranks follow P(i) ~ 1/i^theta over [0, n).  theta =
+   0.99 is the YCSB default and the ISSUE's skew target; theta = 0
+   degenerates to uniform.  All state is a seeded [Random.State], so a
+   load is a pure function of (seed, n, theta). *)
+type zipf = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  rng : Random.State.t;
+}
+
+let zeta n theta =
+  let s = ref 0.0 in
+  for i = 1 to n do
+    s := !s +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let zipf ?(theta = 0.99) ~seed ~n () =
+  if n <= 0 then invalid_arg "Router.zipf: n must be >= 1";
+  if theta < 0.0 || theta >= 1.0 then
+    invalid_arg "Router.zipf: theta must be in [0, 1)";
+  let zetan = zeta n theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+    /. (1.0 -. (zeta 2 theta /. zetan))
+  in
+  { n; theta; alpha; zetan; eta; rng = Random.State.make [| seed; n |] }
+
+let next z =
+  if z.theta = 0.0 then Random.State.int z.rng z.n
+  else
+    let u = Random.State.float z.rng 1.0 in
+    let uz = u *. z.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 z.theta then 1
+    else
+      let i =
+        int_of_float
+          (float_of_int z.n *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha)
+      in
+      min (max i 0) (z.n - 1)

@@ -1,0 +1,25 @@
+(** Key routing and load synthesis for the sharded serving layer. *)
+
+val hash : string -> int
+(** FNV-1a over the key bytes, masked positive.  Deterministic across
+    processes and runs -- the property routing is built on. *)
+
+val shard_of_key : nshards:int -> string -> int
+(** The shard owning [key]: [hash key mod nshards].  A pure function of
+    (key, nshards); raises [Invalid_argument] when [nshards < 1]. *)
+
+val key_of_index : int -> string
+(** Fixed-width 16-byte key for keyspace index [i] (memcached shape). *)
+
+(** {1 Zipfian key popularity} *)
+
+type zipf
+(** YCSB's bounded zipfian generator: ranks follow [P(i) ~ 1/i^theta]
+    over [[0, n)].  Fully determined by (seed, n, theta). *)
+
+val zipf : ?theta:float -> seed:int -> n:int -> unit -> zipf
+(** [theta] defaults to 0.99 (the YCSB constant); [theta = 0] is
+    uniform.  Raises [Invalid_argument] outside [[0, 1)] or [n < 1]. *)
+
+val next : zipf -> int
+(** Draw the next key index. *)

@@ -35,25 +35,32 @@ type t = {
   mutable last_gauges : gauges option;
 }
 
-let current_collector : t option ref = ref None
+(* Deprecated process-wide fallback.  New code carries the collector on
+   the heap ([Pmalloc.Heap.attach_telemetry]) and spans through
+   [span_on]; this ref only serves callers of the legacy [install] /
+   [span] entry points until they migrate. *)
+let global_collector : t option ref = ref None
 
-let install ?(sink = Sink.Memory) ?gauges stats =
-  let t =
-    {
-      stats;
-      sink;
-      gauges_fn = gauges;
-      depth = 0;
-      base = Pmem.Stats.snapshot stats;
-      table = Hashtbl.create 32;
-      last_gauges = None;
-    }
-  in
-  current_collector := Some t;
+let create ?(sink = Sink.Memory) ?gauges stats =
+  {
+    stats;
+    sink;
+    gauges_fn = gauges;
+    depth = 0;
+    base = Pmem.Stats.snapshot stats;
+    table = Hashtbl.create 32;
+    last_gauges = None;
+  }
+
+let set_global c = global_collector := c
+
+let install ?sink ?gauges stats =
+  let t = create ?sink ?gauges stats in
+  set_global (Some t);
   t
 
-let uninstall () = current_collector := None
-let current () = !current_collector
+let uninstall () = set_global None
+let current () = !global_collector
 let watches t stats = t.stats == stats
 
 let reset t =
@@ -62,7 +69,7 @@ let reset t =
   t.last_gauges <- None
 
 let on_stats_reset stats =
-  match !current_collector with
+  match !global_collector with
   | Some t when watches t stats -> reset t
   | _ -> ()
 
@@ -138,30 +145,46 @@ let record t ~structure ~op ~ops ~before ~alloc_before =
         (shadow_words * 8)
   | _ -> ()
 
-let span stats ~structure ~op ?(ops = 1) f =
-  match !current_collector with
-  | None -> f ()
-  | Some t when not (t.stats == stats) -> f ()
-  | Some t when t.depth > 0 ->
-      (* nested span: the outermost one owns the whole delta *)
-      t.depth <- t.depth + 1;
-      Fun.protect ~finally:(fun () -> t.depth <- t.depth - 1) f
-  | Some ({ sink = Sink.Null; _ } as t) ->
-      (* Null sink: track nesting only — no snapshots, no aggregation —
-         so disabled-but-installed telemetry stays within noise. *)
-      t.depth <- 1;
-      Fun.protect ~finally:(fun () -> t.depth <- 0) f
-  | Some t ->
-      t.depth <- 1;
-      let before = Pmem.Stats.snapshot stats in
-      let alloc_before =
-        match t.gauges_fn with None -> 0 | Some g -> (g ()).g_alloc_words_total
-      in
-      Fun.protect
-        ~finally:(fun () ->
-          t.depth <- 0;
-          record t ~structure ~op ~ops ~before ~alloc_before)
-        f
+(* Run [f] as a span of collector [t] (already known to watch the
+   right stats block). *)
+let span_run t ~structure ~op ~ops f =
+  if t.depth > 0 then begin
+    (* nested span: the outermost one owns the whole delta *)
+    t.depth <- t.depth + 1;
+    Fun.protect ~finally:(fun () -> t.depth <- t.depth - 1) f
+  end
+  else
+    match t.sink with
+    | Sink.Null ->
+        (* Null sink: track nesting only — no snapshots, no aggregation —
+           so disabled-but-installed telemetry stays within noise. *)
+        t.depth <- 1;
+        Fun.protect ~finally:(fun () -> t.depth <- 0) f
+    | Sink.Memory | Sink.Jsonl _ ->
+        t.depth <- 1;
+        let before = Pmem.Stats.snapshot t.stats in
+        let alloc_before =
+          match t.gauges_fn with
+          | None -> 0
+          | Some g -> (g ()).g_alloc_words_total
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            t.depth <- 0;
+            record t ~structure ~op ~ops ~before ~alloc_before)
+          f
+
+let span_on collector stats ~structure ~op ?(ops = 1) f =
+  match collector with
+  | Some t -> span_run t ~structure ~op ~ops f
+  | None -> (
+      (* legacy fallback: a process-wide collector installed with
+         [install] still records, but only for the heap it watches *)
+      match !global_collector with
+      | Some t when t.stats == stats -> span_run t ~structure ~op ~ops f
+      | _ -> f ())
+
+let span stats ~structure ~op ?ops f = span_on None stats ~structure ~op ?ops f
 
 type row = {
   r_structure : string;

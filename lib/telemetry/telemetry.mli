@@ -1,19 +1,27 @@
 (** Per-FASE telemetry: spans, per-(structure x op) latency histograms,
     and fence-stall attribution over the simulated-PM clock.
 
-    A {e collector} watches exactly one heap's {!Pmem.Stats} block.  The
-    durable-structure entry points, [Batch.commit] and the outermost
-    [Tx.run] wrap themselves in {!span}; when a collector is installed
-    and watching that stats block, the outermost span snapshots the
-    stats around the operation and aggregates the delta under its
-    (structure, op) key.  Nested spans (an [insert_many] driving a
-    [Batch.commit] driving a [Tx.run]) are suppressed by a depth guard,
-    so every simulated nanosecond is attributed at most once and the
-    per-op fence-stall sum plus the unattributed remainder provably
-    equals the global [Pmem.Stats] flush-stall counter.
+    A {e collector} watches exactly one heap's {!Pmem.Stats} block and
+    is {e instance-scoped}: it is carried by the heap it watches
+    ([Pmalloc.Heap.attach_telemetry] / [Pmalloc.Heap.telemetry]), so any
+    number of heaps — e.g. the per-domain shards of the serving layer —
+    can be metered independently in one process.  The durable-structure
+    entry points, [Batch.commit] and the outermost [Tx.run] wrap
+    themselves in {!span_on} with their heap's collector; the outermost
+    span snapshots the stats around the operation and aggregates the
+    delta under its (structure, op) key.  Nested spans (an [insert_many]
+    driving a [Batch.commit] driving a [Tx.run]) are suppressed by a
+    depth guard, so every simulated nanosecond is attributed at most
+    once and the per-op fence-stall sum plus the unattributed remainder
+    provably equals that heap's [Pmem.Stats] flush-stall counter.
 
-    With no collector installed (or a foreign heap) a span is a single
-    [ref]-read on the fast path. *)
+    With no collector attached (or a foreign heap) a span is a couple of
+    word reads on the fast path.
+
+    The previous process-wide-singleton API ({!install} / {!uninstall} /
+    {!span}) survives as a deprecated shim over one global fallback
+    collector consulted only when the heap carries none; it will be
+    removed after one release. *)
 
 (** Log-bucketed latency histograms (re-exported; the library's root
     module is the only one visible to dependents). *)
@@ -40,13 +48,33 @@ type gauges = {
 
 type t
 
-(** [install ?sink ?gauges stats] makes a fresh collector watching
-    [stats] the process-wide current one (replacing any previous).
-    [gauges] samples allocator occupancy at span boundaries; omit it and
-    shadow-alloc attribution reads as zero.  Default sink: [Memory]. *)
+(** [create ?sink ?gauges stats] makes a fresh collector watching
+    [stats].  Nothing is registered anywhere: the caller owns the
+    collector and threads it (normally by attaching it to the heap with
+    [Pmalloc.Heap.set_telemetry]).  [gauges] samples allocator occupancy
+    at span boundaries; omit it and shadow-alloc attribution reads as
+    zero.  Default sink: [Memory]. *)
+val create : ?sink:Sink.t -> ?gauges:(unit -> gauges) -> Pmem.Stats.t -> t
+
+(** {1 Deprecated process-wide shim}
+
+    One release of compatibility for the pre-sharding singleton API.
+    The global collector is consulted by {!span_on} only when the heap
+    carries no collector of its own. *)
+
+(** Replace (or clear) the process-wide fallback collector.
+    @deprecated attach collectors to their heap instead. *)
+val set_global : t option -> unit
+
+(** [install ?sink ?gauges stats] = [create] + [set_global (Some t)].
+    @deprecated use {!create} / [Pmalloc.Heap.attach_telemetry]. *)
 val install : ?sink:Sink.t -> ?gauges:(unit -> gauges) -> Pmem.Stats.t -> t
 
+(** @deprecated [set_global None]. *)
 val uninstall : unit -> unit
+
+(** The process-wide fallback collector, if any.
+    @deprecated instance-scoped collectors live on their heap. *)
 val current : unit -> t option
 
 (** Physical identity: does [t] watch this stats block? *)
@@ -61,10 +89,26 @@ val reset : t -> unit
     [stats], it is {!reset} so totals stay consistent. *)
 val on_stats_reset : Pmem.Stats.t -> unit
 
-(** [span stats ~structure ~op ?ops f] runs [f], attributing its stats
-    delta to [(structure, op)] if this is the outermost span of the
-    watched heap.  [ops] is the number of logical operations the span
+(** [span_on collector stats ~structure ~op ?ops f] runs [f],
+    attributing its stats delta to [(structure, op)] on [collector] if
+    this is the outermost span.  [collector] is the one the heap
+    carries ([Pmalloc.Heap.telemetry]); with [None], the deprecated
+    process-wide collector is consulted and records iff it watches
+    [stats].  [ops] is the number of logical operations the span
     retires (batch size; default 1). *)
+val span_on :
+  t option ->
+  Pmem.Stats.t ->
+  structure:string ->
+  op:string ->
+  ?ops:int ->
+  (unit -> 'a) ->
+  'a
+
+(** [span stats ...] = [span_on None stats ...]: records only through
+    the process-wide fallback collector.
+    @deprecated thread the heap's collector through {!span_on} (or use
+    [Pmalloc.Heap.span]). *)
 val span :
   Pmem.Stats.t -> structure:string -> op:string -> ?ops:int -> (unit -> 'a) -> 'a
 

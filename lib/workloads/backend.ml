@@ -22,9 +22,12 @@ type t = {
   heap : Pmalloc.Heap.t;
   mutable tx : Pmstm.Tx.t option;
   rng : Random.State.t;
+  persist : Pmalloc.Heap.policy;
+      (* commit policy the MOD structure setups promote their slots to *)
 }
 
-let create ?(capacity_words = 1 lsl 21) ?(trace = false) ?(seed = 7) kind =
+let create ?(capacity_words = 1 lsl 21) ?(trace = false) ?(seed = 7)
+    ?(persist = Pmalloc.Heap.Full) kind =
   let heap = Pmalloc.Heap.create ~capacity_words ~trace ~seed () in
   let tx =
     match kind with
@@ -32,11 +35,12 @@ let create ?(capacity_words = 1 lsl 21) ?(trace = false) ?(seed = 7) kind =
     | Pmdk14 -> Some (Pmstm.Tx.create heap ~version:Pmstm.Tx.V1_4)
     | Pmdk15 -> Some (Pmstm.Tx.create heap ~version:Pmstm.Tx.V1_5)
   in
-  { kind; heap; tx; rng = Random.State.make [| seed |] }
+  { kind; heap; tx; rng = Random.State.make [| seed |]; persist }
 
 let heap t = t.heap
 let kind t = t.kind
 let rng t = t.rng
+let persist t = t.persist
 let stats t = Pmalloc.Heap.stats t.heap
 
 let tx t =
@@ -72,7 +76,9 @@ let op_pause t =
    would go negative against the zeroed counters. *)
 let start_measuring t =
   Pmem.Stats.reset (stats t);
-  Telemetry.on_stats_reset (stats t);
+  (match Pmalloc.Heap.telemetry t.heap with
+  | Some c -> Telemetry.reset c
+  | None -> Telemetry.on_stats_reset (stats t));
   Pmem.Trace.clear (Pmalloc.Heap.trace t.heap)
 
 (* Telemetry gauge sampler over this context's allocator. *)

@@ -15,7 +15,7 @@ type instance = Mkv of Mod_kv.t | Pkv of int
 let setup ctx ~expected =
   match Backend.kind ctx with
   | Backend.Mod ->
-      Mkv (Mod_kv.open_or_create (Backend.heap ctx) ~slot:Micro.ds_slot)
+      Mkv (Mod_kv.open_or_create ~persist:(Backend.persist ctx) (Backend.heap ctx) ~slot:Micro.ds_slot)
   | Backend.Pmdk14 | Backend.Pmdk15 ->
       let tx = Backend.tx ctx in
       Pmstm.Tx.run tx (fun () ->

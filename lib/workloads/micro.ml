@@ -61,7 +61,7 @@ type map_instance =
 
 let map_setup ctx ~size =
   match Backend.kind ctx with
-  | Backend.Mod -> Mmap (Mod_map.open_or_create (Backend.heap ctx) ~slot:ds_slot)
+  | Backend.Mod -> Mmap (Mod_map.open_or_create ~persist:(Backend.persist ctx) (Backend.heap ctx) ~slot:ds_slot)
   | Backend.Pmdk14 | Backend.Pmdk15 ->
       let tx = Backend.tx ctx in
       Pmstm.Tx.run tx (fun () ->
@@ -130,7 +130,7 @@ type set_instance = Mset of Mod_set.t | Pset of int
 
 let set_setup ctx ~size =
   match Backend.kind ctx with
-  | Backend.Mod -> Mset (Mod_set.open_or_create (Backend.heap ctx) ~slot:ds_slot)
+  | Backend.Mod -> Mset (Mod_set.open_or_create ~persist:(Backend.persist ctx) (Backend.heap ctx) ~slot:ds_slot)
   | Backend.Pmdk14 | Backend.Pmdk15 ->
       let tx = Backend.tx ctx in
       Pmstm.Tx.run tx (fun () ->
@@ -194,7 +194,7 @@ type stack_instance = Mstack of Mod_core.Dstack.t | Pstack of int
 let stack_setup ctx =
   match Backend.kind ctx with
   | Backend.Mod ->
-      Mstack (Mod_core.Dstack.open_or_create (Backend.heap ctx) ~slot:ds_slot)
+      Mstack (Mod_core.Dstack.open_or_create ~persist:(Backend.persist ctx) (Backend.heap ctx) ~slot:ds_slot)
   | Backend.Pmdk14 | Backend.Pmdk15 ->
       let tx = Backend.tx ctx in
       Pmstm.Tx.run tx (fun () ->
@@ -266,7 +266,7 @@ type queue_instance = Mqueue of Mod_core.Dqueue.t | Pqueue of int
 let queue_setup ctx =
   match Backend.kind ctx with
   | Backend.Mod ->
-      Mqueue (Mod_core.Dqueue.open_or_create (Backend.heap ctx) ~slot:ds_slot)
+      Mqueue (Mod_core.Dqueue.open_or_create ~persist:(Backend.persist ctx) (Backend.heap ctx) ~slot:ds_slot)
   | Backend.Pmdk14 | Backend.Pmdk15 ->
       let tx = Backend.tx ctx in
       Pmstm.Tx.run tx (fun () ->
@@ -338,7 +338,7 @@ type vector_instance = Mvec of Mod_core.Dvec.t | Pvec of int
 let vector_setup ctx ~size =
   match Backend.kind ctx with
   | Backend.Mod ->
-      let v = Mod_core.Dvec.open_or_create (Backend.heap ctx) ~slot:ds_slot in
+      let v = Mod_core.Dvec.open_or_create ~persist:(Backend.persist ctx) (Backend.heap ctx) ~slot:ds_slot in
       for i = 1 to size do
         Mod_core.Dvec.push_back v (Pmem.Word.of_int i)
       done;

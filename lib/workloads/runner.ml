@@ -52,19 +52,16 @@ let dispatch ?(batch = 1) name ~scale ctx =
   | other -> invalid_arg (Printf.sprintf "Runner: unknown workload %S" other)
 
 let run_one ?(capacity_words = 1 lsl 21) ?(trace = false) ?(batch = 1) ?metrics
-    name backend ~scale =
-  let ctx = Backend.create ~capacity_words ~trace backend in
+    ?persist ?seed name backend ~scale =
+  let ctx = Backend.create ~capacity_words ~trace ?seed ?persist backend in
+  (* instance-scoped: the collector rides on this run's heap, so
+     concurrent runs (shards) never fight over a process-wide slot *)
   let collector =
     Option.map
-      (fun sink ->
-        Telemetry.install ~sink ~gauges:(Backend.gauges ctx) (Backend.stats ctx))
+      (fun sink -> Pmalloc.Heap.attach_telemetry ~sink (Backend.heap ctx))
       metrics
   in
-  let (), ops =
-    Fun.protect
-      ~finally:(fun () -> if collector <> None then Telemetry.uninstall ())
-      (fun () -> dispatch ~batch name ~scale ctx)
-  in
+  let (), ops = dispatch ~batch name ~scale ctx in
   let telemetry = Option.map Telemetry.report collector in
   let s = Backend.stats ctx in
   let allocator = Pmalloc.Heap.allocator (Backend.heap ctx) in

@@ -18,7 +18,7 @@ let default_scale = 10_000
 let usage () =
   print_endline
     "sections: fig2 fig4 fig9 fig10 fig11 table3 ctree ablations batch \
-     telemetry faults persist killtest shard bechamel all";
+     telemetry faults persist killtest alloc shard bechamel all";
   print_endline
     "options: --scale N | --full | --json FILE | --baseline FILE | --seed N \
      | --shards N";
@@ -1004,6 +1004,164 @@ let killtest_section ~baseline () =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Allocator: arena hot path, map inserts at scale, recovery per GB    *)
+(* ------------------------------------------------------------------ *)
+
+(* Three measurements, all on the simulated machine:
+   (a) raw alloc/release churn through the epoch pipeline at the full
+       --scale (the shadow-node hot path in isolation);
+   (b) CHAMP map inserts at min(scale, 1M) -- allocs/op, simulated
+       ns/op and host wall ns/op;
+   (c) crash + reachability recovery over the built heap, normalized
+       to seconds per GB of high-water footprint.
+   Simulated numbers and allocs/op are deterministic, so the committed
+   baseline gates them; wall-clock is reported for the trajectory. *)
+let alloc_section ~scale ~baseline () =
+  Report.section
+    "Allocator: arena hot path, map inserts at scale, recovery per GB";
+  let module Imap = Mod_core.Dmap.Make (Pfds.Kv.Int) (Pfds.Kv.Int) in
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  (* -- (a) raw churn ------------------------------------------------ *)
+  let churn_ops = max 10_000 scale in
+  let churn_live = 512 in
+  let churn =
+    let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 22) () in
+    let al = Pmalloc.Heap.allocator heap in
+    let stats = Pmalloc.Heap.stats heap in
+    let live = Array.make churn_live (-1) in
+    let rng = Random.State.make [| 271828 |] in
+    let a0 = Pmalloc.Allocator.allocations al in
+    let t0 = stats.Pmem.Stats.now_ns in
+    let w0 = Unix.gettimeofday () in
+    for i = 0 to churn_ops - 1 do
+      let slot = i mod churn_live in
+      if live.(slot) >= 0 then Pmalloc.Heap.release heap live.(slot);
+      let words = 2 + Random.State.int rng 14 in
+      let body = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words in
+      Pmalloc.Heap.store heap body (Pmem.Word.of_int i);
+      live.(slot) <- body;
+      if i land 63 = 63 then Pmalloc.Heap.sfence heap
+    done;
+    Pmalloc.Heap.sfence heap;
+    let ops = float_of_int churn_ops in
+    let sim_ns_op = (stats.Pmem.Stats.now_ns -. t0) /. ops in
+    let wall_ns_op = (Unix.gettimeofday () -. w0) *. 1e9 /. ops in
+    let allocs = Pmalloc.Allocator.allocations al - a0 in
+    let hw = Pmalloc.Allocator.high_water_words al in
+    (* churn at a bounded live set must reuse memory, not chase the
+       frontier: the high-water mark stays O(live set + epoch lag) *)
+    check
+      (hw < 128 * churn_live * 16)
+      (Printf.sprintf
+         "churn leaked through the reuse path: high water %d words for a \
+          %d-block live set"
+         hw churn_live);
+    (allocs, sim_ns_op, wall_ns_op, hw)
+  in
+  let churn_allocs, churn_sim_ns, churn_wall_ns, churn_hw = churn in
+  Printf.printf
+    "churn: %d alloc/release ops, %.2f allocs/op, %.1f sim ns/op, %.0f \
+     wall ns/op, high water %d words\n"
+    churn_ops
+    (float_of_int churn_allocs /. float_of_int churn_ops)
+    churn_sim_ns churn_wall_ns churn_hw;
+  (* -- (b) map inserts at scale ------------------------------------- *)
+  let map_n = max 1_000 (min scale 10_000_000) in
+  let heap = Pmalloc.Heap.create ~capacity_words:(1 lsl 24) () in
+  let al = Pmalloc.Heap.allocator heap in
+  let stats = Pmalloc.Heap.stats heap in
+  let m = Imap.open_or_create heap ~slot:0 in
+  let a0 = Pmalloc.Allocator.allocations al in
+  let t0 = stats.Pmem.Stats.now_ns in
+  let w0 = Unix.gettimeofday () in
+  for k = 0 to map_n - 1 do
+    Imap.insert m k (k land 1023)
+  done;
+  let fn = float_of_int map_n in
+  let map_allocs_op = float_of_int (Pmalloc.Allocator.allocations al - a0) /. fn in
+  let map_sim_ns = (stats.Pmem.Stats.now_ns -. t0) /. fn in
+  let map_wall_ns = (Unix.gettimeofday () -. w0) *. 1e9 /. fn in
+  Printf.printf
+    "map: %d inserts, %.2f allocs/op, %.1f sim ns/op, %.0f wall ns/op, \
+     %d live words\n"
+    map_n map_allocs_op map_sim_ns map_wall_ns
+    (Pmalloc.Allocator.live_words al);
+  (* -- (c) recovery seconds per GB of heap footprint ---------------- *)
+  let hw_bytes = float_of_int (Pmalloc.Allocator.high_water_words al * 8) in
+  Pmalloc.Heap.crash heap;
+  let rt0 = stats.Pmem.Stats.now_ns in
+  let rw0 = Unix.gettimeofday () in
+  let report = Mod_core.Recovery.recover_exn heap in
+  let rec_sim_s = (stats.Pmem.Stats.now_ns -. rt0) /. 1e9 in
+  let rec_wall_s = Unix.gettimeofday () -. rw0 in
+  let gb = hw_bytes /. 1e9 in
+  let rec_sim_s_gb = rec_sim_s /. gb and rec_wall_s_gb = rec_wall_s /. gb in
+  Printf.printf
+    "recovery: %.3f GB footprint, %.3f sim s (%.1f sim s/GB), %.3f wall s \
+     (%.1f wall s/GB), %d blocks live\n"
+    gb rec_sim_s rec_sim_s_gb rec_wall_s rec_wall_s_gb
+    report.Mod_core.Recovery.gc.Pmalloc.Recovery_gc.live_blocks;
+  check
+    (Imap.cardinal m = map_n)
+    (Printf.sprintf "recovered map holds %d keys, expected %d"
+       (Imap.cardinal m) map_n);
+  (* -- regression gate ---------------------------------------------- *)
+  (match baseline with
+  | None -> ()
+  | Some path -> (
+      let open Report.Json in
+      match member "alloc" (of_file path) with
+      | exception Sys_error e ->
+          check false (Printf.sprintf "baseline %s unreadable: %s" path e)
+      | exception Parse_error e ->
+          check false (Printf.sprintf "baseline %s: bad JSON: %s" path e)
+      | None ->
+          check false (Printf.sprintf "baseline %s has no alloc block" path)
+      | Some base ->
+          let bound key =
+            match Option.bind (member key base) to_number_opt with
+            | Some v -> v
+            | None ->
+                check false (Printf.sprintf "baseline alloc has no %s" key);
+                nan
+          in
+          let gate name v bound_v =
+            check
+              (Float.is_nan bound_v || v <= bound_v)
+              (Printf.sprintf "%s is %.3f, above the baseline bound %.3f"
+                 name v bound_v)
+          in
+          gate "churn sim ns/op" churn_sim_ns (bound "max_churn_sim_ns_per_op");
+          gate "map allocs/op" map_allocs_op (bound "max_map_allocs_per_op");
+          gate "map sim ns/op" map_sim_ns (bound "max_map_sim_ns_per_op");
+          gate "recovery sim s/GB" rec_sim_s_gb
+            (bound "max_recovery_sim_s_per_gb")));
+  (match List.rev !failures with
+  | [] -> print_endline "\nalloc regression gate: ok"
+  | fs ->
+      List.iter (fun m -> Printf.eprintf "ALLOC REGRESSION: %s\n" m) fs;
+      exit 1);
+  Report.Json.(
+    Obj
+      [
+        ("churn_ops", Int churn_ops);
+        ("churn_allocs", Int churn_allocs);
+        ("churn_sim_ns_per_op", Float churn_sim_ns);
+        ("churn_wall_ns_per_op", Float churn_wall_ns);
+        ("churn_high_water_words", Int churn_hw);
+        ("map_inserts", Int map_n);
+        ("map_allocs_per_op", Float map_allocs_op);
+        ("map_sim_ns_per_op", Float map_sim_ns);
+        ("map_wall_ns_per_op", Float map_wall_ns);
+        ("heap_gb", Float gb);
+        ("recovery_sim_s", Float rec_sim_s);
+        ("recovery_sim_s_per_gb", Float rec_sim_s_gb);
+        ("recovery_wall_s", Float rec_wall_s);
+        ("recovery_wall_s_per_gb", Float rec_wall_s_gb);
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Section 6.1 baseline choice: WHISPER hashmap vs ctree on PMDK       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1324,6 +1482,7 @@ let () =
   run "persist" (wants "persist")
     (persist_section ~scale:(min scale 10_000) ~baseline:!baseline);
   run "killtest" (wants "killtest") (killtest_section ~baseline:!baseline);
+  run "alloc" (wants "alloc") (alloc_section ~scale ~baseline:!baseline);
   run "shard" (wants "shard")
     (shard_section ~seed:!seed ~nshards:!shards ~baseline:!baseline);
   run "ctree" (wants "ctree") (fun () -> ctree ~scale);

@@ -357,4 +357,7 @@ let unrelated heap tx updates =
                 (fun (off, w) -> Pmstm.Tx.store tx off w)
                 (Pmalloc.Heap.root_record_stores heap slot shadow))
             updates));
+  (* the transaction (or its rollback) rewrote record words outside the
+     heap's view; force full validation on the next root access *)
+  Pmalloc.Heap.invalidate_root_cache heap;
   List.iter (release_version heap) olds

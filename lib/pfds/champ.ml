@@ -10,10 +10,23 @@
     per update (paper Section 4.2, Table 3).
 
     Node layouts (tagged words, [Scanned] blocks):
-    - regular:   [datamap; nodemap; k0; v0; ...; child0; child1; ...]
+    - regular:   [packed_maps; k0; v0; ...; child0; child1; ...]
       with data entries sorted by bit index, then children by bit index;
-    - collision: [-1; count; k0; v0; k1; v1; ...] for keys whose hashes
+    - collision: [-(count+1); k0; v0; k1; v1; ...] for keys whose hashes
       collide through every trie level.
+
+    Packed headers.  A slot of the 32-way node is in one of three
+    states -- empty, in-node entry ([datamap]), or sub-tree pointer
+    ([nodemap]) -- and the two bitmaps are disjoint by construction, so
+    storing them as separate words wastes a word and a PM load on every
+    trie level of every operation.  Instead both maps live in one
+    non-negative word: the 32 slots split into 8 groups of 4, each group
+    ternary-coded into 7 bits (3^4 = 81 states), 56 bits total, with
+    nibble-indexed side tables making pack/unpack a few volatile array
+    reads.  Word 0 doubles as the node tag: negative means collision
+    node (count = -w0 - 1), non-negative is a packed map pair.  One
+    header word instead of two keeps small nodes a cacheline and makes
+    every traversal step one header load instead of two.
 
     All update operations are pure: they return an owned pointer to a new
     root and never modify existing nodes.  New nodes are flushed with
@@ -28,6 +41,51 @@ let popcount v =
   let rec go v acc = if v = 0 then acc else go (v land (v - 1)) (acc + 1) in
   go v 0
 
+(* -- packed map codec ------------------------------------------------------ *)
+
+let group_bits = 7
+let groups = 8
+
+(* [enc.(d lor (m lsl 4))] = ternary code (0..80) of a 4-slot group whose
+   datamap nibble is [d] and nodemap nibble is [m]; [dec] inverts it.
+   Disjointness (d land m = 0) keeps exactly 81 of the 256 indices in
+   use. *)
+let enc = Array.make 256 0
+let dec = Array.make 81 0
+
+let () =
+  for code = 0 to 80 do
+    let d = ref 0 and m = ref 0 and c = ref code in
+    for slot = 0 to 3 do
+      (match !c mod 3 with
+      | 1 -> d := !d lor (1 lsl slot)
+      | 2 -> m := !m lor (1 lsl slot)
+      | _ -> ());
+      c := !c / 3
+    done;
+    let byte = !d lor (!m lsl 4) in
+    enc.(byte) <- code;
+    dec.(code) <- byte
+  done
+
+let pack_maps ~dm ~nm =
+  let p = ref 0 in
+  for g = 0 to groups - 1 do
+    let d = (dm lsr (4 * g)) land 0xF and m = (nm lsr (4 * g)) land 0xF in
+    p := !p lor (enc.(d lor (m lsl 4)) lsl (group_bits * g))
+  done;
+  !p
+
+(* Both maps from one packed word: [(dm, nm)]. *)
+let unpack_maps p =
+  let dm = ref 0 and nm = ref 0 in
+  for g = 0 to groups - 1 do
+    let byte = dec.((p lsr (group_bits * g)) land 0x7F) in
+    dm := !dm lor ((byte land 0xF) lsl (4 * g));
+    nm := !nm lor ((byte lsr 4) lsl (4 * g))
+  done;
+  (!dm, !nm)
+
 module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
   type key = K.t
   type value = V.t
@@ -37,19 +95,23 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
 
   (* -- node accessors ---------------------------------------------------- *)
 
-  let datamap heap n = Pmem.Word.to_int (Node.get heap n 0)
-  let nodemap heap n = Pmem.Word.to_int (Node.get heap n 1)
-  let is_collision heap n = datamap heap n < 0
-  let collision_count heap n = Pmem.Word.to_int (Node.get heap n 1)
-  let data_off di = 2 + (2 * di)
-  let child_off dcount ci = 2 + (2 * dcount) + ci
+  (* Word 0 is the whole header: negative tags a collision node (count =
+     [-w0 - 1]), non-negative is a packed (datamap, nodemap) pair.  Every
+     node visit loads it exactly once. *)
+  let header heap n = Pmem.Word.to_int (Node.get heap n 0)
+  let collision_count_of w0 = -w0 - 1
+  let collision_header count = Pmem.Word.of_int (-(count + 1))
+  let maps_header ~dm ~nm = Pmem.Word.of_int (pack_maps ~dm ~nm)
+  let data_off di = 1 + (2 * di)
+  let child_off dcount ci = 1 + (2 * dcount) + ci
   let chunk hash shift = (hash lsr shift) land level_mask
 
   (* -- lookup ------------------------------------------------------------ *)
 
   let rec find_rec heap shift hash key n =
-    if is_collision heap n then begin
-      let count = collision_count heap n in
+    let w0 = header heap n in
+    if w0 < 0 then begin
+      let count = collision_count_of w0 in
       let rec scan i =
         if i >= count then None
         else if K.equal key (K.read heap (Node.get heap n (data_off i))) then
@@ -59,7 +121,7 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
       scan 0
     end
     else begin
-      let dm = datamap heap n and nm = nodemap heap n in
+      let dm, nm = unpack_maps w0 in
       let bit = 1 lsl chunk hash shift in
       if dm land bit <> 0 then begin
         let di = popcount (dm land (bit - 1)) in
@@ -91,13 +153,12 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
      (k2, v2) are fresh and owned. *)
   let rec merge_entries heap shift h1 k1 v1 h2 k2 v2 =
     if shift >= max_shift then begin
-      let n = Node.alloc heap ~words:6 in
-      Node.set heap n 0 (Pmem.Word.of_int (-1));
-      Node.set heap n 1 (Pmem.Word.of_int 2);
-      Node.set_shared heap n 2 k1;
-      Node.set_shared heap n 3 v1;
-      Node.set heap n 4 k2;
-      Node.set heap n 5 v2;
+      let n = Node.alloc heap ~words:5 in
+      Node.set heap n 0 (collision_header 2);
+      Node.set_shared heap n 1 k1;
+      Node.set_shared heap n 2 v1;
+      Node.set heap n 3 k2;
+      Node.set heap n 4 v2;
       Node.finish heap n;
       Pmem.Word.of_ptr n
     end
@@ -107,17 +168,16 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
         let child =
           merge_entries heap (shift + bits_per_level) h1 k1 v1 h2 k2 v2
         in
-        let n = Node.alloc heap ~words:3 in
-        Node.set heap n 0 (Pmem.Word.of_int 0);
-        Node.set heap n 1 (Pmem.Word.of_int (1 lsl i1));
-        Node.set heap n 2 child;
+        let n = Node.alloc heap ~words:2 in
+        Node.set heap n 0 (maps_header ~dm:0 ~nm:(1 lsl i1));
+        Node.set heap n 1 child;
         Node.finish heap n;
         Pmem.Word.of_ptr n
       end
       else begin
-        let n = Node.alloc heap ~words:6 in
-        Node.set heap n 0 (Pmem.Word.of_int ((1 lsl i1) lor (1 lsl i2)));
-        Node.set heap n 1 (Pmem.Word.of_int 0);
+        let n = Node.alloc heap ~words:5 in
+        Node.set heap n 0
+          (maps_header ~dm:((1 lsl i1) lor (1 lsl i2)) ~nm:0);
         let set_entry off ~shared k v =
           if shared then begin
             Node.set_shared heap n off k;
@@ -129,21 +189,20 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
           end
         in
         if i1 < i2 then begin
-          set_entry 2 ~shared:true k1 v1;
-          set_entry 4 ~shared:false k2 v2
+          set_entry 1 ~shared:true k1 v1;
+          set_entry 3 ~shared:false k2 v2
         end
         else begin
-          set_entry 2 ~shared:false k2 v2;
-          set_entry 4 ~shared:true k1 v1
+          set_entry 1 ~shared:false k2 v2;
+          set_entry 3 ~shared:true k1 v1
         end;
         Node.finish heap n;
         Pmem.Word.of_ptr n
       end
     end
 
-  let insert_collision heap n key value =
-    let count = collision_count heap n in
-    let used = 2 + (2 * count) in
+  let insert_collision heap n count key value =
+    let used = 1 + (2 * count) in
     let rec find_idx i =
       if i >= count then None
       else if K.equal key (K.read heap (Node.get heap n (data_off i))) then Some i
@@ -162,9 +221,8 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
         (Pmem.Word.of_ptr fresh, false)
     | None ->
         let fresh = Node.alloc heap ~words:(used + 2) in
-        Node.set heap fresh 0 (Pmem.Word.of_int (-1));
-        Node.set heap fresh 1 (Pmem.Word.of_int (count + 1));
-        Node.blit_shared heap ~src:n ~soff:2 ~dst:fresh ~doff:2 ~len:(used - 2);
+        Node.set heap fresh 0 (collision_header (count + 1));
+        Node.blit_shared heap ~src:n ~soff:1 ~dst:fresh ~doff:1 ~len:(used - 1);
         Node.set heap fresh used (K.write heap key);
         Node.set heap fresh (used + 1) (V.write heap value);
         Node.finish heap fresh;
@@ -172,11 +230,12 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
 
   (* Returns (owned new node, grew). *)
   let rec insert_rec heap shift hash key value n =
-    if is_collision heap n then insert_collision heap n key value
+    let w0 = header heap n in
+    if w0 < 0 then insert_collision heap n (collision_count_of w0) key value
     else begin
-      let dm = datamap heap n and nm = nodemap heap n in
+      let dm, nm = unpack_maps w0 in
       let dcount = popcount dm and ccount = popcount nm in
-      let used = 2 + (2 * dcount) + ccount in
+      let used = 1 + (2 * dcount) + ccount in
       let bit = 1 lsl chunk hash shift in
       if dm land bit <> 0 then begin
         let di = popcount (dm land (bit - 1)) in
@@ -203,10 +262,10 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
           in
           let ci = popcount (nm land (bit - 1)) in
           let fresh = Node.alloc heap ~words:(used - 1) in
-          Node.set heap fresh 0 (Pmem.Word.of_int (dm land lnot bit));
-          Node.set heap fresh 1 (Pmem.Word.of_int (nm lor bit));
+          Node.set heap fresh 0
+            (maps_header ~dm:(dm land lnot bit) ~nm:(nm lor bit));
           (* data entries, skipping di *)
-          Node.blit_shared heap ~src:n ~soff:2 ~dst:fresh ~doff:2
+          Node.blit_shared heap ~src:n ~soff:1 ~dst:fresh ~doff:1
             ~len:(2 * di);
           Node.blit_shared heap ~src:n
             ~soff:(data_off (di + 1))
@@ -247,9 +306,8 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
         (* free slot: insert a fresh data entry *)
         let di = popcount (dm land (bit - 1)) in
         let fresh = Node.alloc heap ~words:(used + 2) in
-        Node.set heap fresh 0 (Pmem.Word.of_int (dm lor bit));
-        Node.set heap fresh 1 (Pmem.Word.of_int nm);
-        Node.blit_shared heap ~src:n ~soff:2 ~dst:fresh ~doff:2 ~len:(2 * di);
+        Node.set heap fresh 0 (maps_header ~dm:(dm lor bit) ~nm);
+        Node.blit_shared heap ~src:n ~soff:1 ~dst:fresh ~doff:1 ~len:(2 * di);
         Node.set heap fresh (data_off di) (K.write heap key);
         Node.set heap fresh (data_off di + 1) (V.write heap value);
         Node.blit_shared heap ~src:n ~soff:(data_off di) ~dst:fresh
@@ -264,11 +322,10 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
   let insert heap root key value =
     if is_empty root then begin
       let bit = 1 lsl chunk (K.hash key) 0 in
-      let n = Node.alloc heap ~words:4 in
-      Node.set heap n 0 (Pmem.Word.of_int bit);
-      Node.set heap n 1 (Pmem.Word.of_int 0);
-      Node.set heap n 2 (K.write heap key);
-      Node.set heap n 3 (V.write heap value);
+      let n = Node.alloc heap ~words:3 in
+      Node.set heap n 0 (maps_header ~dm:bit ~nm:0);
+      Node.set heap n 1 (K.write heap key);
+      Node.set heap n 2 (V.write heap value);
       Node.finish heap n;
       (Pmem.Word.of_ptr n, true)
     end
@@ -282,8 +339,7 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
     | Inline of Pmem.Word.t * Pmem.Word.t (* single surviving entry, owned *)
     | Replaced of int (* owned new node *)
 
-  let remove_collision heap n key =
-    let count = collision_count heap n in
+  let remove_collision heap n count key =
     let rec find_idx i =
       if i >= count then None
       else if K.equal key (K.read heap (Node.get heap n (data_off i))) then Some i
@@ -299,10 +355,9 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
           Inline (k, v)
         end
         else begin
-          let fresh = Node.alloc heap ~words:(2 + (2 * (count - 1))) in
-          Node.set heap fresh 0 (Pmem.Word.of_int (-1));
-          Node.set heap fresh 1 (Pmem.Word.of_int (count - 1));
-          Node.blit_shared heap ~src:n ~soff:2 ~dst:fresh ~doff:2 ~len:(2 * i);
+          let fresh = Node.alloc heap ~words:(1 + (2 * (count - 1))) in
+          Node.set heap fresh 0 (collision_header (count - 1));
+          Node.blit_shared heap ~src:n ~soff:1 ~dst:fresh ~doff:1 ~len:(2 * i);
           Node.blit_shared heap ~src:n
             ~soff:(data_off (i + 1))
             ~dst:fresh ~doff:(data_off i)
@@ -312,11 +367,12 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
         end
 
   let rec remove_rec heap shift hash key n =
-    if is_collision heap n then remove_collision heap n key
+    let w0 = header heap n in
+    if w0 < 0 then remove_collision heap n (collision_count_of w0) key
     else begin
-      let dm = datamap heap n and nm = nodemap heap n in
+      let dm, nm = unpack_maps w0 in
       let dcount = popcount dm and ccount = popcount nm in
-      let used = 2 + (2 * dcount) + ccount in
+      let used = 1 + (2 * dcount) + ccount in
       let bit = 1 lsl chunk hash shift in
       if dm land bit <> 0 then begin
         let di = popcount (dm land (bit - 1)) in
@@ -332,9 +388,8 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
         end
         else begin
           let fresh = Node.alloc heap ~words:(used - 2) in
-          Node.set heap fresh 0 (Pmem.Word.of_int (dm land lnot bit));
-          Node.set heap fresh 1 (Pmem.Word.of_int nm);
-          Node.blit_shared heap ~src:n ~soff:2 ~dst:fresh ~doff:2 ~len:(2 * di);
+          Node.set heap fresh 0 (maps_header ~dm:(dm land lnot bit) ~nm);
+          Node.blit_shared heap ~src:n ~soff:1 ~dst:fresh ~doff:1 ~len:(2 * di);
           Node.blit_shared heap ~src:n
             ~soff:(data_off (di + 1))
             ~dst:fresh ~doff:(data_off di)
@@ -370,9 +425,9 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
               (* child slot becomes an in-node data entry *)
               let di = popcount (dm land (bit - 1)) in
               let fresh = Node.alloc heap ~words:(used + 1) in
-              Node.set heap fresh 0 (Pmem.Word.of_int (dm lor bit));
-              Node.set heap fresh 1 (Pmem.Word.of_int (nm land lnot bit));
-              Node.blit_shared heap ~src:n ~soff:2 ~dst:fresh ~doff:2
+              Node.set heap fresh 0
+                (maps_header ~dm:(dm lor bit) ~nm:(nm land lnot bit));
+              Node.blit_shared heap ~src:n ~soff:1 ~dst:fresh ~doff:1
                 ~len:(2 * di);
               Node.set heap fresh (data_off di) k;
               Node.set heap fresh (data_off di + 1) v;
@@ -407,26 +462,27 @@ module Make (K : Kv.CODEC) (V : Kv.CODEC) = struct
           (* rebuild a single-entry root *)
           let hash = K.hash (K.read heap k) in
           let bit = 1 lsl chunk hash 0 in
-          let n = Node.alloc heap ~words:4 in
-          Node.set heap n 0 (Pmem.Word.of_int bit);
-          Node.set heap n 1 (Pmem.Word.of_int 0);
-          Node.set heap n 2 k;
-          Node.set heap n 3 v;
+          let n = Node.alloc heap ~words:3 in
+          Node.set heap n 0 (maps_header ~dm:bit ~nm:0);
+          Node.set heap n 1 k;
+          Node.set heap n 2 v;
           Node.finish heap n;
           (Pmem.Word.of_ptr n, true)
 
   (* -- traversal --------------------------------------------------------- *)
 
   let rec iter_node heap n fn =
-    if is_collision heap n then begin
-      let count = collision_count heap n in
+    let w0 = header heap n in
+    if w0 < 0 then begin
+      let count = collision_count_of w0 in
       for i = 0 to count - 1 do
         fn (Node.get heap n (data_off i)) (Node.get heap n (data_off i + 1))
       done
     end
     else begin
-      let dcount = popcount (datamap heap n) in
-      let ccount = popcount (nodemap heap n) in
+      let dm, nm = unpack_maps w0 in
+      let dcount = popcount dm in
+      let ccount = popcount nm in
       for i = 0 to dcount - 1 do
         fn (Node.get heap n (data_off i)) (Node.get heap n (data_off i + 1))
       done;

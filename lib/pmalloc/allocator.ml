@@ -1,11 +1,15 @@
 (** Persistent-memory allocator (the paper uses nvm_malloc in the same
     role: recipe step 1, Section 4.2).
 
-    Allocation serves from segregated free lists, splitting large blocks,
-    and otherwise bumps a frontier, growing the simulated region on demand.
-    Headers are written through the normal store path so they become
-    durable together with the rest of the block when the owning
-    failure-atomic section flushes and fences.
+    Small allocations (capacity <= {!Arena.max_class}) are served by
+    per-size-class bump arenas: a stack pop for a recycled block, a
+    pointer bump inside a cacheline-aligned segment otherwise -- the
+    shadow-node hot path never searches a list.  Odd sizes and large
+    blocks fall back to segregated free lists with first-fit splitting
+    and neighbor coalescing, and otherwise bump a frontier, growing the
+    simulated region on demand.  Headers are written through the normal
+    store path so they become durable together with the rest of the
+    block when the owning failure-atomic section flushes and fences.
 
     Reference counts are deliberately volatile (paper Section 5.3: they
     never need to be durable because recovery recomputes them), kept in an
@@ -27,21 +31,49 @@
     {e and} the overwrite's flush is fenced -- one commit plus one fence
     after the release.  [root_get] falls back to the stale copy when the
     fresh one is torn or media-bad, so the version it references must
-    stay intact that long.  Released blocks therefore park on [deferred],
-    age into [deferred_prev] at the first [sfence], and enter the free
-    lists at the second, once neither record copy can reference them.
-    Plain {!free} is immediate: its callers (the PM-STM undo path) only
-    free blocks whose last durable reference was already retired under a
-    fence. *)
+    stay intact that long.  Released blocks therefore park in [deferred],
+    age into [deferred_prev] at the first [sfence], and recycle at the
+    second, once neither record copy can reference them.  The two stages
+    are reusable flat buffers swapped wholesale per epoch -- bulk
+    reclamation allocates no cons cells and keeps a running word count,
+    so telemetry reads it in O(1).  Plain {!free} is immediate: its
+    callers (the PM-STM undo path) only free blocks whose last durable
+    reference was already retired under a fence. *)
+
+(* One stage of the deferral pipeline: interleaved (body, capacity)
+   pairs in a growable flat buffer, reused epoch after epoch. *)
+type dbuf = {
+  mutable data : int array;
+  mutable len : int; (* pairs *)
+  mutable dwords : int; (* sum of parked capacities *)
+}
+
+let dbuf_create () = { data = Array.make 128 0; len = 0; dwords = 0 }
+
+let dbuf_push b body capacity =
+  if 2 * b.len = Array.length b.data then begin
+    let grown = Array.make (4 * Array.length b.data) 0 in
+    Array.blit b.data 0 grown 0 (2 * b.len);
+    b.data <- grown
+  end;
+  b.data.(2 * b.len) <- body;
+  b.data.((2 * b.len) + 1) <- capacity;
+  b.len <- b.len + 1;
+  b.dwords <- b.dwords + capacity
+
+let dbuf_reset b =
+  b.len <- 0;
+  b.dwords <- 0
 
 type t = {
   region : Pmem.Region.t;
   heap_start : int;
   mutable frontier : int;
   freelist : Freelist.t;
+  arena : Arena.t;
   rc : (int, int) Hashtbl.t; (* body offset -> reference count *)
-  mutable deferred : (int * int) list; (* (body, capacity) awaiting fence *)
-  mutable deferred_prev : (int * int) list; (* aged one fence; free at next *)
+  mutable deferred : dbuf; (* awaiting first fence *)
+  mutable deferred_prev : dbuf; (* aged one fence; recycle at next *)
   mutable live_words : int;
   mutable high_water_words : int;
   mutable allocations : int;
@@ -49,6 +81,9 @@ type t = {
   mutable alloc_words_total : int;
       (* monotone: words ever handed out; telemetry spans diff it to
          attribute shadow-allocation volume per operation *)
+  mutable pad_words : int;
+      (* sub-min_capacity slivers stranded by segment alignment; they
+         re-merge into gaps at the next recovery walk *)
 }
 
 let create region ~heap_start =
@@ -57,14 +92,16 @@ let create region ~heap_start =
     heap_start;
     frontier = heap_start;
     freelist = Freelist.create ();
+    arena = Arena.create ();
     rc = Hashtbl.create 4096;
-    deferred = [];
-    deferred_prev = [];
+    deferred = dbuf_create ();
+    deferred_prev = dbuf_create ();
     live_words = 0;
     high_water_words = 0;
     allocations = 0;
     frees = 0;
     alloc_words_total = 0;
+    pad_words = 0;
   }
 
 let region t = t.region
@@ -74,8 +111,19 @@ let live_words t = t.live_words
 let high_water_words t = t.high_water_words
 let allocations t = t.allocations
 let frees t = t.frees
-let free_words t = Freelist.free_words t.freelist
+let free_words t = Freelist.free_words t.freelist + Arena.free_words t.arena
 let alloc_words_total t = t.alloc_words_total
+let pad_words t = t.pad_words
+let coalesces t = Freelist.coalesces t.freelist
+let freelist_entries t = Freelist.live_entries t.freelist
+let arena_segments t = Arena.segments t.arena
+let arena_recycled_words t = Arena.recycled_words t.arena
+
+(* The one word-conservation identity everything above maintains (and
+   the property tests check): every word between the heap start and the
+   frontier is live, free, parked in the deferral pipeline, or a
+   stranded alignment sliver. *)
+let deferred_words t = t.deferred.dwords + t.deferred_prev.dwords
 
 let account_alloc t capacity =
   t.live_words <- t.live_words + capacity;
@@ -83,40 +131,101 @@ let account_alloc t capacity =
   t.allocations <- t.allocations + 1;
   t.alloc_words_total <- t.alloc_words_total + capacity
 
-(* Write the header of a fresh block.  Plain stores: the block's lines get
-   durable when the owning FASE flushes them and fences. *)
+(* Write the header of a fresh block.  One plain store: the block's lines
+   get durable when the owning FASE flushes them and fences. *)
 let write_header t ~body ~capacity ~kind ~used =
   let header = Block.header_of_body body in
   Pmem.Region.store t.region header
-    (Block.encode_info ~capacity ~kind ~allocated:true);
-  Pmem.Region.store t.region (header + 1) (Block.encode_used used)
+    (Block.encode ~capacity ~used ~kind ~allocated:true)
+
+(* Return a no-longer-live extent to the reuse structures: class-stride
+   capacities recycle through their arena stack, everything else joins
+   the coalescing free lists. *)
+let stash_free t ~body ~capacity =
+  if Arena.is_stride capacity then
+    Arena.recycle t.arena ~header:(Block.header_of_body body) ~stride:capacity
+  else Freelist.insert t.freelist ~body ~capacity
+
+(* Open a fresh segment for [stride]: carve it out of a large free
+   extent when one exists (so post-recovery gaps serve the hot path
+   too), else bump the frontier, cacheline-aligning the segment so
+   stride-4/8 blocks tile lines exactly. *)
+let open_segment t stride =
+  let words = Arena.segment_words stride in
+  let line = Pmem.Config.words_per_line in
+  (* Ask for one spare line so a misaligned extent still fits an aligned
+     segment; the sliver before the aligned start goes back to the free
+     lists (or the pad ledger when it is below a block's minimum). *)
+  match Freelist.take_at_least t.freelist (words + line - 1) with
+  | Some e ->
+      let raw = Block.header_of_body e.Freelist.body in
+      let start = (raw + line - 1) / line * line in
+      let lead = start - raw in
+      if lead >= Block.min_capacity then
+        Freelist.insert t.freelist ~body:e.Freelist.body ~capacity:lead
+      else if lead > 0 then t.pad_words <- t.pad_words + lead;
+      let spare = e.Freelist.capacity - lead - words in
+      if spare >= Block.min_capacity then
+        Freelist.insert t.freelist
+          ~body:(Block.body_of_header (start + words))
+          ~capacity:spare
+      else if spare > 0 then t.pad_words <- t.pad_words + spare;
+      Arena.refill t.arena ~stride ~start ~words
+  | None ->
+      let pad = (line - (t.frontier mod line)) mod line in
+      if pad >= Block.min_capacity then
+        Freelist.insert t.freelist
+          ~body:(Block.body_of_header t.frontier)
+          ~capacity:pad
+      else t.pad_words <- t.pad_words + pad;
+      let start = t.frontier + pad in
+      t.frontier <- start + words;
+      Pmem.Region.ensure_capacity t.region t.frontier;
+      Arena.refill t.arena ~stride ~start ~words
 
 let alloc t ~kind ~words =
   if words <= 0 then invalid_arg "Allocator.alloc: empty block";
   let capacity = max Block.min_capacity (words + Block.header_words) in
   let body, capacity =
-    match Freelist.take_exact t.freelist capacity with
-    | Some e -> (e.Freelist.body, e.Freelist.capacity)
-    | None -> (
-        match Freelist.take_at_least t.freelist capacity with
-        | Some e ->
-            let spare = e.Freelist.capacity - capacity in
-            if spare >= Block.min_capacity then begin
-              (* split: give back the tail of the block *)
-              let tail_header = Block.header_of_body e.Freelist.body + capacity in
-              Freelist.insert t.freelist
-                ~body:(Block.body_of_header tail_header)
-                ~capacity:spare;
-              (e.Freelist.body, capacity)
-            end
-            else (e.Freelist.body, e.Freelist.capacity)
-        | None ->
-            let header = t.frontier in
-            t.frontier <- t.frontier + capacity;
-            Pmem.Region.ensure_capacity t.region t.frontier;
-            (Block.body_of_header header, capacity))
+    if capacity <= Arena.max_class then begin
+      (* hot path: stack pop or pointer bump, no list search *)
+      let stride = Arena.stride_of capacity in
+      match Arena.take t.arena stride with
+      | Some header -> (Block.body_of_header header, stride)
+      | None -> (
+          match Freelist.take_exact t.freelist stride with
+          | Some e -> (e.Freelist.body, e.Freelist.capacity)
+          | None -> (
+              open_segment t stride;
+              match Arena.take t.arena stride with
+              | Some header -> (Block.body_of_header header, stride)
+              | None -> assert false))
+    end
+    else
+      match Freelist.take_exact t.freelist capacity with
+      | Some e -> (e.Freelist.body, e.Freelist.capacity)
+      | None -> (
+          match Freelist.take_at_least t.freelist capacity with
+          | Some e ->
+              let spare = e.Freelist.capacity - capacity in
+              if spare >= Block.min_capacity then begin
+                (* split: give back the tail of the block *)
+                let tail_header =
+                  Block.header_of_body e.Freelist.body + capacity
+                in
+                Freelist.insert t.freelist
+                  ~body:(Block.body_of_header tail_header)
+                  ~capacity:spare;
+                (e.Freelist.body, capacity)
+              end
+              else (e.Freelist.body, e.Freelist.capacity)
+          | None ->
+              let header = t.frontier in
+              t.frontier <- t.frontier + capacity;
+              Pmem.Region.ensure_capacity t.region t.frontier;
+              (Block.body_of_header header, capacity))
   in
-  (* Declare the allocation before the header stores so the trace shows
+  (* Declare the allocation before the header store so the trace shows
      every write landing in already-allocated-fresh memory. *)
   Pmem.Trace.emit
     (Pmem.Region.trace t.region)
@@ -140,7 +249,7 @@ let kind_of t body =
 
 let used_of t body =
   Block.decode_used
-    (Pmem.Region.peek_current t.region (Block.header_of_body body + 1))
+    (Pmem.Region.peek_current t.region (Block.header_of_body body))
 
 (* Liveness is tracked in the volatile rc table (every live block has an
    entry, even refcount-free STM blocks): freeing must not write PM, or
@@ -150,15 +259,18 @@ let used_of t body =
 let is_allocated t body = Hashtbl.mem t.rc body
 
 let dealloc t body ~defer =
+  (* Validate liveness before touching the header: a stale or corrupt
+     body must fail loudly here, not decode garbage capacity into the
+     accounting first. *)
+  if not (Hashtbl.mem t.rc body) then
+    invalid_arg (Printf.sprintf "Allocator.free: double free at %d" body);
   let header = Block.header_of_body body in
   let capacity, _kind, _ =
     Block.decode_info (Pmem.Region.peek_current t.region header)
   in
-  if not (Hashtbl.mem t.rc body) then
-    invalid_arg (Printf.sprintf "Allocator.free: double free at %d" body);
   Hashtbl.remove t.rc body;
-  if defer then t.deferred <- (body, capacity) :: t.deferred
-  else Freelist.insert t.freelist ~body ~capacity;
+  if defer then dbuf_push t.deferred body capacity
+  else stash_free t ~body ~capacity;
   t.live_words <- t.live_words - capacity;
   t.frees <- t.frees + 1;
   Pmem.Trace.emit
@@ -167,22 +279,20 @@ let dealloc t body ~defer =
 
 let free t body = dealloc t body ~defer:false
 
-let deferred_words t =
-  List.fold_left
-    (fun acc (_, cap) -> acc + cap)
-    0
-    (List.rev_append t.deferred t.deferred_prev)
-
 (* A fence ages the deferral pipeline one epoch: blocks that have now
    survived two fences were unlinked by a root write that is durable
    *and* superseded in both record copies, so nothing durable can reach
-   them and they may be reused. *)
+   them and they may be reused.  The drained stage's buffer is recycled
+   as the new deferred stage -- bulk per-epoch swaps, no per-block
+   cells. *)
 let epoch_flush t =
-  List.iter
-    (fun (body, capacity) -> Freelist.insert t.freelist ~body ~capacity)
-    t.deferred_prev;
+  let drain = t.deferred_prev in
+  for i = 0 to drain.len - 1 do
+    stash_free t ~body:drain.data.(2 * i) ~capacity:drain.data.((2 * i) + 1)
+  done;
+  dbuf_reset drain;
   t.deferred_prev <- t.deferred;
-  t.deferred <- []
+  t.deferred <- drain
 
 (* Flush every cacheline of a block (header + initialized body) with
    weakly-ordered clwb instructions; no fence (recipe step 3). *)
@@ -231,24 +341,28 @@ let retain t body = rc_incr t body
    the volatile allocator state must rewind with the image. *)
 let reset_fresh t =
   Freelist.clear t.freelist;
+  Arena.reset t.arena;
   Hashtbl.reset t.rc;
-  t.deferred <- [];
-  t.deferred_prev <- [];
+  dbuf_reset t.deferred;
+  dbuf_reset t.deferred_prev;
   t.live_words <- 0;
   t.high_water_words <- 0;
   t.allocations <- 0;
   t.frees <- 0;
   t.alloc_words_total <- 0;
+  t.pad_words <- 0;
   t.frontier <- t.heap_start
 
 (* Recovery support: wipe all volatile allocator state and reinstall it
    from the reachability analysis. *)
 let recovery_reset t ~frontier =
   Freelist.clear t.freelist;
+  Arena.reset t.arena;
   Hashtbl.reset t.rc;
-  t.deferred <- [];
-  t.deferred_prev <- [];
+  dbuf_reset t.deferred;
+  dbuf_reset t.deferred_prev;
   t.live_words <- 0;
+  t.pad_words <- 0;
   t.frontier <- frontier
 
 let recovery_insert_free t ~body ~capacity =

@@ -1,10 +1,13 @@
 (** Persistent-memory allocator (the role nvm_malloc plays in the paper,
     Section 4.2 recipe step 1).
 
-    Serves from segregated free lists with splitting, else bumps a
-    frontier, growing the simulated region on demand.  Block headers are
-    written through the normal store path and become durable with the rest
-    of the block when the owning FASE flushes and fences.
+    Small blocks are served by per-size-class bump arenas ({!Arena}):
+    a recycle-stack pop or a pointer bump, never a list search.  Odd
+    and large sizes fall back to segregated free lists with splitting
+    and neighbor coalescing, else bump a frontier, growing the
+    simulated region on demand.  Block headers are one packed word
+    written through the normal store path; they become durable with the
+    rest of the block when the owning FASE flushes and fences.
 
     All bookkeeping that recovery can reconstruct is volatile: free lists,
     the frontier, and the reference counts (paper Section 5.3) -- so
@@ -40,7 +43,8 @@ val epoch_flush : t -> unit
 
 val deferred_words : t -> int
 (** Words currently parked in the two-stage deferral pipeline (not yet
-    allocatable). *)
+    allocatable).  O(1): a running counter maintained at dealloc and
+    {!epoch_flush}, not a fold over the pipeline. *)
 
 val retain : t -> int -> unit
 val rc_get : t -> int -> int
@@ -68,6 +72,27 @@ val free_words : t -> int
 val alloc_words_total : t -> int
 (** Monotone count of words ever allocated (never decremented by frees);
     diffing it across a span measures that span's shadow allocations. *)
+
+val pad_words : t -> int
+(** Sub-[min_capacity] alignment slivers stranded by arena segment
+    alignment.  Part of the conservation identity: [live_words +
+    free_words + deferred_words + pad_words = frontier - heap_start]
+    for any crash-free alloc/release/fence history. *)
+
+val coalesces : t -> int
+(** Neighbor merges the free lists have performed (fragmentation
+    telemetry: split tails re-fusing with adjacent free extents). *)
+
+val freelist_entries : t -> int
+(** Live free-list entries across all bins -- the fragmentation gauge
+    the coalescing counter drives down. *)
+
+val arena_segments : t -> int
+(** Bump segments opened since creation/reset. *)
+
+val arena_recycled_words : t -> int
+(** Words currently parked on arena recycle stacks (a component of
+    {!free_words}). *)
 
 val reset_fresh : t -> unit
 (** Return all volatile state (free lists, refcounts, deferral list,

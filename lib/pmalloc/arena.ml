@@ -1,0 +1,126 @@
+(** Per-size-class bump arenas for the shadow-node hot path.
+
+    The MOD commit protocol allocates a handful of small shadow nodes per
+    operation and releases the superseded ones at the next fence.  Serving
+    that churn from segregated free lists costs a search per allocation;
+    the arenas reduce it to a pointer bump (fresh segment) or a stack pop
+    (recycled block), both O(1) with no scan.
+
+    Strides are chosen so blocks never straddle a cacheline boundary they
+    could have avoided -- on PM the cost of a node is the number of lines
+    it touches, not its word count:
+    - stride 4 serves capacities 3..4 (two blocks per cacheline);
+    - stride 8 serves capacities 5..8 (one block per cacheline);
+    - capacities 9..[max_class] round up to the next multiple of 8
+      (strides 16, 24, ..., [max_class]), so inside a line-aligned
+      segment every block starts on a line boundary and spans exactly
+      [stride/8] lines.  The rounded-up slack stays inside the block's
+      recorded capacity, so the conservation identity is untouched; the
+      line-count saving on every store, flush and cold read of the block
+      outweighs the padded words (paper-adjacent result: line-granularity
+      layout dominates PM cost).
+
+    Classes own disjoint {e segments} -- cacheline-aligned extents carved
+    from the allocation frontier (or from a large free extent) in bulk,
+    handed out block by block by bumping a cursor.  Freed blocks of a
+    class stride are pushed on the class's recycle stack and handed back
+    LIFO, so a hot commit loop reuses the same few cachelines.
+
+    All arena state is volatile, like the free lists: recovery rebuilds
+    allocation metadata from reachability and the arenas restart empty. *)
+
+let max_class = 72
+
+(* Segments hold [segment_blocks] blocks; bounded words per refill keeps
+   small heaps from over-reserving while still amortizing refill cost. *)
+let segment_blocks stride = max 8 (min 64 (1024 / stride))
+let segment_words stride = segment_blocks stride * stride
+
+let stride_of capacity =
+  if capacity <= 4 then 4
+  else if capacity <= 8 then 8
+  else (capacity + 7) land lnot 7
+
+(* Capacities that are themselves a class stride recycle through the
+   arena; everything else goes back to the free lists. *)
+let is_stride c = c = 4 || (c >= 8 && c <= max_class && c land 7 = 0)
+
+type cls = {
+  stride : int;
+  mutable bump : int; (* next header offset in the open segment *)
+  mutable limit : int; (* one past the open segment's last word *)
+  mutable stack : int array; (* recycled header offsets, LIFO *)
+  mutable sp : int;
+}
+
+type t = {
+  classes : cls array; (* indexed by stride *)
+  mutable recycled_words : int; (* words parked on recycle stacks *)
+  mutable open_words : int; (* unbumped words in open segments *)
+  mutable segments : int; (* segments ever opened (telemetry) *)
+}
+
+let create () =
+  {
+    classes =
+      Array.init (max_class + 1) (fun stride ->
+          { stride; bump = 0; limit = 0; stack = [||]; sp = 0 });
+    recycled_words = 0;
+    open_words = 0;
+    segments = 0;
+  }
+
+let reset t =
+  Array.iter
+    (fun c ->
+      c.bump <- 0;
+      c.limit <- 0;
+      c.sp <- 0)
+    t.classes;
+  t.recycled_words <- 0;
+  t.open_words <- 0;
+  t.segments <- 0
+
+let free_words t = t.recycled_words + t.open_words
+let recycled_words t = t.recycled_words
+let open_words t = t.open_words
+let segments t = t.segments
+
+(* O(1) hot path: recycled block if one is parked, else bump the open
+   segment.  [None] means the caller must refill (or fall back). *)
+let take t stride =
+  let c = t.classes.(stride) in
+  if c.sp > 0 then begin
+    c.sp <- c.sp - 1;
+    t.recycled_words <- t.recycled_words - stride;
+    Some c.stack.(c.sp)
+  end
+  else if c.bump < c.limit then begin
+    let header = c.bump in
+    c.bump <- c.bump + stride;
+    t.open_words <- t.open_words - stride;
+    Some header
+  end
+  else None
+
+let recycle t ~header ~stride =
+  let c = t.classes.(stride) in
+  if c.sp = Array.length c.stack then begin
+    let grown = Array.make (max 64 (2 * Array.length c.stack)) 0 in
+    Array.blit c.stack 0 grown 0 c.sp;
+    c.stack <- grown
+  end;
+  c.stack.(c.sp) <- header;
+  c.sp <- c.sp + 1;
+  t.recycled_words <- t.recycled_words + stride
+
+(* Install a fresh segment for [stride].  Only legal when the class's
+   open segment is exhausted (segments are multiples of the stride, so
+   the bump cursor lands exactly on the limit). *)
+let refill t ~stride ~start ~words =
+  let c = t.classes.(stride) in
+  assert (c.bump >= c.limit);
+  c.bump <- start;
+  c.limit <- start + words;
+  t.open_words <- t.open_words + words;
+  t.segments <- t.segments + 1

@@ -1,23 +1,39 @@
-(** Segregated free lists for the persistent-memory allocator.
+(** Segregated free lists for the persistent-memory allocator, with
+    neighbor coalescing.
 
     The lists themselves are volatile (ordinary OCaml state): after a crash
     they are reconstructed by the recovery garbage collector from the gaps
     between reachable blocks, exactly as the paper's reclamation design
     permits (Section 5.3: only reachability needs to be durable).
 
-    Bins hold [(body_offset, capacity)] pairs.  Capacities up to
+    Bins hold entries describing free extents.  Capacities up to
     [exact_max] get an exact-fit bin each; larger blocks fall into
-    power-of-two buckets that are searched first-fit and split. *)
+    power-of-two buckets that are searched first-fit and split.
+
+    Every insert checks both physical neighbors of the incoming extent
+    (two O(1) hash probes on the extent's end offsets) and merges with
+    any that are free, so split tails re-fuse with their siblings
+    instead of fragmenting the heap into ever-smaller unusable shards.
+    Merged-away constituents are marked dead and dropped lazily when a
+    take pops them; the live-entry count and the coalesce counter are
+    exported so fragmentation is observable. *)
 
 let exact_max = 64
 let buckets = 24 (* power-of-two classes above exact_max *)
 
-type entry = { body : int; capacity : int }
+type entry = { body : int; capacity : int; mutable dead : bool }
 
 type t = {
   exact : entry list array; (* index = capacity, 0..exact_max *)
   coarse : entry list array; (* index = log2 class *)
   mutable free_words : int;
+  (* physical-neighbor index for coalescing: a live entry keyed by the
+     first word of its extent (its header offset) and by one-past its
+     last word *)
+  by_start : (int, entry) Hashtbl.t;
+  by_end : (int, entry) Hashtbl.t;
+  mutable entries : int; (* live entries across all bins *)
+  mutable coalesces : int; (* neighbor merges performed *)
 }
 
 let create () =
@@ -25,40 +41,104 @@ let create () =
     exact = Array.make (exact_max + 1) [];
     coarse = Array.make buckets [];
     free_words = 0;
+    by_start = Hashtbl.create 256;
+    by_end = Hashtbl.create 256;
+    entries = 0;
+    coalesces = 0;
   }
 
 let clear t =
   Array.fill t.exact 0 (Array.length t.exact) [];
   Array.fill t.coarse 0 (Array.length t.coarse) [];
-  t.free_words <- 0
+  Hashtbl.reset t.by_start;
+  Hashtbl.reset t.by_end;
+  t.free_words <- 0;
+  t.entries <- 0
 
 let bucket_of capacity =
   let rec log2 n acc = if n <= exact_max then acc else log2 (n lsr 1) (acc + 1) in
   min (buckets - 1) (log2 capacity 0)
 
+let start_of e = Block.header_of_body e.body
+let end_of e = Block.header_of_body e.body + e.capacity
+
+let unhash t e =
+  Hashtbl.remove t.by_start (start_of e);
+  Hashtbl.remove t.by_end (end_of e)
+
+(* Remove a live entry that is being merged into a larger one.  Its bin
+   cell stays behind marked dead and is dropped when a take reaches it. *)
+let kill t e =
+  unhash t e;
+  e.dead <- true;
+  t.free_words <- t.free_words - e.capacity;
+  t.entries <- t.entries - 1
+
+let bin_insert t e =
+  if e.capacity <= exact_max then
+    t.exact.(e.capacity) <- e :: t.exact.(e.capacity)
+  else begin
+    let b = bucket_of e.capacity in
+    t.coarse.(b) <- e :: t.coarse.(b)
+  end;
+  Hashtbl.replace t.by_start (start_of e) e;
+  Hashtbl.replace t.by_end (end_of e) e;
+  t.free_words <- t.free_words + e.capacity;
+  t.entries <- t.entries + 1
+
 let insert t ~body ~capacity =
   if capacity >= Block.min_capacity then begin
-    let e = { body; capacity } in
-    if capacity <= exact_max then t.exact.(capacity) <- e :: t.exact.(capacity)
-    else begin
-      let b = bucket_of capacity in
-      t.coarse.(b) <- e :: t.coarse.(b)
-    end;
-    t.free_words <- t.free_words + capacity
+    let start = Block.header_of_body body in
+    let fin = start + capacity in
+    (* merge with the physically adjacent free extents, if any; the
+       lists never hold two adjacent live extents, so one probe per
+       side is exhaustive *)
+    let fin =
+      match Hashtbl.find_opt t.by_start fin with
+      | Some succ ->
+          kill t succ;
+          t.coalesces <- t.coalesces + 1;
+          end_of succ
+      | None -> fin
+    in
+    let start =
+      match Hashtbl.find_opt t.by_end start with
+      | Some pred ->
+          kill t pred;
+          t.coalesces <- t.coalesces + 1;
+          start_of pred
+      | None -> start
+    in
+    bin_insert t
+      { body = Block.body_of_header start; capacity = fin - start; dead = false }
   end
 
 let free_words t = t.free_words
+let live_entries t = t.entries
+let coalesces t = t.coalesces
+
+let take t e =
+  unhash t e;
+  t.free_words <- t.free_words - e.capacity;
+  t.entries <- t.entries - 1;
+  Some e
 
 (* Take a block of exactly [capacity] words if one is on an exact bin. *)
 let take_exact t capacity =
-  if capacity <= exact_max then
-    match t.exact.(capacity) with
-    | e :: rest ->
-        t.exact.(capacity) <- rest;
-        t.free_words <- t.free_words - capacity;
-        Some e
-    | [] -> None
-  else None
+  if capacity > exact_max then None
+  else begin
+    (* drop dead cells left behind by coalescing *)
+    let rec pop = function
+      | e :: rest when e.dead ->
+          t.exact.(capacity) <- rest;
+          pop rest
+      | e :: rest ->
+          t.exact.(capacity) <- rest;
+          take t e
+      | [] -> None
+    in
+    pop t.exact.(capacity)
+  end
 
 (* First-fit search of the coarse buckets for a block of at least
    [capacity] words.  The found block is removed; the caller splits. *)
@@ -69,9 +149,10 @@ let take_at_least t capacity =
     let keep = ref [] in
     let rec scan = function
       | [] -> ()
+      | e :: rest when e.dead -> scan rest
       | e :: rest ->
           if !found = None && e.capacity >= capacity then begin
-            found := Some e;
+            found := take t e;
             keep := List.rev_append !keep rest
           end
           else begin
@@ -79,30 +160,23 @@ let take_at_least t capacity =
             scan rest
           end
     in
-    let original = t.coarse.(!b) in
-    scan original;
-    (match !found with
-    | Some e ->
-        t.coarse.(!b) <- List.rev !keep;
-        t.free_words <- t.free_words - e.capacity
-    | None -> ());
+    scan t.coarse.(!b);
+    t.coarse.(!b) <- List.rev !keep;
     incr b
   done;
   (* Fall back to scavenging larger exact bins. *)
   if !found = None && capacity <= exact_max then begin
     let c = ref capacity in
     while !found = None && !c <= exact_max do
-      (match t.exact.(!c) with
-      | e :: rest ->
-          t.exact.(!c) <- rest;
-          t.free_words <- t.free_words - e.capacity;
-          found := Some e
-      | [] -> ());
+      (match take_exact t !c with
+      | Some _ as e -> found := e
+      | None -> ());
       incr c
     done
   end;
   !found
 
 let iter t fn =
-  Array.iter (fun l -> List.iter fn l) t.exact;
-  Array.iter (fun l -> List.iter fn l) t.coarse
+  let live l = List.iter (fun e -> if not e.dead then fn e) l in
+  Array.iter live t.exact;
+  Array.iter live t.coarse

@@ -130,8 +130,8 @@ let walk_root words ~visited root =
             end
   in
   let scan (body, header, capacity, kind) =
-    match Block.decode_used (Pmem.Word.raw words.(header + 1)) with
-    | exception _ -> fail "unreadable used-count at %d" (header + 1)
+    match Block.decode_used (Pmem.Word.raw words.(header)) with
+    | exception _ -> fail "unreadable used-count at %d" header
     | used ->
         if used < 0 || used > capacity - Block.header_words then
           fail "block at %d claims %d used words of %d" header used capacity
@@ -192,8 +192,7 @@ let check_descriptor words body =
   | _, kind, _ ->
       if kind <> Block.Scanned then fail "descriptor block is not Scanned"
       else if
-        Block.decode_used (Pmem.Word.raw words.(header + 1))
-        <> Backup.desc_words
+        Block.decode_used (Pmem.Word.raw words.(header)) <> Backup.desc_words
       then fail "descriptor is not %d words" Backup.desc_words
       else if not (Backup.is_magic (word Backup.d_magic)) then
         fail "descriptor magic mismatch"

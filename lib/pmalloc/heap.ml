@@ -107,6 +107,23 @@ type t = {
      any.  Carried here (not in a process-wide ref) so N shard heaps in
      one process each keep their own histograms and attribution. *)
   mutable telemetry : Telemetry.t option;
+  (* Incremental root-record cache (volatile).  Re-validating both
+     3-word copies on every root read/swing costs ~12 PM loads per
+     commit; once a slot has been seen with both copies valid, the
+     winning (value, seq) and the next swing's (target copy, seq) are
+     remembered here and a one-field root update recomputes only the
+     touched record's checksum -- 3 stores + 1 clwb, no re-reads.  An
+     entry is trusted only while the region's integrity epoch matches
+     the fill-time epoch: crashes, restores, injected corruption and
+     media-fault arming all bump the epoch, and [root_record_stores]
+     (whose stores land outside this module's view) invalidates its
+     slot, so every path that can falsify the cache forces the next
+     access back through full two-copy validation. *)
+  rcache_epoch : int array; (* fill-time integrity epoch; -1 = empty *)
+  rcache_value : Pmem.Word.t array;
+  rcache_seq : int array;
+  rcache_target : int array; (* copy the next swing overwrites *)
+  rcache_tseq : int array; (* sequence the next swing stamps *)
 }
 
 let region t = t.region
@@ -145,6 +162,27 @@ let check_slot slot =
   if slot < 0 || slot >= root_slots then
     invalid_arg (Printf.sprintf "Heap: root slot %d out of range" slot)
 
+let rcache_valid t slot =
+  t.rcache_epoch.(slot) = Pmem.Region.integrity_epoch t.region
+
+let rcache_invalidate t slot = t.rcache_epoch.(slot) <- -1
+let invalidate_root_cache t = Array.fill t.rcache_epoch 0 root_slots (-1)
+
+(* Fill a slot's cache entry from a both-copies-valid read.  A slot with
+   a torn or media-bad copy keeps paying full validation on every access
+   until a swing repairs it, and nothing is cached while any media fault
+   is armed (a fault on the record's own line must surface as
+   [Media_fault] on the very next read, not be papered over). *)
+let rcache_fill t slot ~s0 ~v0 ~s1 ~v1 =
+  if Pmem.Region.media_fault_count t.region = 0 then begin
+    let value, seq = if s0 >= s1 then (v0, s0) else (v1, s1) in
+    t.rcache_value.(slot) <- value;
+    t.rcache_seq.(slot) <- seq;
+    t.rcache_target.(slot) <- (if s0 <= s1 then 0 else 1);
+    t.rcache_tseq.(slot) <- 1 + max s0 s1;
+    t.rcache_epoch.(slot) <- Pmem.Region.integrity_epoch t.region
+  end
+
 (* Read one copy of a root record.  [Error `Torn] = checksum mismatch,
    [Error `Media] = the copy's line faulted on read. *)
 let read_copy t ~slot ~copy =
@@ -176,21 +214,25 @@ let count_torn t = t.root_torn_detected <- t.root_torn_detected + 1
    silently stale root. *)
 let root_get_versioned t slot =
   check_slot slot;
-  match (read_copy t ~slot ~copy:0, read_copy t ~slot ~copy:1) with
-  | Ok (s0, v0), Ok (s1, v1) -> if s0 >= s1 then (v0, s0) else (v1, s1)
-  | Ok (s, v), Error `Torn | Error `Torn, Ok (s, v) ->
-      count_torn t;
-      t.root_fallbacks <- t.root_fallbacks + 1;
-      (v, s)
-  | Error `Media, _ | _, Error `Media ->
-      let copy =
-        match read_copy t ~slot ~copy:0 with Error `Media -> 0 | _ -> 1
-      in
-      raise (Pmem.Region.Media_fault { off = copy_off ~copy slot })
-  | Error `Torn, Error `Torn ->
-      count_torn t;
-      count_torn t;
-      raise (Torn_root { slot })
+  if rcache_valid t slot then (t.rcache_value.(slot), t.rcache_seq.(slot))
+  else
+    match (read_copy t ~slot ~copy:0, read_copy t ~slot ~copy:1) with
+    | Ok (s0, v0), Ok (s1, v1) ->
+        rcache_fill t slot ~s0 ~v0 ~s1 ~v1;
+        if s0 >= s1 then (v0, s0) else (v1, s1)
+    | Ok (s, v), Error `Torn | Error `Torn, Ok (s, v) ->
+        count_torn t;
+        t.root_fallbacks <- t.root_fallbacks + 1;
+        (v, s)
+    | Error `Media, _ | _, Error `Media ->
+        let copy =
+          match read_copy t ~slot ~copy:0 with Error `Media -> 0 | _ -> 1
+        in
+        raise (Pmem.Region.Media_fault { off = copy_off ~copy slot })
+    | Error `Torn, Error `Torn ->
+        count_torn t;
+        count_torn t;
+        raise (Torn_root { slot })
 
 let root_get t slot = fst (root_get_versioned t slot)
 
@@ -223,6 +265,9 @@ let target_copy t slot =
 
 let root_record_stores t slot w =
   check_slot slot;
+  (* the caller applies these stores outside this module's view, so the
+     cached post-state can no longer be trusted once they land *)
+  rcache_invalidate t slot;
   let copy, seq = target_copy t slot in
   let off = copy_off ~copy slot in
   [
@@ -249,6 +294,11 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
       backlog = Hashtbl.create 64;
       backup_depth = 0;
       telemetry = None;
+      rcache_epoch = Array.make root_slots (-1);
+      rcache_value = Array.make root_slots Pmem.Word.null;
+      rcache_seq = Array.make root_slots 0;
+      rcache_target = Array.make root_slots 0;
+      rcache_tseq = Array.make root_slots 0;
     }
   in
   (* Fresh heap: both copies of every record are durable, valid null
@@ -279,11 +329,32 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
    previous consistent version of the record. *)
 let root_set t slot w =
   check_slot slot;
-  let stores = root_record_stores t slot w in
-  List.iter (fun (off, v) -> Pmem.Region.store t.region off v) stores;
-  match stores with
-  | (off, _) :: _ -> Pmem.Region.clwb t.region off
-  | [] -> assert false
+  if rcache_valid t slot then begin
+    (* Incremental swing: the stale copy's identity and the next sequence
+       number are already known, so only the touched record's checksum is
+       recomputed -- the same 3 stores + 1 clwb the validating path
+       emits, with zero loads.  The cache then advances to the post-swing
+       state: the written copy is now freshest, the sibling is next. *)
+    let copy = t.rcache_target.(slot) in
+    let seq = t.rcache_tseq.(slot) in
+    let off = copy_off ~copy slot in
+    Pmem.Region.store t.region off w;
+    Pmem.Region.store t.region (off + 1) (Pmem.Word.raw seq);
+    Pmem.Region.store t.region (off + 2)
+      (Pmem.Word.raw (checksum ~slot ~seq w));
+    Pmem.Region.clwb t.region off;
+    t.rcache_value.(slot) <- w;
+    t.rcache_seq.(slot) <- seq;
+    t.rcache_target.(slot) <- 1 - copy;
+    t.rcache_tseq.(slot) <- seq + 1
+  end
+  else begin
+    let stores = root_record_stores t slot w in
+    List.iter (fun (off, v) -> Pmem.Region.store t.region off v) stores;
+    match stores with
+    | (off, _) :: _ -> Pmem.Region.clwb t.region off
+    | [] -> assert false
+  end
 
 (* Compare-and-swap on a root slot, modelling a double-word (pointer +
    counter) hardware CAS on the root record.  The record's sequence
@@ -368,7 +439,8 @@ let clear_backup_runtime t =
    validate. *)
 let next_root_seq t slot =
   check_slot slot;
-  snd (target_copy t slot)
+  if rcache_valid t slot then t.rcache_tseq.(slot)
+  else snd (target_copy t slot)
 
 let enter_backup_update t = t.backup_depth <- t.backup_depth + 1
 
@@ -430,6 +502,9 @@ let pristine_snapshot t = Pmem.Region.snapshot t.region
 let reset_fresh t ~pristine =
   Pmem.Region.restore t.region pristine;
   Allocator.reset_fresh t.allocator;
+  (* the restore's epoch bump already distrusts every entry; emptying the
+     cache as well keeps reset equivalent to a fresh [create] *)
+  invalidate_root_cache t;
   t.root_torn_detected <- 0;
   t.root_fallbacks <- 0;
   t.commit_mode <- Swing;
@@ -472,6 +547,11 @@ let open_file ?(trace = false) ?(seed = 42) ~path () =
       backlog = Hashtbl.create 64;
       backup_depth = 0;
       telemetry = None;
+      rcache_epoch = Array.make root_slots (-1);
+      rcache_value = Array.make root_slots Pmem.Word.null;
+      rcache_seq = Array.make root_slots 0;
+      rcache_target = Array.make root_slots 0;
+      rcache_tseq = Array.make root_slots 0;
     }
   in
   (t, journal)

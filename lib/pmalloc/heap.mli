@@ -171,6 +171,15 @@ val root_record_ranges : int -> (int * int) list
 (** [(offset, words)] extents of the two copies of slot [s]'s record
     (for undo logging and fault injection). *)
 
+val invalidate_root_cache : t -> unit
+(** Drop the incremental root-record cache, forcing the next access to
+    each slot back through full two-copy checksum validation.  The cache
+    already self-invalidates on crash / restore / corruption / media
+    faults (it is bound to [Pmem.Region.integrity_epoch]); call this
+    when record words may have been rewritten through a path the heap
+    cannot see, e.g. a PM-STM transaction replaying
+    {!root_record_stores} or recovery rewriting records in place. *)
+
 val active_root_copy : t -> int -> int
 (** Index (0 or 1) of the copy {!root_get} would currently serve;
     raises {!Torn_root} when neither validates.  Diagnostics/tests. *)

@@ -40,6 +40,9 @@ let pp_report ppf r =
 let recover heap =
   let region = Heap.region heap in
   let allocator = Heap.allocator heap in
+  (* Recovery runs right after a crash or reopen: every cached root-record
+     view predates the failure and must be re-validated from PM. *)
+  Heap.invalidate_root_cache heap;
   (* Volatile commit-policy state died with the crash; re-read the
      durable policy words (a media fault here propagates and is surfaced
      typed by the recovery wrapper).  Backup slots' volatile current
@@ -64,23 +67,23 @@ let recover heap =
         Hashtbl.replace reachable body (header, capacity, indeg + 1)
     | None ->
         let header = Block.header_of_body body in
-        let capacity, kind, _allocated =
-          Block.decode_info (Pmem.Region.load region header)
-        in
+        (* one load serves capacity, kind *and* the scan limit: the
+           packed header keeps the whole walk at one header read per
+           block *)
+        let hw = Pmem.Region.load region header in
+        let capacity, kind, _allocated = Block.decode_info hw in
+        let used = Block.decode_used hw in
         Hashtbl.replace reachable body (header, capacity, 1);
-        Stack.push (body, header, kind) pending
+        Stack.push (body, used, kind) pending
   in
-  let scan (body, header, kind) =
+  let scan (body, used, kind) =
     match kind with
     | Block.Raw ->
-        if scrub then begin
-          let used = Block.decode_used (Pmem.Region.load region (header + 1)) in
+        if scrub then
           for i = 0 to used - 1 do
             ignore (Pmem.Region.load region (body + i) : Pmem.Word.t)
           done
-        end
     | Block.Scanned ->
-        let used = Block.decode_used (Pmem.Region.load region (header + 1)) in
         for i = 0 to used - 1 do
           let w = Pmem.Region.load region (body + i) in
           if Pmem.Word.is_ptr w && not (Pmem.Word.is_null w) then

@@ -78,6 +78,11 @@ type t = {
   (* fault injection: lines armed as media-bad raise Media_fault on any
      load until cleared (restore clears them) *)
   media_bad : (int, unit) Hashtbl.t;
+  (* bumped on every event that can invalidate a reader's private cache of
+     durable contents: crash, restore, hand-of-god corruption, media-fault
+     arming/clearing.  Readers (e.g. Heap's root-record cache) compare a
+     remembered epoch against this before trusting cached values. *)
+  mutable integrity_epoch : int;
   (* file backend (Backing): when present, cachelines whose durable
      contents changed since the last fence accumulate in [file_dirty] and
      are committed to the image file as one atomic batch at each fence *)
@@ -140,6 +145,7 @@ let create ?(capacity_words = 1 lsl 20) ?(trace = false) ?(seed = 42) ?file ()
     j_epoch = 0;
     j_tokens = [];
     media_bad = Hashtbl.create 4;
+    integrity_epoch = 0;
     backing;
     file_dirty = Hashtbl.create 64;
   }
@@ -433,16 +439,22 @@ let reset_caches t =
 let arm_media_fault t ~line =
   if line < 0 || line >= Array.length t.state then
     invalid_arg (Printf.sprintf "Region.arm_media_fault: line %d out of bounds" line);
+  t.integrity_epoch <- t.integrity_epoch + 1;
   Hashtbl.replace t.media_bad line ()
 
-let clear_media_faults t = Hashtbl.reset t.media_bad
+let clear_media_faults t =
+  t.integrity_epoch <- t.integrity_epoch + 1;
+  Hashtbl.reset t.media_bad
+
 let media_fault_count t = Hashtbl.length t.media_bad
+let integrity_epoch t = t.integrity_epoch
 
 (* Hand-of-god corruption used by fault tests: flip low bits of one word
    in both the volatile view and the durable image, bypassing the cache
    and stats (this is the injector, not the program under test). *)
 let corrupt_word t off =
   check_off t off "corrupt_word";
+  t.integrity_epoch <- t.integrity_epoch + 1;
   journal_touch t (line_of_word off);
   let v = t.current.(off) lxor 0x55 in
   t.current.(off) <- v;
@@ -460,6 +472,7 @@ let crash ?(mode = Randomize) ?seed ?(torn = false) t =
   let crash_rng = Random.State.make [| seed_used |] in
   t.last_crash_seed <- Some seed_used;
   t.crash_budget <- -1;
+  t.integrity_epoch <- t.integrity_epoch + 1;
   Array.iteri
     (fun line st ->
       (* Clean lines are already durable with no writeback in flight, so
@@ -646,6 +659,7 @@ let restore t s =
       (* mutations after this restore need fresh undo records *)
       t.j_epoch <- t.j_epoch + 1);
   t.crash_budget <- -1;
+  t.integrity_epoch <- t.integrity_epoch + 1;
   (* armed media faults belong to the timeline being abandoned *)
   Hashtbl.reset t.media_bad;
   (* the rewound durable image diverges from the file again; every line is
@@ -734,6 +748,7 @@ let open_file ?(trace = false) ?(seed = 42) ~path () =
       j_epoch = 0;
       j_tokens = [];
       media_bad = Hashtbl.create 4;
+      integrity_epoch = 0;
       backing = Some b;
       file_dirty = Hashtbl.create 64;
     }

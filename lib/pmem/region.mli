@@ -103,6 +103,14 @@ val clear_media_faults : t -> unit
 val media_fault_count : t -> int
 (** Number of lines currently armed as media-bad. *)
 
+val integrity_epoch : t -> int
+(** Monotone counter bumped by every event that can silently change or
+    poison durable contents behind a reader's back: {!crash}, {!restore},
+    {!corrupt_word}, {!arm_media_fault}, {!clear_media_faults}.  A layer
+    caching derived views of PM (e.g. the heap's root-record cache)
+    remembers the epoch at fill time and treats a mismatch as a cache
+    invalidation. *)
+
 val corrupt_word : t -> int -> unit
 (** Flip bits of one word in both the volatile view and the durable
     image, bypassing cache and stats: the injector's hand, used to model

@@ -70,11 +70,11 @@ let corpus =
     (* the negative control must keep violating at its recorded
        points: commits whose shadows were never clwb'd before the
        swing, caught when the crash drops the un-flushed lines. *)
-    t "cmap-nofence" (Round_robin 1) 42 rand ~seed:1005507
+    t "cmap-nofence" (Round_robin 1) 57 rand ~seed:1007471
       ~expect_violation:true;
-    t "cmap-nofence" (Round_robin 1) 44 rand ~seed:1005769
+    t "cmap-nofence" (Round_robin 1) 58 rand ~seed:1007601
       ~expect_violation:true;
-    t "cmap-nofence" (Round_robin 1) 60 rand ~seed:1007864
+    t "cmap-nofence" (Round_robin 1) 70 rand ~seed:1009173
       ~expect_violation:true;
   ]
 

@@ -33,7 +33,7 @@ let check_heap_exact heap =
         | Pmalloc.Block.Scanned ->
             let used =
               Pmalloc.Block.decode_used
-                (Pmem.Region.peek_current region (header + 1))
+                (Pmem.Region.peek_current region header)
             in
             for i = 0 to used - 1 do
               let word = Pmem.Region.peek_current region (body + i) in

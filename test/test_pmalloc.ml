@@ -21,7 +21,8 @@ let alloc_tests =
           (Pmalloc.Allocator.kind_of alloc a = Pmalloc.Block.Raw);
         Alcotest.(check bool)
           "capacity >= used+header" true
-          (Pmalloc.Allocator.capacity_of alloc a >= 12));
+          (Pmalloc.Allocator.capacity_of alloc a
+          >= 10 + Pmalloc.Block.header_words));
     Alcotest.test_case "free then alloc reuses memory" `Quick (fun () ->
         let heap = mk_heap () in
         let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Scanned ~words:6 in
@@ -106,6 +107,158 @@ let alloc_tests =
                i mod 2 = 0
                || Pmem.Word.to_int (Pmalloc.Heap.load heap b) = i + 1000)
              blocks));
+  ]
+
+(* Regression (allocator dealloc order): freeing a body that is not live
+   must raise -- and must raise *before* any header decode can poison the
+   accounting.  The old dealloc decoded the header word first, so a stale
+   body whose block had been freed, re-split and overwritten subtracted a
+   garbage capacity from [live_words] before the double-free check fired. *)
+let dealloc_order_tests =
+  [
+    Alcotest.test_case "stale free leaves accounting intact" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:40 in
+        Pmalloc.Heap.free heap a;
+        (* recycle the extent as two smaller blocks: [a]'s old header word
+           now holds a different block's metadata (or plain payload) *)
+        let b = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:12 in
+        let c = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:12 in
+        List.iter
+          (fun off -> Pmalloc.Heap.store heap off (Pmem.Word.of_int 0x5A5A))
+          [ b; c ];
+        let live = Pmalloc.Allocator.live_words alloc in
+        let free = Pmalloc.Allocator.free_words alloc in
+        Alcotest.(check bool)
+          "stale free raises" true
+          (try
+             Pmalloc.Heap.free heap a;
+             false
+           with Invalid_argument _ -> true);
+        Alcotest.(check int) "live words untouched" live
+          (Pmalloc.Allocator.live_words alloc);
+        Alcotest.(check int) "free words untouched" free
+          (Pmalloc.Allocator.free_words alloc);
+        (* the two live blocks are still sound *)
+        Alcotest.(check int) "b intact" 0x5A5A
+          (Pmem.Word.to_int (Pmalloc.Heap.load heap b));
+        Alcotest.(check int) "b used" 12 (Pmalloc.Allocator.used_of alloc b));
+    Alcotest.test_case "free of a never-allocated body raises" `Quick
+      (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:16 in
+        let live = Pmalloc.Allocator.live_words alloc in
+        Alcotest.(check bool)
+          "interior offset raises" true
+          (try
+             Pmalloc.Heap.free heap (a + 3);
+             false
+           with Invalid_argument _ -> true);
+        Alcotest.(check int) "accounting intact" live
+          (Pmalloc.Allocator.live_words alloc));
+  ]
+
+(* Coalescing (freelist fragmentation): a freed split tail must re-fuse
+   with its physical neighbors so the original extent is allocatable
+   again, instead of fragmenting into ever-smaller shards. *)
+let coalescing_tests =
+  [
+    Alcotest.test_case "split tails re-fuse on free" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:500 in
+        Pmalloc.Heap.free heap a;
+        (* split the 500-word extent: the allocation takes the head, the
+           tail goes back to a coarse bin *)
+        let b = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:100 in
+        Alcotest.(check int) "head of the freed extent" a b;
+        let frontier = Pmalloc.Allocator.frontier alloc in
+        let before = Pmalloc.Allocator.coalesces alloc in
+        Pmalloc.Heap.free heap b;
+        Alcotest.(check bool)
+          "neighbor merge happened" true
+          (Pmalloc.Allocator.coalesces alloc > before);
+        (* the re-fused extent serves a near-full-size allocation without
+           touching the frontier *)
+        let c = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:480 in
+        Alcotest.(check int) "same extent again" a c;
+        Alcotest.(check int) "no frontier growth" frontier
+          (Pmalloc.Allocator.frontier alloc));
+    Alcotest.test_case "fragmentation gauge drops on merge" `Quick (fun () ->
+        let heap = mk_heap () in
+        let alloc = Pmalloc.Heap.allocator heap in
+        (* three adjacent large blocks; freeing them out of order must
+           collapse the freelist back to one entry *)
+        let a = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:200 in
+        let b = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:200 in
+        let c = Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words:200 in
+        Pmalloc.Heap.free heap a;
+        Pmalloc.Heap.free heap c;
+        Alcotest.(check int) "two disjoint extents" 2
+          (Pmalloc.Allocator.freelist_entries alloc);
+        Pmalloc.Heap.free heap b;
+        (* b bridges a and c: both probes fire *)
+        Alcotest.(check int) "one fused extent" 1
+          (Pmalloc.Allocator.freelist_entries alloc));
+  ]
+
+(* Conservation (arenas + freelist + deferral + padding): every word
+   between heap start and the frontier is in exactly one ledger for any
+   crash-free alloc/release/fence history. *)
+let conservation_test =
+  let conserved alloc =
+    Pmalloc.Allocator.live_words alloc
+    + Pmalloc.Allocator.free_words alloc
+    + Pmalloc.Allocator.deferred_words alloc
+    + Pmalloc.Allocator.pad_words alloc
+    = Pmalloc.Allocator.frontier alloc - Pmalloc.Allocator.heap_start alloc
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"live+free+deferred+pad covers the heap (qcheck)" ~count:60
+         QCheck.(list_of_size (Gen.int_range 1 120) (int_range 0 1023))
+         (fun ops ->
+           let heap = mk_heap ~capacity:(1 lsl 18) () in
+           let alloc = Pmalloc.Heap.allocator heap in
+           let live = ref [] in
+           let ok = ref true in
+           List.iter
+             (fun n ->
+               (match n mod 10 with
+               | 0 | 1 | 2 | 3 | 4 ->
+                   (* arena classes and freelist sizes both in range *)
+                   let words = 1 + (n mod 80) in
+                   let b =
+                     Pmalloc.Heap.alloc heap ~kind:Pmalloc.Block.Raw ~words
+                   in
+                   live := b :: !live
+               | 5 | 6 | 7 -> (
+                   match !live with
+                   | [] -> ()
+                   | l ->
+                       let i = n mod List.length l in
+                       let b = List.nth l i in
+                       live := List.filteri (fun j _ -> j <> i) l;
+                       (* epoch-deferred reclamation path *)
+                       Pmalloc.Heap.release heap b)
+               | 8 -> (
+                   match !live with
+                   | [] -> ()
+                   | b :: rest ->
+                       live := rest;
+                       (* immediate-free path *)
+                       Pmalloc.Heap.free heap b)
+               | _ -> Pmalloc.Heap.sfence heap);
+               if not (conserved alloc) then ok := false)
+             ops;
+           (* drain the deferral pipeline and re-check the identity *)
+           Pmalloc.Heap.sfence heap;
+           Pmalloc.Heap.sfence heap;
+           !ok && conserved alloc
+           && Pmalloc.Allocator.deferred_words alloc = 0));
   ]
 
 let rc_tests =
@@ -323,6 +476,9 @@ let () =
   Alcotest.run "pmalloc"
     [
       ("allocator", alloc_tests);
+      ("dealloc-order", dealloc_order_tests);
+      ("coalescing", coalescing_tests);
+      ("conservation", conservation_test);
       ("refcounts", rc_tests);
       ("freelist", freelist_tests);
       ("roots", root_tests);
